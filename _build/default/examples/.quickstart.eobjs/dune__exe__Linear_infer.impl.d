@@ -1,0 +1,1 @@
+examples/linear_infer.ml: Ace_codegen Ace_driver Ace_ir Ace_nn Ace_onnx Ace_poly_ir List Printf String

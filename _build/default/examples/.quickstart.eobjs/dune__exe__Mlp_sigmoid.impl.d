@@ -1,0 +1,1 @@
+examples/mlp_sigmoid.ml: Ace_driver Ace_fhe Ace_nn Ace_onnx Ace_util Array Format Printf

@@ -1,0 +1,1 @@
+examples/mlp_sigmoid.mli:

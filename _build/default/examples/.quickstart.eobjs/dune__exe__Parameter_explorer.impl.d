@@ -1,0 +1,1 @@
+examples/parameter_explorer.ml: Ace_ckks_ir Ace_fhe List Printf

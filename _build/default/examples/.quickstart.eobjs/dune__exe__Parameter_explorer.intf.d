@@ -1,0 +1,1 @@
+examples/parameter_explorer.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ace_ckks_ir Ace_driver Ace_fhe Ace_nn Ace_onnx Ace_util Array Format Printf

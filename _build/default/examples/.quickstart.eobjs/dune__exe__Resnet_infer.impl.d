@@ -1,0 +1,1 @@
+examples/resnet_infer.ml: Ace_ckks_ir Ace_driver Ace_fhe Ace_ir Ace_models Ace_nn Array Format List Printf Unix

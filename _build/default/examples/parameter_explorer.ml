@@ -1,0 +1,41 @@
+(* RQ3-style exploration of the automatic security-parameter selection:
+   sweep multiplicative depth and SIMD width and print what the compiler
+   would pick at each security level (paper Table 10 / Section 4.4).
+
+   Run with: dune exec examples/parameter_explorer.exe *)
+
+module Param_select = Ace_ckks_ir.Param_select
+module Security = Ace_fhe.Security
+
+let () =
+  print_endline "Automatic parameter selection sweep (scale 2^26, q0 2^29, special 2^29)";
+  List.iter
+    (fun security ->
+      Printf.printf "\n-- %s security --\n" (Security.to_string security);
+      Printf.printf "%6s %8s | %8s %8s %10s\n" "depth" "slots" "log2(N)" "log2(Q)" "bound";
+      List.iter
+        (fun depth ->
+          List.iter
+            (fun slots ->
+              match
+                Param_select.select
+                  {
+                    Param_select.scale_bits = 26;
+                    q0_bits = 29;
+                    special_bits = 29;
+                    depth;
+                    simd_slots = slots;
+                    security;
+                  }
+              with
+              | sel ->
+                Printf.printf "%6d %8d | %8d %8d %10s\n" depth slots sel.Param_select.log2_n
+                  sel.Param_select.log2_q
+                  (if sel.Param_select.driven_by_security then "security" else "SIMD")
+              | exception Param_select.No_parameters _ ->
+                Printf.printf "%6d %8d | %8s\n" depth slots "infeasible")
+            [ 2048; 8192 ])
+        [ 4; 8; 12; 16; 24; 32 ])
+    [ Security.Bits128; Security.Bits192; Security.Bits256 ];
+  print_endline "\nNote: the benchmark harness executes at a scaled-down Toy context";
+  print_endline "(DESIGN.md); the table above is what ships in a deployment."

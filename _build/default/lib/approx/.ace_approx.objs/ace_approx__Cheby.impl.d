@@ -1,0 +1,1 @@
+lib/approx/cheby.ml: Array Float Poly

@@ -1,0 +1,1 @@
+lib/approx/cheby.mli: Poly

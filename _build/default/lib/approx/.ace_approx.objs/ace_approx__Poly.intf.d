@@ -1,0 +1,1 @@
+lib/approx/poly.mli: Format

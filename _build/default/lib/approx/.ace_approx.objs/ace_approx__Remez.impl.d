@@ -1,0 +1,1 @@
+lib/approx/remez.ml: Array Float List Poly

@@ -1,0 +1,1 @@
+lib/approx/remez.mli: Poly

@@ -1,0 +1,1 @@
+lib/approx/sign_approx.ml: Float Hashtbl List Poly Remez

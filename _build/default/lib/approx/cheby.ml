@@ -1,0 +1,51 @@
+let nodes ~degree ~lo ~hi =
+  let n = degree + 1 in
+  Array.init n (fun i ->
+      let theta = Float.pi *. (float_of_int i +. 0.5) /. float_of_int n in
+      let t = cos theta in
+      (0.5 *. (lo +. hi)) +. (0.5 *. (hi -. lo) *. t))
+
+let coefficients f ~degree ~lo ~hi =
+  let n = degree + 1 in
+  let vals =
+    Array.init n (fun i ->
+        let theta = Float.pi *. (float_of_int i +. 0.5) /. float_of_int n in
+        f ((0.5 *. (lo +. hi)) +. (0.5 *. (hi -. lo) *. cos theta)))
+  in
+  Array.init n (fun k ->
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        let theta = Float.pi *. float_of_int k *. (float_of_int i +. 0.5) /. float_of_int n in
+        acc := !acc +. (vals.(i) *. cos theta)
+      done;
+      let c = 2.0 *. !acc /. float_of_int n in
+      if k = 0 then c /. 2.0 else c)
+
+let eval_clenshaw c ~lo ~hi x =
+  let t = ((2.0 *. x) -. lo -. hi) /. (hi -. lo) in
+  let b1 = ref 0.0 and b2 = ref 0.0 in
+  for k = Array.length c - 1 downto 1 do
+    let b = (2.0 *. t *. !b1) -. !b2 +. c.(k) in
+    b2 := !b1;
+    b1 := b
+  done;
+  (t *. !b1) -. !b2 +. c.(0)
+
+let interpolate f ~degree ~lo ~hi =
+  let c = coefficients f ~degree ~lo ~hi in
+  (* Convert the Chebyshev series to the monomial basis via the recurrence
+     T_{k+1} = 2 t T_k - T_{k-1}, then substitute the affine map. *)
+  let t_prev = ref Poly.one and t_cur = ref Poly.x in
+  let affine =
+    (* t = (2x - lo - hi)/(hi - lo) *)
+    Poly.of_coeffs [| -.(lo +. hi) /. (hi -. lo); 2.0 /. (hi -. lo) |]
+  in
+  let acc = ref (Poly.scale c.(0) Poly.one) in
+  for k = 1 to Array.length c - 1 do
+    let tk = !t_cur in
+    acc := Poly.add !acc (Poly.scale c.(k) tk);
+    let next = Poly.sub (Poly.scale 2.0 (Poly.mul Poly.x tk)) !t_prev in
+    t_prev := tk;
+    t_cur := next
+  done;
+  Poly.compose !acc affine

@@ -1,0 +1,18 @@
+(** Chebyshev interpolation on an interval.
+
+    Provides near-minimax polynomial approximations of smooth functions.
+    Used directly by the bootstrap's homomorphic sine evaluation and as the
+    starting point of the Remez exchange. *)
+
+val nodes : degree:int -> lo:float -> hi:float -> float array
+(** The [degree+1] Chebyshev points of the interval. *)
+
+val interpolate : (float -> float) -> degree:int -> lo:float -> hi:float -> Poly.t
+(** Monomial-basis polynomial through the Chebyshev points. *)
+
+val coefficients : (float -> float) -> degree:int -> lo:float -> hi:float -> float array
+(** Chebyshev-basis coefficients [c_k] with
+    [f(x) ~ sum c_k T_k (affine x)]; entry 0 already halved. *)
+
+val eval_clenshaw : float array -> lo:float -> hi:float -> float -> float
+(** Numerically stable evaluation of a Chebyshev series. *)

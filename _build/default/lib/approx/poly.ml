@@ -1,0 +1,74 @@
+type t = float array (* normalised: last coefficient nonzero unless degree 0 *)
+
+let normalise a =
+  let n = ref (Array.length a) in
+  while !n > 1 && a.(!n - 1) = 0.0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_coeffs a = if Array.length a = 0 then [| 0.0 |] else normalise (Array.copy a)
+let coeffs t = Array.copy t
+let degree t = Array.length t - 1
+let zero = [| 0.0 |]
+let one = [| 1.0 |]
+let x = [| 0.0; 1.0 |]
+
+let eval t v =
+  let acc = ref 0.0 in
+  for i = Array.length t - 1 downto 0 do
+    acc := (!acc *. v) +. t.(i)
+  done;
+  !acc
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  normalise
+    (Array.init n (fun i ->
+         (if i < Array.length a then a.(i) else 0.0) +. if i < Array.length b then b.(i) else 0.0))
+
+let sub a b =
+  let n = max (Array.length a) (Array.length b) in
+  normalise
+    (Array.init n (fun i ->
+         (if i < Array.length a then a.(i) else 0.0) -. if i < Array.length b then b.(i) else 0.0))
+
+let scale s a = normalise (Array.map (fun c -> s *. c) a)
+
+let mul a b =
+  let out = Array.make (Array.length a + Array.length b - 1) 0.0 in
+  Array.iteri (fun i ai -> Array.iteri (fun j bj -> out.(i + j) <- out.(i + j) +. (ai *. bj)) b) a;
+  normalise out
+
+let compose p q =
+  let acc = ref zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := add (mul !acc q) [| p.(i) |]
+  done;
+  !acc
+
+let derivative t =
+  if Array.length t = 1 then zero
+  else normalise (Array.init (Array.length t - 1) (fun i -> float_of_int (i + 1) *. t.(i + 1)))
+
+let is_odd t =
+  let ok = ref true in
+  Array.iteri (fun i c -> if i land 1 = 0 && abs_float c > 1e-12 then ok := false) t;
+  !ok
+
+let max_abs_error t f ~lo ~hi ~samples =
+  let worst = ref 0.0 in
+  for i = 0 to samples - 1 do
+    let v = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (samples - 1)) in
+    worst := max !worst (abs_float (eval t v -. f v))
+  done;
+  !worst
+
+let pp fmt t =
+  Format.fprintf fmt "@[";
+  Array.iteri
+    (fun i c ->
+      if c <> 0.0 || Array.length t = 1 then
+        Format.fprintf fmt "%s%.6g*x^%d" (if i > 0 then " + " else "") c i)
+    t;
+  Format.fprintf fmt "@]"

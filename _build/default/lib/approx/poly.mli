@@ -1,0 +1,39 @@
+(** Dense univariate polynomials over floats (monomial basis).
+
+    Coefficient index = degree; the representation is normalised (no
+    trailing zeros beyond degree 0). Used by the nonlinear-approximation
+    machinery of the SIHE IR and by the bootstrap's modular-reduction
+    approximation. *)
+
+type t
+
+val of_coeffs : float array -> t
+(** [of_coeffs [|c0; c1; ...|]] is [c0 + c1 x + ...]. *)
+
+val coeffs : t -> float array
+val degree : t -> int
+val zero : t
+val one : t
+val x : t
+
+val eval : t -> float -> float
+(** Horner evaluation. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val compose : t -> t -> t
+(** [compose p q] is [p (q x)]. *)
+
+val derivative : t -> t
+
+val is_odd : t -> bool
+(** True when all even-degree coefficients vanish (within 1e-12); odd
+    polynomials preserve sign symmetry, which the sign-composition relies
+    on. *)
+
+val max_abs_error : t -> (float -> float) -> lo:float -> hi:float -> samples:int -> float
+(** Dense-grid sup-norm distance to a reference function. *)
+
+val pp : Format.formatter -> t -> unit

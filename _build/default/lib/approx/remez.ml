@@ -1,0 +1,124 @@
+(* Dense linear solver (partial pivoting); systems here are tiny (degree+2
+   unknowns), so O(n^3) is irrelevant. *)
+let solve a b =
+  let n = Array.length b in
+  let m = Array.map Array.copy a and v = Array.copy b in
+  for col = 0 to n - 1 do
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float m.(r).(col) > abs_float m.(!piv).(col) then piv := r
+    done;
+    if abs_float m.(!piv).(col) < 1e-300 then failwith "Remez.solve: singular system";
+    if !piv <> col then begin
+      let t = m.(col) in
+      m.(col) <- m.(!piv);
+      m.(!piv) <- t;
+      let t = v.(col) in
+      v.(col) <- v.(!piv);
+      v.(!piv) <- t
+    end;
+    for r = col + 1 to n - 1 do
+      let f = m.(r).(col) /. m.(col).(col) in
+      for c = col to n - 1 do
+        m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+      done;
+      v.(r) <- v.(r) -. (f *. v.(col))
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for r = n - 1 downto 0 do
+    let s = ref v.(r) in
+    for c = r + 1 to n - 1 do
+      s := !s -. (m.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !s /. m.(r).(r)
+  done;
+  x
+
+(* One exchange framework parameterised by the basis. [basis j x] is the
+   j-th basis function; [nb] the basis size; reference set has nb+1 points. *)
+let exchange ~iterations ~grid f ~lo ~hi ~basis ~nb =
+  let refs =
+    ref
+      (Array.init (nb + 1) (fun i ->
+           let theta = Float.pi *. float_of_int i /. float_of_int nb in
+           (0.5 *. (lo +. hi)) -. (0.5 *. (hi -. lo) *. cos theta)))
+  in
+  let coeffs = ref (Array.make nb 0.0) in
+  let err_at c x =
+    let p = ref 0.0 in
+    for j = 0 to nb - 1 do
+      p := !p +. (c.(j) *. basis j x)
+    done;
+    !p -. f x
+  in
+  for _ = 1 to iterations do
+    (* Solve for equioscillation on the current reference. *)
+    let a =
+      Array.mapi
+        (fun i x ->
+          Array.init (nb + 1) (fun j ->
+              if j < nb then basis j x else if i land 1 = 0 then 1.0 else -1.0))
+        !refs
+    in
+    let b = Array.map f !refs in
+    let sol = solve a b in
+    coeffs := Array.sub sol 0 nb;
+    (* Multi-point exchange: take the largest-|error| point of each
+       constant-sign run of the error on a dense grid; such points
+       alternate in sign by construction. *)
+    let c = !coeffs in
+    let xs = Array.init grid (fun g -> lo +. ((hi -. lo) *. float_of_int g /. float_of_int (grid - 1))) in
+    let es = Array.map (err_at c) xs in
+    let candidates = ref [] in
+    let run_best = ref 0 and run_sign = ref 0 in
+    let flush () = if !run_sign <> 0 then candidates := xs.(!run_best) :: !candidates in
+    Array.iteri
+      (fun i e ->
+        let s = compare e 0.0 in
+        if s = 0 then ()
+        else if s = !run_sign then begin
+          if abs_float e > abs_float es.(!run_best) then run_best := i
+        end
+        else begin
+          flush ();
+          run_sign := s;
+          run_best := i
+        end)
+      es;
+    flush ();
+    let cands = Array.of_list (List.rev !candidates) in
+    if Array.length cands >= nb + 1 then begin
+      (* Trim to nb+1 consecutive candidates, dropping the weaker end. *)
+      let start = ref 0 and len = ref (Array.length cands) in
+      while !len > nb + 1 do
+        let first = abs_float (err_at c cands.(!start)) in
+        let last = abs_float (err_at c cands.(!start + !len - 1)) in
+        if first < last then incr start;
+        decr len
+      done;
+      refs := Array.sub cands !start (nb + 1)
+    end
+  done;
+  let c = !coeffs in
+  let sup = ref 0.0 in
+  for g = 0 to grid - 1 do
+    let x = lo +. ((hi -. lo) *. float_of_int g /. float_of_int (grid - 1)) in
+    sup := max !sup (abs_float (err_at c x))
+  done;
+  (c, !sup)
+
+let minimax ?(iterations = 25) ?(grid = 4096) f ~degree ~lo ~hi =
+  let nb = degree + 1 in
+  let basis j x = Float.pow x (float_of_int j) in
+  let c, sup = exchange ~iterations ~grid f ~lo ~hi ~basis ~nb in
+  (Poly.of_coeffs c, sup)
+
+let minimax_odd ?(iterations = 25) ?(grid = 4096) f ~half_degree ~lo ~hi =
+  if lo <= 0.0 then invalid_arg "Remez.minimax_odd: interval must be positive";
+  let nb = half_degree + 1 in
+  let basis j x = Float.pow x (float_of_int ((2 * j) + 1)) in
+  let c, sup = exchange ~iterations ~grid f ~lo ~hi ~basis ~nb in
+  let full = Array.make ((2 * half_degree) + 2) 0.0 in
+  Array.iteri (fun j v -> full.((2 * j) + 1) <- v) c;
+  (Poly.of_coeffs full, sup)

@@ -1,0 +1,31 @@
+(** Remez exchange algorithm: true minimax polynomial approximation of a
+    continuous function on an interval.
+
+    The SIHE IR's nonlinear-function approximation (paper Section 4.3,
+    citing Lee et al.'s minimax composition) needs genuinely minimax
+    building blocks; Chebyshev interpolation seeds the reference set and
+    the exchange iterates to the equioscillating optimum. *)
+
+val minimax :
+  ?iterations:int ->
+  ?grid:int ->
+  (float -> float) ->
+  degree:int ->
+  lo:float ->
+  hi:float ->
+  Poly.t * float
+(** [minimax f ~degree ~lo ~hi] returns the best degree-[degree]
+    approximation and its sup-norm error. Defaults: 25 iterations, a
+    4096-point search grid. *)
+
+val minimax_odd :
+  ?iterations:int ->
+  ?grid:int ->
+  (float -> float) ->
+  half_degree:int ->
+  lo:float ->
+  hi:float ->
+  Poly.t * float
+(** Minimax over odd polynomials [sum a_k x^(2k+1)] on [\[lo, hi\]] with
+    [0 < lo < hi], for odd symmetric targets such as sign. The returned
+    polynomial has degree [2*half_degree + 1]. *)

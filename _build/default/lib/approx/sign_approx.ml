@@ -1,0 +1,38 @@
+type t = { stages : Poly.t list; eps : float; err : float }
+
+let stage_depth p =
+  let d = Poly.degree p in
+  int_of_float (ceil (Float.log2 (float_of_int (d + 1))))
+
+let depth t = List.fold_left (fun acc p -> acc + stage_depth p) 0 t.stages
+
+let sign t x = List.fold_left (fun v p -> Poly.eval p v) x t.stages
+let relu t x = 0.5 *. x *. (1.0 +. sign t x)
+
+let make_remez ~eps ~target_err =
+  if eps <= 0.0 || eps >= 1.0 then invalid_arg "Sign_approx.make_remez: eps";
+  (* Each stage is the degree-7 odd minimax approximation of the constant 1
+     on the current uncertainty interval [lo, hi]; its sup error becomes
+     the next interval's half-width. Composition squeezes the interval
+     super-linearly (Lee et al. [36]). *)
+  let rec build stages lo hi =
+    if List.length stages > 32 then failwith "Sign_approx: did not converge";
+    let p, err = Remez.minimax_odd (fun _ -> 1.0) ~half_degree:3 ~lo ~hi in
+    let stages = p :: stages in
+    if err <= target_err then (List.rev stages, err)
+    else build stages (1.0 -. err) (1.0 +. err)
+  in
+  let stages, err = build [] eps 1.0 in
+  { stages; eps; err }
+
+let cache : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let make ~alpha =
+  if alpha < 1 || alpha > 12 then invalid_arg "Sign_approx.make: alpha out of range";
+  match Hashtbl.find_opt cache alpha with
+  | Some t -> t
+  | None ->
+    let eps = Float.pow 2.0 (float_of_int (-alpha)) in
+    let t = make_remez ~eps ~target_err:eps in
+    Hashtbl.add cache alpha t;
+    t

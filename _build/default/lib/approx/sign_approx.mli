@@ -1,0 +1,37 @@
+(** Composite minimax approximation of the sign function (Lee, Lee, No &
+    Kim, "Minimax Approximation of Sign Function by Composite Polynomial
+    for Homomorphic Comparison", IEEE TDSC 2021 — reference [36] of the
+    paper).
+
+    A single minimax polynomial needs enormous degree to resolve sign near
+    zero; composing low-degree odd polynomials reaches the same precision
+    with multiplicative depth logarithmic in 1/epsilon. ANT-ACE uses this
+    to lower ReLU in the SIHE IR: relu(x) = 0.5 * x * (1 + sign(x)). *)
+
+type t = {
+  stages : Poly.t list; (** applied left to right *)
+  eps : float; (** inputs with [eps <= |x| <= 1] are resolved *)
+  err : float; (** |composite(x) - sign(x)| on the resolved region *)
+}
+
+val depth : t -> int
+(** Total multiplicative depth of evaluating all stages (sum over stages of
+    ceil(log2(degree+1)) as evaluated by a power-basis scheme). *)
+
+val sign : t -> float -> float
+(** Evaluate the composition in cleartext. *)
+
+val relu : t -> float -> float
+(** [0.5 * x * (1 + sign x)], the cleartext model of the lowered ReLU. *)
+
+val make : alpha:int -> t
+(** Precision-targeted construction: resolves inputs with
+    [|x| >= 2^-alpha] to within [2^-alpha]. Stage polynomials are the
+    published f/g families (degree 7); the stage count follows the paper's
+    composition rule. Supported alpha: 1..12. *)
+
+val make_remez : eps:float -> target_err:float -> t
+(** Fully computed alternative: build each stage with {!Remez.minimax_odd}
+    on the current uncertainty interval until the target error is reached.
+    Demonstrates the compiler's ability to synthesise approximations
+    rather than rely on tables. *)

@@ -1,0 +1,1 @@
+lib/ckks_ir/ckks_fusion.ml: Ace_ir Array Irfunc List Op

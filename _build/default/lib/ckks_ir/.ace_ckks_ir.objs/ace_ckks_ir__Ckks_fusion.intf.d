@@ -1,0 +1,1 @@
+lib/ckks_ir/ckks_fusion.mli: Ace_ir

@@ -1,0 +1,1 @@
+lib/ckks_ir/keygen_plan.ml: Ace_fhe Ace_ir Array Irfunc List Lower_sihe Op

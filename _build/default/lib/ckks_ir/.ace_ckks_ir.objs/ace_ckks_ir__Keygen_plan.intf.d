@@ -1,0 +1,1 @@
+lib/ckks_ir/keygen_plan.mli: Ace_fhe Ace_ir

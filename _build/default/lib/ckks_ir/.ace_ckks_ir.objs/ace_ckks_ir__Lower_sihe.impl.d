@@ -1,0 +1,1 @@
+lib/ckks_ir/lower_sihe.ml: Ace_fhe Ace_ir Ace_rns Array Float Fun Hashtbl Int64 Irfunc Level List Op Printf Types Verify

@@ -1,0 +1,1 @@
+lib/ckks_ir/lower_sihe.mli: Ace_fhe Ace_ir

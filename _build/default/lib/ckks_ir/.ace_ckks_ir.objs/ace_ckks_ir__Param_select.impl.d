@@ -1,0 +1,1 @@
+lib/ckks_ir/param_select.ml: Ace_fhe Format Printf

@@ -1,0 +1,1 @@
+lib/ckks_ir/param_select.mli: Ace_fhe Format

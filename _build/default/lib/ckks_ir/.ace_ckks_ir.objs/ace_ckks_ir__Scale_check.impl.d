@@ -1,0 +1,1 @@
+lib/ckks_ir/scale_check.ml: Ace_fhe Ace_ir Ace_rns Array Float Irfunc Level Op Printf Types

@@ -1,0 +1,1 @@
+lib/ckks_ir/scale_check.mli: Ace_fhe Ace_ir

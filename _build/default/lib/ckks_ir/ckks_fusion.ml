@@ -1,0 +1,69 @@
+open Ace_ir
+
+let rebuild f ~emit =
+  let params = Array.to_list (Irfunc.params f) in
+  let dst =
+    Irfunc.map_rebuild f ~name:(Irfunc.name f) ~level:(Irfunc.level f) ~params ~emit
+  in
+  dst
+
+let copy_annot (src : Irfunc.node) (dst_f : Irfunc.t) id =
+  let m = Irfunc.node dst_f id in
+  (* Only overwrite when the rewrite did not set fresher values. *)
+  if m.Irfunc.node_level < 0 then begin
+    m.Irfunc.scale <- src.Irfunc.scale;
+    m.Irfunc.node_level <- src.Irfunc.node_level
+  end;
+  if m.Irfunc.origin = "" then m.Irfunc.origin <- src.Irfunc.origin
+
+let fuse_rotations f =
+  rebuild f ~emit:(fun dst lookup n ->
+      match n.Irfunc.op with
+      | Op.Param i ->
+        let id = Irfunc.param dst i in
+        copy_annot n dst id;
+        id
+      | Op.C_rotate k ->
+        (* Compose with the (already-rewritten) producer when it is itself
+           a rotation; the intermediate may become dead and is DCE-swept. *)
+        let prev = Irfunc.node dst (lookup n.Irfunc.args.(0)) in
+        let id =
+          match prev.Irfunc.op with
+          | Op.C_rotate j ->
+            let k' = k + j in
+            if k' = 0 then prev.Irfunc.args.(0)
+            else Irfunc.add dst (Op.C_rotate k') [| prev.Irfunc.args.(0) |] n.Irfunc.ty
+          | _ -> Irfunc.add dst (Op.C_rotate k) [| prev.Irfunc.id |] n.Irfunc.ty
+        in
+        copy_annot n dst id;
+        id
+      | _ ->
+        let id = Irfunc.add dst n.Irfunc.op (Array.map lookup n.Irfunc.args) n.Irfunc.ty in
+        copy_annot n dst id;
+        id)
+
+let dce f =
+  let live = Array.make (Irfunc.num_nodes f) false in
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      Array.iter mark (Irfunc.node f i).Irfunc.args
+    end
+  in
+  List.iter mark (Irfunc.returns f);
+  Array.iteri (fun i _ -> live.(i) <- true) (Irfunc.params f);
+  rebuild f ~emit:(fun dst lookup n ->
+      match n.Irfunc.op with
+      | Op.Param i ->
+        let id = Irfunc.param dst i in
+        copy_annot n dst id;
+        id
+      | _ ->
+        if not live.(n.Irfunc.id) then -1
+        else begin
+          let id = Irfunc.add dst n.Irfunc.op (Array.map lookup n.Irfunc.args) n.Irfunc.ty in
+          copy_annot n dst id;
+          id
+        end)
+
+let run f = dce (fuse_rotations f)

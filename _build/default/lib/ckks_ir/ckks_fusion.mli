@@ -1,0 +1,15 @@
+(** CKKS-level operator fusion and cleanup (paper Table 2, "CKKS Operator
+    Fusion").
+
+    - consecutive rotations compose: [rotate(rotate(x,a),b) = rotate(x,a+b)]
+      (one key-switch saved, and one fewer rotation key to generate);
+    - rotation by zero and modulus-switch of unused headroom collapse;
+    - dead nodes introduced by other rewrites are eliminated.
+
+    All rewrites preserve the scale/level annotations, so they run after
+    {!Lower_sihe} and before key planning. *)
+
+val fuse_rotations : Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
+val dce : Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
+val run : Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
+(** The full fusion pipeline. *)

@@ -1,0 +1,31 @@
+(** Rotation-key planning (paper Section 4.4 and Figure 7).
+
+    ANT-ACE identifies the exact rotation steps a program performs during
+    the SIHE->CKKS lowering and generates only those keys. The expert
+    baseline follows common library practice instead: keys for every
+    power-of-two step in both directions, with arbitrary rotations
+    decomposed into power-of-two hops at runtime (paper Section 2.2). *)
+
+type plan = {
+  rotation_steps : int list; (** steps to generate keys for *)
+  decompose : int -> int list;
+      (** how the evaluator realises one logical rotation as key-available
+          hops; identity for the pruned plan *)
+}
+
+val pruned : Ace_ir.Irfunc.t -> plan
+(** ACE: exactly the distinct steps used. *)
+
+val power_of_two : slots:int -> plan
+(** Expert: all +-2^k steps; [decompose] splits arbitrary steps greedily
+    into binary hops. *)
+
+val key_count : plan -> int
+
+val rewrite_rotations : plan -> Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
+(** Replace every [CKKS.rotate k] with the hop chain [decompose k] (one
+    key-switch per hop). Identity for the pruned plan. *)
+
+val evaluation_key_bytes :
+  Ace_fhe.Context.t -> plan -> int
+(** Relin key plus rotation keys, in bytes (the Figure 7 quantity). *)

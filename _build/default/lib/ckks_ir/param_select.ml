@@ -1,0 +1,64 @@
+module Security = Ace_fhe.Security
+module Context = Ace_fhe.Context
+
+type request = {
+  scale_bits : int;
+  q0_bits : int;
+  special_bits : int;
+  depth : int;
+  simd_slots : int;
+  security : Security.level;
+}
+
+type selection = {
+  log2_n : int;
+  log2_q : int;
+  sel_scale_bits : int;
+  sel_q0_bits : int;
+  sel_depth : int;
+  driven_by_security : bool;
+}
+
+exception No_parameters of string
+
+let log2i n =
+  let rec go acc k = if k <= 1 then acc else go (acc + 1) (k lsr 1) in
+  go 0 n
+
+let select r =
+  let log2_q = r.q0_bits + (r.depth * r.scale_bits) + r.special_bits in
+  let n1 =
+    match Security.min_log2_n r.security ~log2_q:(float_of_int log2_q) with
+    | Some n -> n
+    | None ->
+      raise
+        (No_parameters
+           (Printf.sprintf "no ring degree supports log2 Q = %d at %s" log2_q
+              (Security.to_string r.security)))
+  in
+  let n2 = log2i (2 * r.simd_slots) in
+  {
+    log2_n = max n1 n2;
+    log2_q;
+    sel_scale_bits = r.scale_bits;
+    sel_q0_bits = r.q0_bits;
+    sel_depth = r.depth;
+    driven_by_security = n1 >= n2;
+  }
+
+let execution_context ?(depth = 10) ~slots () =
+  Context.make
+    {
+      Context.log2_n = log2i (2 * slots);
+      depth;
+      scale_bits = 26;
+      q0_bits = 29;
+      special_bits = 30;
+      security = Security.Toy;
+      error_sigma = 3.2;
+    }
+
+let pp_selection fmt s =
+  Format.fprintf fmt "log2(N)=%d log2(Q)=%d log2(q0)=%d log2(Delta)=%d depth=%d (%s-bound)"
+    s.log2_n s.log2_q s.sel_q0_bits s.sel_scale_bits s.sel_depth
+    (if s.driven_by_security then "security" else "SIMD")

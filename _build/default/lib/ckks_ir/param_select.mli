@@ -1,0 +1,45 @@
+(** Automatic security-parameter selection (paper Section 4.4, RQ3 /
+    Table 10).
+
+    Given the scaling factor Delta, the output precision q0, the chain
+    depth the program needs between bootstraps and the SIMD width the
+    VECTOR layout demands, choose:
+
+    - [Q]: [q0 + depth * scale_bits + special_bits] bits of modulus;
+    - [N1]: the smallest ring degree whose security cap admits [Q] at the
+      requested level;
+    - [N2]: twice the slot count the layout uses;
+    - [N = max(N1, N2)].
+
+    The benchmark harness additionally builds a scaled-down execution
+    context (Toy security) so encrypted runs fit the time budget; the
+    {e selection} reported in Table 10 is always the secure one. *)
+
+type request = {
+  scale_bits : int;
+  q0_bits : int;
+  special_bits : int;
+  depth : int; (** rescale levels needed between bootstraps *)
+  simd_slots : int; (** slot vector length the layout packs into *)
+  security : Ace_fhe.Security.level;
+}
+
+type selection = {
+  log2_n : int;
+  log2_q : int; (** total modulus bits including the special prime *)
+  sel_scale_bits : int;
+  sel_q0_bits : int;
+  sel_depth : int;
+  driven_by_security : bool; (** true when N1 > N2 decided N *)
+}
+
+exception No_parameters of string
+
+val select : request -> selection
+
+val execution_context :
+  ?depth:int -> slots:int -> unit -> Ace_fhe.Context.t
+(** The scaled-down context actually used to run encrypted inference in
+    the benches (N = 2*slots, Toy security); see DESIGN.md. *)
+
+val pp_selection : Format.formatter -> selection -> unit

@@ -1,0 +1,80 @@
+module Context = Ace_fhe.Context
+module Crt = Ace_rns.Crt
+open Ace_ir
+
+exception Bad_scales of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad_scales s)) fmt
+
+let close a b = abs_float (a -. b) /. (abs_float b +. 1e-300) < 1e-6
+
+let check ctx f =
+  if Irfunc.level f <> Level.Ckks then invalid_arg "Scale_check.check: not a CKKS function";
+  let crt = Context.crt ctx in
+  let delta = Context.scale ctx in
+  let chain = Context.max_level ctx in
+  Irfunc.iter f (fun n ->
+      let a i = Irfunc.node f n.Irfunc.args.(i) in
+      let is_cipher (m : Irfunc.node) = Types.is_ciphertext m.Irfunc.ty in
+      let expect_scale, expect_level =
+        match n.Irfunc.op with
+        | Op.Param _ -> (Some delta, Some chain)
+        | Op.C_encode -> (None, None) (* free choice, recorded for the VM *)
+        | Op.C_add | Op.C_sub ->
+          let x = a 0 and y = a 1 in
+          if is_cipher y then begin
+            if x.Irfunc.node_level <> y.Irfunc.node_level then
+              fail "node %%%d: add level mismatch %d vs %d" n.Irfunc.id x.Irfunc.node_level
+                y.Irfunc.node_level;
+            if not (close x.Irfunc.scale y.Irfunc.scale) then
+              fail "node %%%d: add scale mismatch 2^%.3f vs 2^%.3f" n.Irfunc.id
+                (Float.log2 x.Irfunc.scale) (Float.log2 y.Irfunc.scale)
+          end
+          else begin
+            if x.Irfunc.node_level <> y.Irfunc.node_level then
+              fail "node %%%d: add-plain level mismatch" n.Irfunc.id;
+            if not (close x.Irfunc.scale y.Irfunc.scale) then
+              fail "node %%%d: add-plain scale mismatch" n.Irfunc.id
+          end;
+          (Some x.Irfunc.scale, Some x.Irfunc.node_level)
+        | Op.C_mul ->
+          let x = a 0 and y = a 1 in
+          if x.Irfunc.node_level <> y.Irfunc.node_level then
+            fail "node %%%d: mul level mismatch %d vs %d" n.Irfunc.id x.Irfunc.node_level
+              y.Irfunc.node_level;
+          if x.Irfunc.node_level < 1 then fail "node %%%d: mul at level 0" n.Irfunc.id;
+          (Some (x.Irfunc.scale *. y.Irfunc.scale), Some x.Irfunc.node_level)
+        | Op.C_relin | Op.C_neg | Op.C_rotate _ ->
+          (Some (a 0).Irfunc.scale, Some (a 0).Irfunc.node_level)
+        | Op.C_rescale ->
+          let x = a 0 in
+          if x.Irfunc.node_level < 1 then fail "node %%%d: rescale at level 0" n.Irfunc.id;
+          let q = float_of_int (Crt.modulus crt x.Irfunc.node_level) in
+          (Some (x.Irfunc.scale /. q), Some (x.Irfunc.node_level - 1))
+        | Op.C_mod_switch ->
+          let x = a 0 in
+          if x.Irfunc.node_level < 1 then fail "node %%%d: modswitch at level 0" n.Irfunc.id;
+          (Some x.Irfunc.scale, Some (x.Irfunc.node_level - 1))
+        | Op.C_upscale r -> (Some ((a 0).Irfunc.scale *. r), Some (a 0).Irfunc.node_level)
+        | Op.C_downscale r -> (Some ((a 0).Irfunc.scale /. r), Some (a 0).Irfunc.node_level)
+        | Op.C_bootstrap target ->
+          if target < 1 || target > chain then fail "node %%%d: bootstrap target %d" n.Irfunc.id target;
+          (Some delta, Some target)
+        | _ -> (None, None)
+      in
+      (match expect_scale with
+      | Some s when not (close s n.Irfunc.scale) ->
+        fail "node %%%d (%s): scale annotated 2^%.3f, derived 2^%.3f" n.Irfunc.id
+          (Op.name n.Irfunc.op) (Float.log2 n.Irfunc.scale) (Float.log2 s)
+      | _ -> ());
+      match expect_level with
+      | Some l when l <> n.Irfunc.node_level ->
+        fail "node %%%d (%s): level annotated %d, derived %d" n.Irfunc.id (Op.name n.Irfunc.op)
+          n.Irfunc.node_level l
+      | _ -> ())
+
+let max_encode_bits f =
+  Irfunc.fold f ~init:0.0 ~f:(fun acc n ->
+      match n.Irfunc.op with
+      | Op.C_encode -> max acc (Float.log2 n.Irfunc.scale)
+      | _ -> acc)

@@ -1,0 +1,17 @@
+(** Static validator of the CKKS IR's scale and level annotations.
+
+    Re-derives every node's (scale, level) from its operands using the
+    CKKS algebra — additions need matching scales and levels, a
+    multiplication's scale is the product, rescale divides by the dropped
+    prime, mod-switch keeps the scale, bootstrap resets to Delta — and
+    compares against the annotations the lowering recorded. A pass that
+    breaks the discipline is caught here rather than as garbage decrypts. *)
+
+exception Bad_scales of string
+
+val check : Ace_fhe.Context.t -> Ace_ir.Irfunc.t -> unit
+(** @raise Bad_scales naming the first offending node. *)
+
+val max_encode_bits : Ace_ir.Irfunc.t -> float
+(** Largest log2 encode scale in the function; parameter selection uses it
+    to confirm coefficients stay within the word-size budget. *)

@@ -1,0 +1,1 @@
+lib/codegen/c_backend.ml: Ace_ir Ace_poly_ir Array Buffer Irfunc List Printf String

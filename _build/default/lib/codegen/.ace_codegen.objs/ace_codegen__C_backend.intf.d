@@ -1,0 +1,1 @@
+lib/codegen/c_backend.mli: Ace_ir Ace_poly_ir

@@ -1,0 +1,1 @@
+lib/codegen/vm.ml: Ace_ckks_ir Ace_fhe Ace_ir Array Irfunc Level List Op Printf String Unix

@@ -1,0 +1,1 @@
+lib/codegen/vm.mli: Ace_fhe Ace_ir

@@ -1,0 +1,129 @@
+module Fhe = Ace_fhe
+module Ciphertext = Fhe.Ciphertext
+module Eval = Fhe.Eval
+module Encoder = Fhe.Encoder
+module Context = Fhe.Context
+module Cost = Fhe.Cost
+open Ace_ir
+
+type bootstrap_impl = target_level:int -> Ciphertext.ct -> Ciphertext.ct
+
+type t = {
+  keys : Fhe.Keys.t;
+  bootstrap : bootstrap_impl;
+  func : Irfunc.t;
+}
+
+let phase_of_origin origin =
+  match String.index_opt origin ':' with
+  | Some i -> (
+    match String.sub origin 0 i with
+    | "conv" -> "conv"
+    | "relu" -> "relu"
+    | "gemm" -> "gemm"
+    | "pool" -> "pool"
+    | _ -> "other")
+  | None -> "other"
+
+let prepare ~keys ~bootstrap func =
+  if Irfunc.level func <> Level.Ckks then invalid_arg "Vm.prepare: not a CKKS function";
+  Ace_ckks_ir.Scale_check.check keys.Fhe.Keys.context func;
+  { keys; bootstrap; func }
+
+type value = V_ct of Ciphertext.ct | V_pt of Ciphertext.pt | V_clear of float array | V_none
+
+let run t inputs =
+  let ctx = t.keys.Fhe.Keys.context in
+  let f = t.func in
+  let inputs = Array.of_list inputs in
+  let values = Array.make (Irfunc.num_nodes f) V_none in
+  (* Release each value after its last use: compiled functions hold tens of
+     thousands of ciphertexts and plaintexts, far more than ever live at
+     once (the generated C frees them the same way). *)
+  let last_use = Array.make (Irfunc.num_nodes f) max_int in
+  Irfunc.iter f (fun n ->
+      Array.iter (fun a -> last_use.(a) <- n.Irfunc.id) n.Irfunc.args);
+  List.iter (fun r -> last_use.(r) <- max_int) (Irfunc.returns f);
+  let ct i (n : Irfunc.node) =
+    match values.(n.Irfunc.args.(i)) with
+    | V_ct c -> c
+    | _ -> invalid_arg (Printf.sprintf "Vm.run: node %%%d arg %d is not a ciphertext" n.Irfunc.id i)
+  in
+  let clear i (n : Irfunc.node) =
+    match values.(n.Irfunc.args.(i)) with
+    | V_clear v -> v
+    | _ -> invalid_arg (Printf.sprintf "Vm.run: node %%%d arg %d is not cleartext" n.Irfunc.id i)
+  in
+  let roll v k =
+    let len = Array.length v in
+    let k = ((k mod len) + len) mod len in
+    Array.init len (fun i -> v.((i + k) mod len))
+  in
+  Irfunc.iter f (fun n ->
+      let phase =
+        match n.Irfunc.op with
+        | Op.C_bootstrap _ -> "bootstrap"
+        | _ -> phase_of_origin n.Irfunc.origin
+      in
+      let t0 = Unix.gettimeofday () in
+      let result =
+        match n.Irfunc.op with
+        | Op.Param i ->
+          if i >= Array.length inputs then invalid_arg "Vm.run: missing encrypted input";
+          V_ct inputs.(i)
+        | Op.Weight name -> V_clear (Irfunc.const f name)
+        | Op.Const_scalar v -> V_clear [| v |]
+        (* cleartext VECTOR ops surviving at CKKS level *)
+        | Op.V_add -> V_clear (Array.map2 ( +. ) (clear 0 n) (clear 1 n))
+        | Op.V_sub -> V_clear (Array.map2 ( -. ) (clear 0 n) (clear 1 n))
+        | Op.V_mul -> V_clear (Array.map2 ( *. ) (clear 0 n) (clear 1 n))
+        | Op.V_roll k -> V_clear (roll (clear 0 n) k)
+        | Op.V_slice { Op.start; slice_len; stride } ->
+          let v = clear 0 n in
+          V_clear (Array.init slice_len (fun i -> v.(start + (i * stride))))
+        | Op.V_broadcast _ | Op.V_pad _ | Op.V_reshape _ | Op.V_tile _ | Op.V_nonlinear _ ->
+          invalid_arg ("Vm.run: unsupported clear op " ^ Op.name n.Irfunc.op)
+        | Op.C_encode ->
+          V_pt
+            (Encoder.encode ctx ~level:n.Irfunc.node_level ~scale:n.Irfunc.scale (clear 0 n))
+        | Op.C_decode -> invalid_arg "Vm.run: CKKS.decode belongs to the decryptor"
+        | Op.C_add -> (
+          match values.(n.Irfunc.args.(1)) with
+          | V_pt p -> V_ct (Eval.add_plain (ct 0 n) p)
+          | _ -> V_ct (Eval.add (ct 0 n) (ct 1 n)))
+        | Op.C_sub -> (
+          match values.(n.Irfunc.args.(1)) with
+          | V_pt p -> V_ct (Eval.sub_plain (ct 0 n) p)
+          | _ -> V_ct (Eval.sub (ct 0 n) (ct 1 n)))
+        | Op.C_mul -> (
+          match values.(n.Irfunc.args.(1)) with
+          | V_pt p -> V_ct (Eval.mul_plain (ct 0 n) p)
+          | _ -> V_ct (Eval.mul_raw (ct 0 n) (ct 1 n)))
+        | Op.C_relin -> V_ct (Eval.relinearize t.keys (ct 0 n))
+        | Op.C_neg -> V_ct (Eval.neg (ct 0 n))
+        | Op.C_rotate k -> V_ct (Eval.rotate t.keys (ct 0 n) k)
+        | Op.C_rescale -> V_ct (Eval.rescale (ct 0 n))
+        | Op.C_mod_switch -> V_ct (Eval.mod_switch (ct 0 n))
+        | Op.C_upscale r ->
+          let c = ct 0 n in
+          V_ct (Eval.upscale ctx c ~target_scale:(Ciphertext.scale_of c *. r))
+        | Op.C_downscale r ->
+          (* Scale re-interpretation: free, bounded error (DESIGN.md). *)
+          let c = ct 0 n in
+          V_ct { c with Ciphertext.ct_scale = c.Ciphertext.ct_scale /. r }
+        | Op.C_bootstrap target ->
+          Cost.count Cost.Bootstrap;
+          V_ct (t.bootstrap ~target_level:target (ct 0 n))
+        | op -> invalid_arg ("Vm.run: unexpected op " ^ Op.name op)
+      in
+      Cost.add_phase_time phase (Unix.gettimeofday () -. t0);
+      values.(n.Irfunc.id) <- result;
+      Array.iter
+        (fun a -> if last_use.(a) = n.Irfunc.id then values.(a) <- V_none)
+        n.Irfunc.args);
+  List.map
+    (fun r ->
+      match values.(r) with
+      | V_ct c -> c
+      | _ -> invalid_arg "Vm.run: non-ciphertext return")
+    (Irfunc.returns f)

@@ -1,0 +1,28 @@
+(** Execution backend: run a CKKS-IR function against the ACEfhe runtime.
+
+    This plays the role of the paper's generated C program: every CKKS-IR
+    node maps to one runtime library call (the generated C calls the same
+    ACEfhe entry points; see {!C_backend} for the emitted source). The VM
+    attributes wall-clock time to each node's provenance so the harness
+    can reproduce Figure 6's Conv / Bootstrap / ReLU breakdown.
+
+    Bootstrapping executes through {!Ace_fhe.Bootstrap}; the strategy is
+    chosen by the caller (see DESIGN.md on the Exact/Refresh substitution). *)
+
+type bootstrap_impl =
+  target_level:int -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
+
+type t
+
+val prepare :
+  keys:Ace_fhe.Keys.t -> bootstrap:bootstrap_impl -> Ace_ir.Irfunc.t -> t
+(** Validates annotations ({!Ace_ckks_ir.Scale_check}) and pre-resolves
+    constants. Plaintext masks are encoded on demand during execution
+    (they depend on per-node scale/level) and cached per node. *)
+
+val run : t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
+(** Execute on encrypted inputs (one per function parameter). *)
+
+val phase_of_origin : string -> string
+(** Bucket a node origin into the Figure 6 categories: "conv", "relu",
+    "bootstrap", "gemm", "pool", "other". *)

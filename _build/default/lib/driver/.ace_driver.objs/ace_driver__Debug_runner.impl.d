@@ -1,0 +1,1 @@
+lib/driver/debug_runner.ml: Ace_nn Ace_vector Array Format List Pipeline

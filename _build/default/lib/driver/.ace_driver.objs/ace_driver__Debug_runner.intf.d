@@ -1,0 +1,1 @@
+lib/driver/debug_runner.mli: Ace_fhe Format Pipeline

@@ -1,0 +1,1 @@
+lib/driver/pipeline.ml: Ace_ckks_ir Ace_codegen Ace_fhe Ace_ir Ace_nn Ace_poly_ir Ace_sihe Ace_util Ace_vector Array Irfunc Level List Types Unix Verify

@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Ace_ckks_ir Ace_fhe Ace_ir Ace_poly_ir Ace_vector

@@ -1,0 +1,1 @@
+lib/driver/stats.ml: Ace_ckks_ir Ace_codegen Ace_ir Ace_poly_ir Array Format Irfunc Level List Op Pipeline Printer

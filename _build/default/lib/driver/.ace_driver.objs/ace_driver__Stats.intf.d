@@ -1,0 +1,1 @@
+lib/driver/stats.mli: Ace_ir Format Pipeline

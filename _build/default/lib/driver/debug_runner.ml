@@ -1,0 +1,35 @@
+module Layout = Ace_vector.Layout
+
+type report = {
+  nn_output : float array;
+  vector_output : float array;
+  encrypted_output : float array;
+  layout_error : float;
+  crypto_error : float;
+}
+
+let max_err a b =
+  let e = ref 0.0 in
+  Array.iteri (fun i x -> e := max !e (abs_float (x -. b.(i)))) a;
+  !e
+
+let run (c : Pipeline.compiled) keys ~seed input =
+  let nn_output = Ace_nn.Nn_interp.run1 c.Pipeline.nn input in
+  let packed = Layout.vector_of_tensor c.Pipeline.input_layout input in
+  let out_layout = List.hd c.Pipeline.output_layouts in
+  let vector_output =
+    Layout.tensor_of_vector out_layout (Ace_vector.Vec_interp.run1 c.Pipeline.vec packed)
+  in
+  let encrypted_output = Pipeline.infer_encrypted c keys ~seed input in
+  {
+    nn_output;
+    vector_output;
+    encrypted_output;
+    layout_error = max_err nn_output vector_output;
+    crypto_error = max_err vector_output encrypted_output;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>instrumented run:@,  NN vs VECTOR (layout):      %.3e@,  VECTOR vs encrypted (noise): %.3e@]"
+    r.layout_error r.crypto_error

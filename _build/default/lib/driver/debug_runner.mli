@@ -1,0 +1,21 @@
+(** Instrumented execution (paper Section 5: "instrumentation capabilities
+    at both the NN and VECTOR IR levels, enabling support for machine
+    learning inference in both unencrypted and encrypted modes").
+
+    Runs the same input through the NN reference interpreter, the VECTOR
+    cleartext interpreter and the encrypted VM, then reports where the
+    three executions diverge — separating layout/mask bugs (NN vs VECTOR)
+    from approximation/noise effects (VECTOR vs encrypted). *)
+
+type report = {
+  nn_output : float array;
+  vector_output : float array; (** unpacked to the NN tensor *)
+  encrypted_output : float array;
+  layout_error : float; (** max |NN - VECTOR|: lowering correctness *)
+  crypto_error : float; (** max |VECTOR - encrypted|: approximation + noise *)
+}
+
+val run :
+  Pipeline.compiled -> Ace_fhe.Keys.t -> seed:int -> float array -> report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,229 @@
+module Layout = Ace_vector.Layout
+module Lower_nn = Ace_vector.Lower_nn
+module Lower_vec = Ace_sihe.Lower_vec
+module Lower_sihe = Ace_ckks_ir.Lower_sihe
+module Ckks_fusion = Ace_ckks_ir.Ckks_fusion
+module Keygen_plan = Ace_ckks_ir.Keygen_plan
+module Param_select = Ace_ckks_ir.Param_select
+module Poly_ir = Ace_poly_ir.Poly_ir
+module Fhe = Ace_fhe
+open Ace_ir
+
+type strategy = {
+  strategy_name : string;
+  conv_regroup : bool;
+  gemm_bsgs : bool;
+  lazy_rescale : bool;
+  min_level_bootstrap : bool;
+  pruned_keys : bool;
+  relu_alpha : int;
+  chain_depth : int;
+}
+
+let ace =
+  {
+    strategy_name = "ACE";
+    conv_regroup = true;
+    gemm_bsgs = true;
+    lazy_rescale = true;
+    min_level_bootstrap = true;
+    pruned_keys = true;
+    relu_alpha = 5;
+    chain_depth = 12;
+  }
+
+let expert =
+  {
+    strategy_name = "Expert";
+    conv_regroup = false;
+    gemm_bsgs = false;
+    lazy_rescale = false;
+    min_level_bootstrap = false;
+    (* Lee et al. generate exactly the (large) rotation set their layout
+       needs; pruning is not the differentiator, the set's size is. *)
+    pruned_keys = true;
+    relu_alpha = 5;
+    chain_depth = 12;
+  }
+
+(* Library-default keying: power-of-two keys only, arbitrary rotations
+   decomposed into binary hops (paper Section 2.2). Used by the ablation
+   bench; far slower than either ACE or the expert baseline. *)
+let library_default =
+  { expert with strategy_name = "Library-pow2-keys"; pruned_keys = false }
+
+type compiled = {
+  strategy : strategy;
+  context : Fhe.Context.t;
+  nn : Irfunc.t;
+  vec : Irfunc.t;
+  sihe : Irfunc.t;
+  ckks : Irfunc.t;
+  poly : Poly_ir.func;
+  c_source : string;
+  input_layout : Layout.t;
+  output_layouts : Layout.t list;
+  key_plan : Keygen_plan.plan;
+  level_seconds : (Level.t * float) list;
+  other_seconds : float;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let slots_needed nn =
+  (* Largest channel count along the network times the input block size. *)
+  let input_block =
+    match (Irfunc.params nn).(0) with
+    | _, Types.Tensor [| _; h; w |] -> h * w
+    | _, Types.Tensor [| c |] | _, Types.Tensor [| c; 1 |] -> next_pow2 c
+    | _ -> invalid_arg "slots_needed: unsupported input"
+  in
+  (* Feature maps keep the input's block spacing; 1-D heads are compacted
+     onto a tight stride by the GEMM lowering, so they only demand their
+     own power-of-two length. *)
+  let chw_channels =
+    Irfunc.fold nn ~init:1 ~f:(fun acc n ->
+        match n.Irfunc.ty with
+        | Types.Tensor [| c; _; _ |] -> max acc c
+        | _ -> acc)
+  in
+  let flat_len =
+    Irfunc.fold nn ~init:1 ~f:(fun acc n ->
+        match n.Irfunc.ty with
+        | Types.Tensor [| c |] -> max acc c
+        | _ -> acc)
+  in
+  match (Irfunc.params nn).(0) with
+  | _, Types.Tensor [| _; _; _ |] ->
+    max (next_pow2 chw_channels * input_block) (next_pow2 flat_len)
+  | _ -> max input_block (next_pow2 flat_len)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let compile ?context strategy nn_input =
+  let slots =
+    match context with
+    | Some c -> Fhe.Context.slots c
+    | None -> slots_needed nn_input
+  in
+  let context =
+    match context with
+    | Some c -> c
+    | None -> Param_select.execution_context ~depth:strategy.chain_depth ~slots ()
+  in
+  if Fhe.Context.slots context < slots then
+    invalid_arg "Pipeline.compile: context has too few slots for the model layout";
+  let slots = Fhe.Context.slots context in
+  (* NN level: import-side cleanups. *)
+  let nn, t_nn =
+    timed (fun () ->
+        let f = Ace_nn.Fusion.collapse_shape_ops nn_input in
+        let f = Ace_nn.Fusion.dce f in
+        Verify.verify f;
+        f)
+  in
+  (* VECTOR level. *)
+  let (vec, out_layouts, in_layout), t_vec =
+    timed (fun () ->
+        let cfg =
+          { Lower_nn.slots; conv_regroup = strategy.conv_regroup; gemm_bsgs = strategy.gemm_bsgs }
+        in
+        let vf, outs = Lower_nn.lower cfg nn in
+        (vf, outs, Lower_nn.input_layout cfg nn))
+  in
+  (* SIHE level. *)
+  let sihe, t_sihe =
+    timed (fun () -> Lower_vec.lower { Lower_vec.relu_alpha = strategy.relu_alpha } vec)
+  in
+  (* CKKS level. *)
+  let ckks, t_ckks =
+    timed (fun () ->
+        let f =
+          Lower_sihe.lower
+            {
+              Lower_sihe.context;
+              lazy_rescale = strategy.lazy_rescale;
+              min_level_bootstrap = strategy.min_level_bootstrap;
+            }
+            sihe
+        in
+        let f = Ckks_fusion.run f in
+        Ace_ckks_ir.Scale_check.check context f;
+        f)
+  in
+  let key_plan =
+    if strategy.pruned_keys then Keygen_plan.pruned ckks
+    else Keygen_plan.power_of_two ~slots
+  in
+  let ckks, t_keys =
+    timed (fun () ->
+        if strategy.pruned_keys then ckks
+        else begin
+          let f = Keygen_plan.rewrite_rotations key_plan ckks in
+          Ace_ckks_ir.Scale_check.check context f;
+          f
+        end)
+  in
+  (* POLY level. *)
+  let (poly, c_source), t_poly =
+    timed (fun () ->
+        let p = Ace_poly_ir.Lower_ckks.lower ckks in
+        let p = Ace_poly_ir.Loop_fusion.fuse p in
+        let p = Ace_poly_ir.Op_fusion.fuse p in
+        (p, Ace_codegen.C_backend.emit ckks p))
+  in
+  (* "Others": weight externalisation (the paper writes them to disk). *)
+  let _, t_other = timed (fun () -> Ace_codegen.C_backend.emit_weights_file ckks) in
+  {
+    strategy;
+    context;
+    nn;
+    vec;
+    sihe;
+    ckks;
+    poly;
+    c_source;
+    input_layout = in_layout;
+    output_layouts = out_layouts;
+    key_plan;
+    level_seconds =
+      [
+        (Level.Nn, t_nn);
+        (Level.Vector, t_vec);
+        (Level.Sihe, t_sihe);
+        (Level.Ckks, t_ckks +. t_keys);
+        (Level.Poly, t_poly);
+      ];
+    other_seconds = t_other;
+  }
+
+let make_keys c ~seed =
+  let rng = Ace_util.Rng.create seed in
+  Fhe.Keys.generate c.context ~rng ~rotations:c.key_plan.Keygen_plan.rotation_steps
+
+let encrypt_input c keys ~seed image =
+  let packed = Layout.vector_of_tensor c.input_layout image in
+  let pt =
+    Fhe.Encoder.encode c.context ~level:(Fhe.Context.max_level c.context)
+      ~scale:(Fhe.Context.scale c.context) packed
+  in
+  Fhe.Eval.encrypt keys ~rng:(Ace_util.Rng.create seed) pt
+
+let run_encrypted c keys ~seed ct =
+  let bootstrap ~target_level x = Fhe.Bootstrap.refresh_impl keys ~seed ~target_level x in
+  let vm = Ace_codegen.Vm.prepare ~keys ~bootstrap c.ckks in
+  match Ace_codegen.Vm.run vm [ ct ] with
+  | [ out ] -> out
+  | _ -> invalid_arg "Pipeline.run_encrypted: expected a single output"
+
+let decrypt_output c keys ct =
+  let decoded = Fhe.Encoder.decode c.context (Fhe.Eval.decrypt keys ct) in
+  Layout.tensor_of_vector (List.hd c.output_layouts) decoded
+
+let infer_encrypted c keys ~seed image =
+  decrypt_output c keys (run_encrypted c keys ~seed (encrypt_input c keys ~seed image))

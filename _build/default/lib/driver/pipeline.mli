@@ -1,0 +1,80 @@
+(** End-to-end compilation pipeline (paper Figure 3) and encrypted
+    execution helpers.
+
+    [compile] runs NN import cleanups, NN->VECTOR, VECTOR->SIHE,
+    SIHE->CKKS, CKKS fusion, rotation-key planning and POLY lowering,
+    timing each level for the Figure 5 breakdown. Two built-in strategies:
+
+    - {!ace}: every optimization on (conv regrouping, BSGS GEMM, lazy
+      rescaling, minimal-level bootstrapping, pruned rotation keys);
+    - {!expert}: the hand-written-practice baseline the paper compares
+      against (direct conv form, direct diagonals, eager rescaling,
+      full-level bootstrapping, power-of-two rotation keys with hop
+      decomposition).
+
+    Both run on the same runtime, so Figures 6-7 measure exactly the
+    compiler's decisions. *)
+
+type strategy = {
+  strategy_name : string;
+  conv_regroup : bool;
+  gemm_bsgs : bool;
+  lazy_rescale : bool;
+  min_level_bootstrap : bool;
+  pruned_keys : bool;
+  relu_alpha : int;
+  chain_depth : int;
+      (** rescale levels of the execution context; both strategies run the
+          same tower, but the expert baseline always bootstraps back to
+          its top while ACE proves a minimal per-segment target. *)
+}
+
+val ace : strategy
+val expert : strategy
+
+val library_default : strategy
+(** The expert baseline but with power-of-two rotation keys and binary-hop
+    rotation decomposition (common FHE-library default, paper Section 2.2);
+    exercised by the ablation bench. *)
+
+type compiled = {
+  strategy : strategy;
+  context : Ace_fhe.Context.t;
+  nn : Ace_ir.Irfunc.t;
+  vec : Ace_ir.Irfunc.t;
+  sihe : Ace_ir.Irfunc.t;
+  ckks : Ace_ir.Irfunc.t;
+  poly : Ace_poly_ir.Poly_ir.func;
+  c_source : string;
+  input_layout : Ace_vector.Layout.t;
+  output_layouts : Ace_vector.Layout.t list;
+  key_plan : Ace_ckks_ir.Keygen_plan.plan;
+  level_seconds : (Ace_ir.Level.t * float) list; (** Figure 5 rows *)
+  other_seconds : float; (** weight externalisation etc. *)
+}
+
+val compile : ?context:Ace_fhe.Context.t -> strategy -> Ace_ir.Irfunc.t -> compiled
+(** Default context: {!Ace_ckks_ir.Param_select.execution_context} sized
+    to the model's slot needs. *)
+
+val slots_needed : Ace_ir.Irfunc.t -> int
+(** Smallest power-of-two slot vector the NN function's layouts fit in. *)
+
+(** {1 Client/server protocol helpers (paper Figure 2)} *)
+
+val make_keys : compiled -> seed:int -> Ace_fhe.Keys.t
+
+val encrypt_input :
+  compiled -> Ace_fhe.Keys.t -> seed:int -> float array -> Ace_fhe.Ciphertext.ct
+(** The generated encryptor: pack with the input layout, encode, encrypt. *)
+
+val run_encrypted :
+  compiled -> Ace_fhe.Keys.t -> seed:int -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
+
+val decrypt_output : compiled -> Ace_fhe.Keys.t -> Ace_fhe.Ciphertext.ct -> float array
+(** The generated decryptor: decrypt, decode, unpack to the NN output
+    tensor. *)
+
+val infer_encrypted :
+  compiled -> Ace_fhe.Keys.t -> seed:int -> float array -> float array
+(** encrypt -> run -> decrypt, one image. *)

@@ -1,0 +1,64 @@
+open Ace_ir
+
+type t = {
+  model : string;
+  nodes_per_level : (Level.t * int) list;
+  lines_per_level : (Level.t * int) list;
+  poly_stmts : int;
+  c_lines : int;
+  const_floats : int;
+  rotations : int;
+  distinct_rotation_steps : int;
+  bootstraps : int;
+  ct_mults : int;
+  pt_mults : int;
+  rescales : int;
+}
+
+let count_op f pred = Irfunc.fold f ~init:0 ~f:(fun acc n -> if pred n.Irfunc.op then acc + 1 else acc)
+
+let of_compiled (c : Pipeline.compiled) =
+  let ckks = c.Pipeline.ckks in
+  {
+    model = Irfunc.name c.Pipeline.nn;
+    nodes_per_level =
+      [
+        (Level.Nn, Irfunc.num_nodes c.Pipeline.nn);
+        (Level.Vector, Irfunc.num_nodes c.Pipeline.vec);
+        (Level.Sihe, Irfunc.num_nodes c.Pipeline.sihe);
+        (Level.Ckks, Irfunc.num_nodes ckks);
+      ];
+    lines_per_level =
+      [
+        (Level.Nn, Printer.line_count c.Pipeline.nn);
+        (Level.Vector, Printer.line_count c.Pipeline.vec);
+        (Level.Sihe, Printer.line_count c.Pipeline.sihe);
+        (Level.Ckks, Printer.line_count ckks);
+      ];
+    poly_stmts = Ace_poly_ir.Poly_ir.stmt_count c.Pipeline.poly;
+    c_lines = Ace_codegen.C_backend.line_count c.Pipeline.c_source;
+    const_floats =
+      List.fold_left
+        (fun acc name -> acc + Array.length (Irfunc.const ckks name))
+        0 (Irfunc.const_names ckks);
+    rotations = count_op ckks (function Op.C_rotate _ -> true | _ -> false);
+    distinct_rotation_steps = List.length (Ace_ckks_ir.Lower_sihe.rotation_amounts ckks);
+    bootstraps = Ace_ckks_ir.Lower_sihe.bootstrap_count ckks;
+    ct_mults =
+      count_op ckks (function Op.C_relin -> true | _ -> false);
+    pt_mults =
+      count_op ckks (function Op.C_mul -> true | _ -> false)
+      - count_op ckks (function Op.C_relin -> true | _ -> false);
+    rescales = count_op ckks (function Op.C_rescale -> true | _ -> false);
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>model %s@," s.model;
+  List.iter
+    (fun (l, n) -> Format.fprintf fmt "  %-6s nodes=%d@," (Level.to_string l) n)
+    s.nodes_per_level;
+  Format.fprintf fmt "  POLY stmts=%d, C lines=%d, consts=%d floats@," s.poly_stmts s.c_lines
+    s.const_floats;
+  Format.fprintf fmt
+    "  rotations=%d (distinct steps %d), bootstraps=%d, ct-mults=%d, pt-mults=%d, rescales=%d@,@]"
+    s.rotations s.distinct_rotation_steps s.bootstraps s.ct_mults s.pt_mults s.rescales

@@ -1,0 +1,21 @@
+(** Compile-time statistics: IR sizes per level, constant-pool volume,
+    rotation/bootstrap inventories. Feeds the Figure 5 narrative and the
+    Section 4.5 size comparison (POLY-IR lines vs generated C lines). *)
+
+type t = {
+  model : string;
+  nodes_per_level : (Ace_ir.Level.t * int) list;
+  lines_per_level : (Ace_ir.Level.t * int) list;
+  poly_stmts : int;
+  c_lines : int;
+  const_floats : int;
+  rotations : int;
+  distinct_rotation_steps : int;
+  bootstraps : int;
+  ct_mults : int;
+  pt_mults : int;
+  rescales : int;
+}
+
+val of_compiled : Pipeline.compiled -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/expert/expert_infer.ml: Ace_driver Ace_ir Irfunc Op

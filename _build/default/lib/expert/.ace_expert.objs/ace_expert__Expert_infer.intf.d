@@ -1,0 +1,1 @@
+lib/expert/expert_infer.mli: Ace_driver Ace_fhe Ace_ir

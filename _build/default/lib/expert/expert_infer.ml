@@ -1,0 +1,12 @@
+module Pipeline = Ace_driver.Pipeline
+open Ace_ir
+
+let strategy = Pipeline.expert
+
+let compile nn = Pipeline.compile strategy nn
+
+let infer = Pipeline.infer_encrypted
+
+let rotation_hops (c : Pipeline.compiled) =
+  Irfunc.fold c.Pipeline.ckks ~init:0 ~f:(fun acc n ->
+      match n.Irfunc.op with Op.C_rotate _ -> acc + 1 | _ -> acc)

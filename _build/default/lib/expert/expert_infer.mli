@@ -1,0 +1,38 @@
+(** The "Expert" baseline of the paper's Figures 6-7.
+
+    The paper compares ANT-ACE against the hand-tuned SEAL implementations
+    of Lee et al. [35]. We cannot ship that C++ codebase, so the baseline
+    here reproduces the {e decisions} the paper attributes to the expert
+    implementation, executed on the same runtime so the comparison
+    isolates exactly those decisions (DESIGN.md):
+
+    - convolutions in direct form — Lee et al.'s multiplexed-packing
+      rotations are per (channel-delta, kernel-offset) pair, without the
+      compiler's cross-offset regrouping;
+    - GEMV by plain diagonals (no baby-step/giant-step);
+    - eager rescaling after every multiplication (the hand-written norm —
+      delaying rescales safely requires global dataflow);
+    - bootstrapping always back to the full chain depth (hand-chosen
+      parameters must cover the worst case), where the compiler proves a
+      minimal per-segment target level;
+    - rotation keys for all power-of-two steps, arbitrary rotations
+      decomposed into binary hops (standard library practice the paper
+      quotes in Section 2.2).
+
+    [strategy] is consumed by {!Ace_driver.Pipeline.compile}; the helpers
+    below bundle the common benchmark calls. *)
+
+val strategy : Ace_driver.Pipeline.strategy
+
+val compile : Ace_ir.Irfunc.t -> Ace_driver.Pipeline.compiled
+
+val infer :
+  Ace_driver.Pipeline.compiled ->
+  Ace_fhe.Keys.t ->
+  seed:int ->
+  float array ->
+  float array
+
+val rotation_hops : Ace_driver.Pipeline.compiled -> int
+(** Total key-switches spent on rotations after binary-hop decomposition
+    (each hop is a key-switch; the pruned plan pays one per rotation). *)

@@ -1,0 +1,1 @@
+lib/fhe/bootstrap.ml: Ace_util Context Encoder Eval Keys

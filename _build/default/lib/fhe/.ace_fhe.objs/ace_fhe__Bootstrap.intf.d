@@ -1,0 +1,1 @@
+lib/fhe/bootstrap.mli: Ace_util Ciphertext Keys

@@ -1,0 +1,1 @@
+lib/fhe/ciphertext.ml: Ace_rns Array Cost Float Format

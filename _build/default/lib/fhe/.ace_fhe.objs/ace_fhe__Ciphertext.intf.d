@@ -1,0 +1,1 @@
+lib/fhe/ciphertext.mli: Ace_rns Format

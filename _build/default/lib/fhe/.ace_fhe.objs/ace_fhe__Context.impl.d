@@ -1,0 +1,1 @@
+lib/fhe/context.ml: Ace_rns Array Cplx Float Format List Printf Security

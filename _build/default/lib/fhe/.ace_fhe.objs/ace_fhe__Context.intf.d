@@ -1,0 +1,1 @@
+lib/fhe/context.mli: Ace_rns Cplx Format Security

@@ -1,0 +1,1 @@
+lib/fhe/cost.ml: Array Hashtbl List Option Unix

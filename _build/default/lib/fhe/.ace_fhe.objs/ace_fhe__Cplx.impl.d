@@ -1,0 +1,1 @@
+lib/fhe/cplx.ml: Array Float

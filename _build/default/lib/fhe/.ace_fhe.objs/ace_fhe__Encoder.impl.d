@@ -1,0 +1,1 @@
+lib/fhe/encoder.ml: Ace_rns Ace_util Array Ciphertext Context Cost Cplx

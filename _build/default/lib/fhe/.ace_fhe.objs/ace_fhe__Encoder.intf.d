@@ -1,0 +1,1 @@
+lib/fhe/encoder.mli: Ciphertext Context Cplx

@@ -1,0 +1,1 @@
+lib/fhe/eval.ml: Ace_rns Array Ciphertext Context Cost Encoder Float Hashtbl Keys Printf

@@ -1,0 +1,1 @@
+lib/fhe/eval.mli: Ace_util Ciphertext Context Keys

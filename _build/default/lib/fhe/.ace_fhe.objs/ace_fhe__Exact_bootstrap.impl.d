@@ -1,0 +1,1 @@
+lib/fhe/exact_bootstrap.ml: Ace_rns Array Ciphertext Context Cost Cplx Encoder Eval Float Hashtbl Keys List Printf

@@ -1,0 +1,1 @@
+lib/fhe/exact_bootstrap.mli: Ciphertext Context Keys

@@ -1,0 +1,1 @@
+lib/fhe/keys.ml: Ace_rns Ace_util Array Context Cost Hashtbl List

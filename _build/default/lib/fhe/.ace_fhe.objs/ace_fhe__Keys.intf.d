@@ -1,0 +1,1 @@
+lib/fhe/keys.mli: Ace_rns Ace_util Context Hashtbl

@@ -1,0 +1,1 @@
+lib/fhe/security.ml: List

@@ -1,0 +1,16 @@
+module Rng = Ace_util.Rng
+
+let refresh keys ~rng ~target_level ct =
+  let ctx = keys.Keys.context in
+  if target_level < 0 || target_level > Context.max_level ctx then
+    invalid_arg "Bootstrap.refresh: bad target level";
+  let values = Encoder.decode_complex ctx (Eval.decrypt keys ct) in
+  let pt = Encoder.encode_complex ctx ~level:target_level ~scale:(Context.scale ctx) values in
+  Eval.encrypt keys ~rng pt
+
+let counter = ref 0
+
+let refresh_impl keys ~seed ~target_level ct =
+  incr counter;
+  let rng = Rng.create (seed + (1_000_003 * !counter)) in
+  refresh keys ~rng ~target_level ct

@@ -1,0 +1,18 @@
+module Rns_poly = Ace_rns.Rns_poly
+
+type pt = { poly : Rns_poly.t; pt_scale : float }
+type ct = { polys : Rns_poly.t array; ct_scale : float }
+
+let level ct = Rns_poly.num_limbs ct.polys.(0) - 1
+let pt_level pt = Rns_poly.num_limbs pt.poly - 1
+let size ct = Array.length ct.polys
+let scale_of ct = ct.ct_scale
+
+let bytes ct =
+  let p = ct.polys.(0) in
+  Array.length ct.polys
+  * Cost.poly_bytes ~ring_degree:(Rns_poly.ring_degree p) ~limbs:(Rns_poly.num_limbs p)
+
+let pp fmt ct =
+  Format.fprintf fmt "@[ct size=%d level=%d scale=2^%.2f@]" (size ct) (level ct)
+    (Float.log2 ct.ct_scale)

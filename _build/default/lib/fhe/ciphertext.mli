@@ -1,0 +1,24 @@
+(** Plaintext and ciphertext containers.
+
+    Polynomials are kept in the NTT evaluation domain between operations;
+    the evaluator converts on demand. The [scale] is the exact fixed-point
+    scale of the encoded message (a float, because rescaling divides by
+    primes that are only approximately powers of two); the level is implied
+    by the limb count of the polynomials. A freshly multiplied ciphertext
+    transiently has three polynomials until relinearization. *)
+
+type pt = { poly : Ace_rns.Rns_poly.t; pt_scale : float }
+
+type ct = { polys : Ace_rns.Rns_poly.t array; ct_scale : float }
+
+val level : ct -> int
+(** [num_limbs - 1]; level 0 means only [q0] remains. *)
+
+val pt_level : pt -> int
+val size : ct -> int
+(** Number of polynomials: 2, or 3 before relinearization. *)
+
+val scale_of : ct -> float
+val bytes : ct -> int
+
+val pp : Format.formatter -> ct -> unit

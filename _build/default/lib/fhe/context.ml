@@ -1,0 +1,84 @@
+module Crt = Ace_rns.Crt
+module Primes = Ace_rns.Primes
+
+type params = {
+  log2_n : int;
+  depth : int;
+  scale_bits : int;
+  q0_bits : int;
+  special_bits : int;
+  security : Security.level;
+  error_sigma : float;
+}
+
+let default_params =
+  {
+    log2_n = 12;
+    depth = 6;
+    scale_bits = 25;
+    q0_bits = 29;
+    special_bits = 30;
+    security = Security.Bits128;
+    error_sigma = 3.2;
+  }
+
+type t = {
+  params : params;
+  crt : Crt.t;
+  plan : Cplx.plan;
+  scale : float;
+}
+
+exception Insecure of string
+
+let make params =
+  let n = 1 lsl params.log2_n in
+  let q0 = Primes.ntt_prime_near ~bits:params.q0_bits ~ring_degree:n ~below:max_int in
+  let scale_primes =
+    Primes.near_pow2 ~count:params.depth ~bits:params.scale_bits ~ring_degree:n ~avoid:[ q0 ]
+  in
+  let special =
+    Primes.ntt_prime_near ~bits:params.special_bits ~ring_degree:n
+      ~below:(1 lsl params.special_bits)
+    |> fun p ->
+    (* Regenerate below the collision if the special prime landed on a chain
+       prime. *)
+    let rec dodge p =
+      if p = q0 || List.mem p scale_primes then
+        dodge (Primes.ntt_prime_near ~bits:params.special_bits ~ring_degree:n ~below:p)
+      else p
+    in
+    dodge p
+  in
+  let moduli = Array.of_list ((q0 :: scale_primes) @ [ special ]) in
+  let crt = Crt.make ~ring_degree:n ~moduli in
+  let log2_q = Crt.log2_product crt ~limbs:(Array.length moduli) in
+  let cap = Security.max_log2_q params.security ~log2_n:params.log2_n in
+  if params.security <> Security.Toy && log2_q > float_of_int cap then
+    raise
+      (Insecure
+         (Printf.sprintf "log2(QP) = %.1f exceeds the %s cap of %d bits for N = 2^%d" log2_q
+            (Security.to_string params.security) cap params.log2_n));
+  { params; crt; plan = Cplx.plan ~slots:(n / 2); scale = Float.pow 2.0 (float_of_int params.scale_bits) }
+
+let params t = t.params
+let crt t = t.crt
+let ring_degree t = Crt.ring_degree t.crt
+let slots t = ring_degree t / 2
+let max_level t = t.params.depth
+let scale t = t.scale
+let embed_plan t = t.plan
+let ciphertext_idx _t ~level = Array.init (level + 1) (fun i -> i)
+let key_idx t = Array.init (t.params.depth + 2) (fun i -> i)
+let special_chain_idx t = t.params.depth + 1
+let special_modulus t = Crt.modulus t.crt (special_chain_idx t)
+let log2_q t = Crt.log2_product t.crt ~limbs:(Crt.num_moduli t.crt)
+
+let scale_prime t ~level =
+  if level < 1 then invalid_arg "Context.scale_prime: bottom level";
+  Crt.modulus t.crt level
+
+let pp fmt t =
+  Format.fprintf fmt "@[CKKS context: N=2^%d depth=%d Delta=2^%d log2(QP)=%.1f %s@]"
+    t.params.log2_n t.params.depth t.params.scale_bits (log2_q t)
+    (Security.to_string t.params.security)

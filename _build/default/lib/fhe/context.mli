@@ -1,0 +1,65 @@
+(** RNS-CKKS evaluation context.
+
+    A context fixes the ring degree, the modulus chain and the nominal
+    scale, and caches the NTT plans and embedding tables shared by every
+    key, plaintext and ciphertext. The chain layout is:
+
+    - index [0]: the bottom modulus [q0] (output precision; survives to the
+      end of the computation),
+    - indices [1 .. depth]: rescaling primes chosen as close as possible to
+      [2^scale_bits] so that rescaling keeps the scale near Delta,
+    - index [depth + 1]: the key-switching special prime [P].
+
+    Fresh ciphertexts live at level [depth]; each rescale consumes one
+    level. The special prime never appears in a ciphertext. *)
+
+type params = {
+  log2_n : int; (** ring degree N = 2^log2_n *)
+  depth : int; (** number of rescaling levels *)
+  scale_bits : int; (** log2 of the nominal scale Delta *)
+  q0_bits : int; (** width of the bottom modulus *)
+  special_bits : int; (** width of the key-switch special prime *)
+  security : Security.level;
+  error_sigma : float; (** RLWE error std-dev; 3.2 is standard *)
+}
+
+val default_params : params
+(** N = 2^12, depth 6, Delta = 2^25, q0 and P of 29 bits, 128-bit security,
+    sigma 3.2. *)
+
+type t
+
+exception Insecure of string
+(** Raised by {!make} when the requested chain exceeds the security table's
+    modulus cap for the ring degree. *)
+
+val make : params -> t
+
+val params : t -> params
+val crt : t -> Ace_rns.Crt.t
+val ring_degree : t -> int
+val slots : t -> int
+val max_level : t -> int
+val scale : t -> float
+(** Nominal Delta as a float. *)
+
+val embed_plan : t -> Cplx.plan
+
+val ciphertext_idx : t -> level:int -> int array
+(** Chain indices [0 .. level] for a ciphertext at [level]. *)
+
+val key_idx : t -> int array
+(** Chain indices of the full key basis [0 .. depth] plus the special
+    prime. *)
+
+val special_chain_idx : t -> int
+val special_modulus : t -> int
+
+val log2_q : t -> float
+(** Total bit size of the chain including the special prime (the quantity
+    capped by the security table). *)
+
+val scale_prime : t -> level:int -> int
+(** The prime dropped when rescaling from [level]; [level >= 1]. *)
+
+val pp : Format.formatter -> t -> unit

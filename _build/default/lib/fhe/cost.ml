@@ -1,0 +1,90 @@
+type category =
+  | Add
+  | Mult
+  | Mult_plain
+  | Rotate
+  | Relinearize
+  | Rescale
+  | Bootstrap
+  | Key_switch
+  | Encode
+  | Encrypt
+  | Decrypt
+
+let all_categories =
+  [ Add; Mult; Mult_plain; Rotate; Relinearize; Rescale; Bootstrap; Key_switch; Encode; Encrypt; Decrypt ]
+
+let category_name = function
+  | Add -> "add"
+  | Mult -> "mult"
+  | Mult_plain -> "mult_plain"
+  | Rotate -> "rotate"
+  | Relinearize -> "relinearize"
+  | Rescale -> "rescale"
+  | Bootstrap -> "bootstrap"
+  | Key_switch -> "key_switch"
+  | Encode -> "encode"
+  | Encrypt -> "encrypt"
+  | Decrypt -> "decrypt"
+
+let index = function
+  | Add -> 0
+  | Mult -> 1
+  | Mult_plain -> 2
+  | Rotate -> 3
+  | Relinearize -> 4
+  | Rescale -> 5
+  | Bootstrap -> 6
+  | Key_switch -> 7
+  | Encode -> 8
+  | Encrypt -> 9
+  | Decrypt -> 10
+
+let counts = Array.make 11 0
+let times = Array.make 11 0.0
+let phases : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let reset () =
+  Array.fill counts 0 11 0;
+  Array.fill times 0 11 0.0;
+  Hashtbl.reset phases
+
+let count c = counts.(index c) <- counts.(index c) + 1
+
+let now () = Unix.gettimeofday ()
+
+let timed c f =
+  let i = index c in
+  counts.(i) <- counts.(i) + 1;
+  let t0 = now () in
+  let finish () = times.(i) <- times.(i) +. (now () -. t0) in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let get_count c = counts.(index c)
+let get_time c = times.(index c)
+
+let add_phase_time name dt =
+  let cur = Option.value ~default:0.0 (Hashtbl.find_opt phases name) in
+  Hashtbl.replace phases name (cur +. dt)
+
+let phase_time name = Option.value ~default:0.0 (Hashtbl.find_opt phases name)
+let phase_names () = Hashtbl.fold (fun k _ acc -> k :: acc) phases [] |> List.sort compare
+
+let report () =
+  List.filter_map
+    (fun c ->
+      let i = index c in
+      if counts.(i) = 0 then None else Some (category_name c, counts.(i), times.(i)))
+    all_categories
+
+let poly_bytes ~ring_degree ~limbs = ring_degree * limbs * 8
+let ciphertext_bytes ~ring_degree ~limbs = 2 * poly_bytes ~ring_degree ~limbs
+
+let switching_key_bytes ~ring_degree ~digits ~key_limbs =
+  digits * 2 * poly_bytes ~ring_degree ~limbs:key_limbs

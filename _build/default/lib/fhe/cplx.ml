@@ -1,0 +1,124 @@
+type t = { re : float; im : float }
+
+let zero = { re = 0.0; im = 0.0 }
+let make re im = { re; im }
+let add a b = { re = a.re +. b.re; im = a.im +. b.im }
+let sub a b = { re = a.re -. b.re; im = a.im -. b.im }
+let mul a b = { re = (a.re *. b.re) -. (a.im *. b.im); im = (a.re *. b.im) +. (a.im *. b.re) }
+let conj a = { a with im = -.a.im }
+let scale a s = { re = a.re *. s; im = a.im *. s }
+let norm a = sqrt ((a.re *. a.re) +. (a.im *. a.im))
+
+type plan = {
+  n : int; (* slot count *)
+  m : int; (* 4n = 2 * ring degree *)
+  ksi : t array; (* ksi.(j) = exp(2*pi*i*j / m) *)
+  rot_group : int array; (* 5^i mod m *)
+  bitrev : int array;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let plan ~slots =
+  if not (is_pow2 slots) then invalid_arg "Cplx.plan: slots not a power of two";
+  let n = slots in
+  let m = 4 * n in
+  let ksi =
+    Array.init (m + 1) (fun j ->
+        let a = 2.0 *. Float.pi *. float_of_int j /. float_of_int m in
+        make (cos a) (sin a))
+  in
+  let rot_group =
+    let a = Array.make n 1 in
+    for i = 1 to n - 1 do
+      a.(i) <- a.(i - 1) * 5 mod m
+    done;
+    a
+  in
+  let log_n =
+    let rec go acc k = if k = 1 then acc else go (acc + 1) (k lsr 1) in
+    go 0 n
+  in
+  let bitrev = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = ref 0 and x = ref i in
+    for _ = 1 to log_n do
+      r := (!r lsl 1) lor (!x land 1);
+      x := !x lsr 1
+    done;
+    bitrev.(i) <- !r
+  done;
+  { n; m; ksi; rot_group; bitrev }
+
+let permute p (v : t array) =
+  for i = 0 to p.n - 1 do
+    let j = p.bitrev.(i) in
+    if j > i then begin
+      let tmp = v.(i) in
+      v.(i) <- v.(j);
+      v.(j) <- tmp
+    end
+  done
+
+(* Decode direction (HEAAN fftSpecial). *)
+let embed p v =
+  if Array.length v <> p.n then invalid_arg "Cplx.embed: length";
+  permute p v;
+  let len = ref 2 in
+  while !len <= p.n do
+    let lenh = !len lsr 1 and lenq = !len lsl 2 in
+    let i = ref 0 in
+    while !i < p.n do
+      for j = 0 to lenh - 1 do
+        let idx = p.rot_group.(j) mod lenq * (p.m / lenq) in
+        let u = v.(!i + j) in
+        let w = mul v.(!i + j + lenh) p.ksi.(idx) in
+        v.(!i + j) <- add u w;
+        v.(!i + j + lenh) <- sub u w
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done
+
+(* Encode direction (HEAAN fftSpecialInv). *)
+let embed_inv p v =
+  if Array.length v <> p.n then invalid_arg "Cplx.embed_inv: length";
+  let len = ref p.n in
+  while !len >= 2 do
+    let lenh = !len lsr 1 and lenq = !len lsl 2 in
+    let i = ref 0 in
+    while !i < p.n do
+      for j = 0 to lenh - 1 do
+        let idx = (lenq - (p.rot_group.(j) mod lenq)) * (p.m / lenq) in
+        let u = add v.(!i + j) v.(!i + j + lenh) in
+        let w = mul (sub v.(!i + j) v.(!i + j + lenh)) p.ksi.(idx) in
+        v.(!i + j) <- u;
+        v.(!i + j + lenh) <- w
+      done;
+      i := !i + !len
+    done;
+    len := !len lsr 1
+  done;
+  permute p v;
+  let inv_n = 1.0 /. float_of_int p.n in
+  for i = 0 to p.n - 1 do
+    v.(i) <- scale v.(i) inv_n
+  done
+
+let embed_naive ~slots v =
+  let m = 4 * slots in
+  let zeta j =
+    let a = 2.0 *. Float.pi *. float_of_int (j mod m) /. float_of_int m in
+    make (cos a) (sin a)
+  in
+  let rot = Array.make slots 1 in
+  for i = 1 to slots - 1 do
+    rot.(i) <- rot.(i - 1) * 5 mod m
+  done;
+  Array.init slots (fun j ->
+      let acc = ref zero in
+      for k = 0 to slots - 1 do
+        acc := add !acc (mul v.(k) (zeta (k * rot.(j))))
+      done;
+      !acc)

@@ -1,0 +1,37 @@
+(** Complex arithmetic and the CKKS "special FFT".
+
+    CKKS encodes a vector of [n = N/2] complex slots as a real polynomial by
+    evaluating at the Galois orbit [zeta^(5^j)] of primitive 2N-th roots of
+    unity. This module implements that transform (and its inverse) with an
+    FFT-style butterfly network over the orbit ordering, as introduced in
+    the HEAAN reference implementation, plus an O(n^2) direct evaluation
+    used to validate it in tests. *)
+
+type t = { re : float; im : float }
+
+val zero : t
+val make : float -> float -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val conj : t -> t
+val scale : t -> float -> t
+val norm : t -> float
+(** Modulus (absolute value). *)
+
+type plan
+(** Twiddle tables for one slot count. *)
+
+val plan : slots:int -> plan
+(** [slots] must be a power of two; the ring degree is [2 * slots]. *)
+
+val embed : plan -> t array -> unit
+(** In-place decode-direction transform: coefficients packed as slots ->
+    evaluations at the root orbit. *)
+
+val embed_inv : plan -> t array -> unit
+(** In-place encode-direction transform; exact inverse of {!embed}. *)
+
+val embed_naive : slots:int -> t array -> t array
+(** Direct O(n^2) evaluation of the same transform, for tests: output slot
+    [j] is [sum_k v.(k) * zeta^(k * 5^j)] with [zeta = exp(i*pi/ (2*slots))]. *)

@@ -1,0 +1,49 @@
+module Rns_poly = Ace_rns.Rns_poly
+module Bignum = Ace_util.Bignum
+module Crt = Ace_rns.Crt
+
+let encode_complex ctx ~level ~scale (v : Cplx.t array) =
+  Cost.timed Cost.Encode @@ fun () ->
+  let slots = Context.slots ctx in
+  if Array.length v > slots then invalid_arg "Encoder.encode: too many slots";
+  let vals = Array.make slots Cplx.zero in
+  Array.blit v 0 vals 0 (Array.length v);
+  Cplx.embed_inv (Context.embed_plan ctx) vals;
+  let n = Context.ring_degree ctx in
+  let coeffs = Array.make n 0.0 in
+  for i = 0 to slots - 1 do
+    coeffs.(i) <- vals.(i).Cplx.re *. scale;
+    coeffs.(i + slots) <- vals.(i).Cplx.im *. scale
+  done;
+  let idx = Context.ciphertext_idx ctx ~level in
+  let poly = Rns_poly.of_rounded_floats (Context.crt ctx) ~chain_idx:idx coeffs in
+  { Ciphertext.poly = Rns_poly.to_ntt poly; pt_scale = scale }
+
+let encode ctx ~level ~scale v =
+  encode_complex ctx ~level ~scale (Array.map (fun x -> Cplx.make x 0.0) v)
+
+let decode_complex ctx (pt : Ciphertext.pt) =
+  Cost.timed Cost.Decrypt @@ fun () ->
+  let poly = Rns_poly.to_coeff pt.poly in
+  let slots = Context.slots ctx in
+  let limbs = Rns_poly.num_limbs poly in
+  let crt = Context.crt ctx in
+  let coeff =
+    if limbs = 1 then begin
+      let q = Crt.modulus crt 0 in
+      fun i ->
+        float_of_int (Ace_rns.Modarith.centered poly.Rns_poly.data.(0).(i) ~modulus:q)
+    end
+    else begin
+      let modulus = Crt.product crt ~limbs in
+      fun i -> Bignum.centered_to_float (Rns_poly.coeff_bignum poly i) ~modulus
+    end
+  in
+  let vals =
+    Array.init slots (fun i ->
+        Cplx.make (coeff i /. pt.pt_scale) (coeff (i + slots) /. pt.pt_scale))
+  in
+  Cplx.embed (Context.embed_plan ctx) vals;
+  vals
+
+let decode ctx pt = Array.map (fun c -> c.Cplx.re) (decode_complex ctx pt)

@@ -1,0 +1,18 @@
+(** CKKS encoding and decoding (message vector <-> plaintext polynomial).
+
+    Encoding applies the inverse canonical embedding to a complex slot
+    vector, scales by the target fixed-point scale and rounds to integer
+    coefficients; decoding CRT-recombines each coefficient, lifts it to the
+    centered representative and applies the forward embedding. Real-valued
+    convenience wrappers are what the compiler uses. *)
+
+val encode_complex :
+  Context.t -> level:int -> scale:float -> Cplx.t array -> Ciphertext.pt
+(** Input length must not exceed the slot count; shorter vectors are
+    zero-padded. The plaintext is returned in the evaluation domain. *)
+
+val encode : Context.t -> level:int -> scale:float -> float array -> Ciphertext.pt
+
+val decode_complex : Context.t -> Ciphertext.pt -> Cplx.t array
+val decode : Context.t -> Ciphertext.pt -> float array
+(** Real parts of the decoded slots. *)

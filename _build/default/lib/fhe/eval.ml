@@ -1,0 +1,263 @@
+module Rns_poly = Ace_rns.Rns_poly
+module Modarith = Ace_rns.Modarith
+module Crt = Ace_rns.Crt
+module Ntt = Ace_rns.Ntt
+open Ciphertext
+
+exception Scale_mismatch of string
+exception Level_mismatch of string
+
+let scale_tolerance = 1e-6
+
+let check_scales what a b =
+  if abs_float (a -. b) /. a > scale_tolerance then
+    raise
+      (Scale_mismatch (Printf.sprintf "%s: scales 2^%.4f vs 2^%.4f" what (Float.log2 a) (Float.log2 b)))
+
+let check_levels what a b =
+  if a <> b then raise (Level_mismatch (Printf.sprintf "%s: levels %d vs %d" what a b))
+
+let encrypt_at_level keys ~rng ~level (pt : pt) =
+  Cost.timed Cost.Encrypt @@ fun () ->
+  let ctx = keys.Keys.context in
+  let crt = Context.crt ctx in
+  let idx = Context.ciphertext_idx ctx ~level in
+  let sigma = (Context.params ctx).Context.error_sigma in
+  let pb, pa = keys.Keys.public in
+  let pb = Rns_poly.restrict pb ~chain_idx:idx and pa = Rns_poly.restrict pa ~chain_idx:idx in
+  let u = Rns_poly.to_ntt (Rns_poly.sample_ternary crt ~chain_idx:idx rng) in
+  let e0 = Rns_poly.to_ntt (Rns_poly.sample_gaussian crt ~chain_idx:idx ~sigma rng) in
+  let e1 = Rns_poly.to_ntt (Rns_poly.sample_gaussian crt ~chain_idx:idx ~sigma rng) in
+  let m = Rns_poly.to_ntt (Rns_poly.restrict (Rns_poly.to_coeff pt.poly) ~chain_idx:idx) in
+  let c0 = Rns_poly.add (Rns_poly.add (Rns_poly.mul pb u) e0) m in
+  let c1 = Rns_poly.add (Rns_poly.mul pa u) e1 in
+  { polys = [| c0; c1 |]; ct_scale = pt.pt_scale }
+
+let encrypt keys ~rng pt = encrypt_at_level keys ~rng ~level:(Ciphertext.pt_level pt) pt
+
+let decrypt keys (ct : ct) =
+  Cost.timed Cost.Decrypt @@ fun () ->
+  if size ct <> 2 then invalid_arg "Eval.decrypt: relinearize first";
+  let idx = Array.init (level ct + 1) (fun i -> i) in
+  let s = Rns_poly.restrict keys.Keys.secret ~chain_idx:idx in
+  let c0 = Rns_poly.to_ntt ct.polys.(0) and c1 = Rns_poly.to_ntt ct.polys.(1) in
+  let m = Rns_poly.add c0 (Rns_poly.mul c1 s) in
+  { poly = m; pt_scale = ct.ct_scale }
+
+let add (a : ct) (b : ct) =
+  Cost.timed Cost.Add @@ fun () ->
+  check_levels "add" (level a) (level b);
+  check_scales "add" a.ct_scale b.ct_scale;
+  if size a <> size b then invalid_arg "Eval.add: size mismatch";
+  let polys =
+    Array.init (size a) (fun i -> Rns_poly.add (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
+  in
+  { polys; ct_scale = a.ct_scale }
+
+let sub (a : ct) (b : ct) =
+  Cost.timed Cost.Add @@ fun () ->
+  check_levels "sub" (level a) (level b);
+  check_scales "sub" a.ct_scale b.ct_scale;
+  if size a <> size b then invalid_arg "Eval.sub: size mismatch";
+  let polys =
+    Array.init (size a) (fun i -> Rns_poly.sub (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
+  in
+  { polys; ct_scale = a.ct_scale }
+
+let neg (a : ct) = { a with polys = Array.map Rns_poly.neg a.polys }
+
+let add_plain (a : ct) (p : pt) =
+  Cost.timed Cost.Add @@ fun () ->
+  check_levels "add_plain" (level a) (Ciphertext.pt_level p);
+  check_scales "add_plain" a.ct_scale p.pt_scale;
+  let polys = Array.copy a.polys in
+  polys.(0) <- Rns_poly.add (Rns_poly.to_ntt polys.(0)) (Rns_poly.to_ntt p.poly);
+  { a with polys }
+
+let sub_plain (a : ct) (p : pt) =
+  Cost.timed Cost.Add @@ fun () ->
+  check_levels "sub_plain" (level a) (Ciphertext.pt_level p);
+  check_scales "sub_plain" a.ct_scale p.pt_scale;
+  let polys = Array.copy a.polys in
+  polys.(0) <- Rns_poly.sub (Rns_poly.to_ntt polys.(0)) (Rns_poly.to_ntt p.poly);
+  { a with polys }
+
+let mul_raw (a : ct) (b : ct) =
+  Cost.timed Cost.Mult @@ fun () ->
+  check_levels "mul" (level a) (level b);
+  if size a <> 2 || size b <> 2 then invalid_arg "Eval.mul: size-2 operands required";
+  let a0 = Rns_poly.to_ntt a.polys.(0) and a1 = Rns_poly.to_ntt a.polys.(1) in
+  let b0 = Rns_poly.to_ntt b.polys.(0) and b1 = Rns_poly.to_ntt b.polys.(1) in
+  let d0 = Rns_poly.mul a0 b0 in
+  let d1 = Rns_poly.add (Rns_poly.mul a0 b1) (Rns_poly.mul a1 b0) in
+  let d2 = Rns_poly.mul a1 b1 in
+  { polys = [| d0; d1; d2 |]; ct_scale = a.ct_scale *. b.ct_scale }
+
+(* Barrett multiply-accumulate over one residue row: dst += a * b mod q. *)
+let mul_acc_row dst a b q =
+  let inv_q = 1.0 /. float_of_int q in
+  for j = 0 to Array.length dst - 1 do
+    let x = Array.unsafe_get a j and y = Array.unsafe_get b j in
+    let quot = int_of_float (float_of_int x *. float_of_int y *. inv_q) in
+    let r = (x * y) - (quot * q) in
+    let r = if r < 0 then r + q else if r >= q then r - q else r in
+    let s = Array.unsafe_get dst j + r in
+    Array.unsafe_set dst j (if s >= q then s - q else s)
+  done
+
+(* Key-switch a single polynomial [d] (any domain) with [key]; returns the
+   (c0, c1) correction pair at [d]'s limb set. This is the shared core of
+   relinearisation and rotation; it works on raw residue rows to keep the
+   inner loop allocation-free. *)
+let key_switch ctx (key : Keys.switching_key) d =
+  Cost.timed Cost.Key_switch @@ fun () ->
+  let crt = Context.crt ctx in
+  let n = Context.ring_degree ctx in
+  let d = Rns_poly.to_coeff d in
+  let limbs = Rns_poly.num_limbs d in
+  let special_ci = Context.special_chain_idx ctx in
+  let basis = Array.append (Array.init limbs (fun i -> i)) [| special_ci |] in
+  (* Key digits live over the full basis [0..L, special]: the row for
+     chain index t <= l sits at position t, the special row last. *)
+  let key_row poly k_ci =
+    let nl = Rns_poly.num_limbs poly in
+    if k_ci = special_ci then poly.Rns_poly.data.(nl - 1) else poly.Rns_poly.data.(k_ci)
+  in
+  let acc0 = Array.init (limbs + 1) (fun _ -> Array.make n 0) in
+  let acc1 = Array.init (limbs + 1) (fun _ -> Array.make n 0) in
+  let digit_row = Array.make n 0 in
+  for i = 0 to limbs - 1 do
+    let src_q = Crt.modulus crt i in
+    let half = src_q / 2 in
+    let row = d.Rns_poly.data.(i) in
+    let kb, ka = key.Keys.digits.(i) in
+    Array.iteri
+      (fun k t_ci ->
+        let dst_q = Crt.modulus crt t_ci in
+        (* Digit i re-reduced into the target prime (exact: each residue is
+           a genuine small integer; Barrett via float inverse), then NTT'd
+           in place. *)
+        if t_ci = i then Array.blit row 0 digit_row 0 n
+        else begin
+          let inv = 1.0 /. float_of_int dst_q in
+          for j = 0 to n - 1 do
+            let v = Array.unsafe_get row j in
+            let c = if v > half then v - src_q else v in
+            let quot = int_of_float (float_of_int c *. inv) in
+            let r = c - (quot * dst_q) in
+            let r = if r < 0 then r + dst_q else if r >= dst_q then r - dst_q else r in
+            Array.unsafe_set digit_row j r
+          done
+        end;
+        Ntt.forward (Crt.plan crt t_ci) digit_row;
+        mul_acc_row acc0.(k) digit_row (key_row kb t_ci) dst_q;
+        mul_acc_row acc1.(k) digit_row (key_row ka t_ci) dst_q)
+      basis
+  done;
+  let acc0 = ref (Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc0) in
+  let acc1 = ref (Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc1) in
+  (* Mod-down: divide by the special prime with rounding (the centered lift
+     of the special limb supplies the correction term). *)
+  let mod_down acc =
+    let acc = Rns_poly.to_coeff acc in
+    let out = Rns_poly.create crt ~chain_idx:(Array.init limbs (fun i -> i)) Rns_poly.Coeff in
+    for t = 0 to limbs - 1 do
+      let q_t = Crt.modulus crt t in
+      let p_inv = Crt.inv_mod crt ~num:special_ci ~target:t in
+      let lifted = Rns_poly.lift_limb_to acc ~src:limbs ~target_modulus:q_t in
+      let row = acc.Rns_poly.data.(t) and dst = out.Rns_poly.data.(t) in
+      for j = 0 to Array.length row - 1 do
+        let d = Modarith.sub row.(j) lifted.(j) ~modulus:q_t in
+        dst.(j) <- Modarith.mul d p_inv ~modulus:q_t
+      done
+    done;
+    out
+  in
+  (mod_down !acc0, mod_down !acc1)
+
+let relinearize keys (ct : ct) =
+  Cost.timed Cost.Relinearize @@ fun () ->
+  if size ct <> 3 then invalid_arg "Eval.relinearize: size-3 ciphertext required";
+  let e0, e1 = key_switch keys.Keys.context keys.Keys.relin ct.polys.(2) in
+  let c0 = Rns_poly.add (Rns_poly.to_ntt ct.polys.(0)) (Rns_poly.to_ntt e0) in
+  let c1 = Rns_poly.add (Rns_poly.to_ntt ct.polys.(1)) (Rns_poly.to_ntt e1) in
+  { polys = [| c0; c1 |]; ct_scale = ct.ct_scale }
+
+let mul keys a b = relinearize keys (mul_raw a b)
+let square keys a = mul keys a a
+
+let mul_plain (a : ct) (p : pt) =
+  Cost.timed Cost.Mult_plain @@ fun () ->
+  check_levels "mul_plain" (level a) (Ciphertext.pt_level p);
+  let pe = Rns_poly.to_ntt p.poly in
+  let polys = Array.map (fun c -> Rns_poly.mul (Rns_poly.to_ntt c) pe) a.polys in
+  { polys; ct_scale = a.ct_scale *. p.pt_scale }
+
+let rotate keys (ct : ct) k =
+  Cost.timed Cost.Rotate @@ fun () ->
+  if size ct <> 2 then invalid_arg "Eval.rotate: relinearize first";
+  let ctx = keys.Keys.context in
+  let slots = Context.slots ctx in
+  if ((k mod slots) + slots) mod slots = 0 then ct
+  else begin
+    let g = Keys.galois_of_rotation ctx k in
+    let key = try Hashtbl.find keys.Keys.galois g with Not_found ->
+      failwith (Printf.sprintf "Eval.rotate: no rotation key for step %d" k)
+    in
+    let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(0)) in
+    let r1 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(1)) in
+    let e0, e1 = key_switch ctx key r1 in
+    let c0 = Rns_poly.add (Rns_poly.to_ntt r0) (Rns_poly.to_ntt e0) in
+    { polys = [| c0; Rns_poly.to_ntt e1 |]; ct_scale = ct.ct_scale }
+  end
+
+let conjugate keys (ct : ct) =
+  Cost.timed Cost.Rotate @@ fun () ->
+  if size ct <> 2 then invalid_arg "Eval.conjugate: relinearize first";
+  let ctx = keys.Keys.context in
+  let g = Keys.galois_conjugate ctx in
+  let key = Hashtbl.find keys.Keys.galois g in
+  let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(0)) in
+  let r1 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(1)) in
+  let e0, e1 = key_switch ctx key r1 in
+  let c0 = Rns_poly.add (Rns_poly.to_ntt r0) (Rns_poly.to_ntt e0) in
+  { polys = [| c0; Rns_poly.to_ntt e1 |]; ct_scale = ct.ct_scale }
+
+let rescale (ct : ct) =
+  Cost.timed Cost.Rescale @@ fun () ->
+  let l = level ct in
+  if l < 1 then invalid_arg "Eval.rescale: bottom level";
+  let p0 = ct.polys.(0) in
+  let crt_prime =
+    let ctx_limb = Rns_poly.num_limbs p0 - 1 in
+    (* The dropped prime is the top chain entry of the ciphertext. *)
+    p0.Rns_poly.chain_idx.(ctx_limb)
+  in
+  let q_top = Ace_rns.Crt.modulus p0.Rns_poly.ctx crt_prime in
+  let polys = Array.map (fun p -> Rns_poly.to_ntt (Rns_poly.rescale (Rns_poly.to_coeff p))) ct.polys in
+  { polys; ct_scale = ct.ct_scale /. float_of_int q_top }
+
+let mod_switch (ct : ct) =
+  let l = level ct in
+  if l < 1 then invalid_arg "Eval.mod_switch: bottom level";
+  let polys = Array.map (fun p -> Rns_poly.drop_limbs p ~keep:(Rns_poly.num_limbs p - 1)) ct.polys in
+  { ct with polys }
+
+let rec mod_switch_to (ct : ct) ~level:l =
+  if level ct < l then invalid_arg "Eval.mod_switch_to: cannot raise level"
+  else if level ct = l then ct
+  else mod_switch_to (mod_switch ct) ~level:l
+
+let upscale ctx (ct : ct) ~target_scale =
+  let factor = target_scale /. ct.ct_scale in
+  if factor < 1.0 -. 1e-9 then invalid_arg "Eval.upscale: would lower scale";
+  let ones = Array.make (Context.slots ctx) 1.0 in
+  let pt = Encoder.encode ctx ~level:(level ct) ~scale:factor ones in
+  mul_plain ct pt
+
+let noise_budget_estimate keys ct ~expected =
+  let ctx = keys.Keys.context in
+  let got = Encoder.decode ctx (decrypt keys ct) in
+  let err = ref 1e-300 in
+  Array.iteri (fun i e -> err := max !err (abs_float (got.(i) -. e))) expected;
+  -.Float.log2 !err

@@ -1,0 +1,60 @@
+(** The RNS-CKKS evaluator: every homomorphic operation of the CKKS IR
+    (paper Table 6) plus encryption and decryption.
+
+    Scale and level discipline (checked, mirroring the paper's Section 4.4):
+    additive operands must agree in level and (up to a relative tolerance)
+    in scale; multiplicative operands must agree in level and the product's
+    scale is the product of scales. [rescale] divides the scale by the
+    dropped prime; [mod_switch] drops a level without touching the scale;
+    [upscale] multiplies by a constant-one plaintext to raise the scale. *)
+
+exception Scale_mismatch of string
+exception Level_mismatch of string
+
+val encrypt : Keys.t -> rng:Ace_util.Rng.t -> Ciphertext.pt -> Ciphertext.ct
+(** Public-key encryption at the plaintext's level. *)
+
+val encrypt_at_level :
+  Keys.t -> rng:Ace_util.Rng.t -> level:int -> Ciphertext.pt -> Ciphertext.ct
+
+val decrypt : Keys.t -> Ciphertext.ct -> Ciphertext.pt
+(** Requires a relinearised (size-2) ciphertext. *)
+
+val add : Ciphertext.ct -> Ciphertext.ct -> Ciphertext.ct
+val sub : Ciphertext.ct -> Ciphertext.ct -> Ciphertext.ct
+val neg : Ciphertext.ct -> Ciphertext.ct
+val add_plain : Ciphertext.ct -> Ciphertext.pt -> Ciphertext.ct
+val sub_plain : Ciphertext.ct -> Ciphertext.pt -> Ciphertext.ct
+
+val mul_raw : Ciphertext.ct -> Ciphertext.ct -> Ciphertext.ct
+(** Tensor product; result has three polynomials (the paper's Cipher3). *)
+
+val relinearize : Keys.t -> Ciphertext.ct -> Ciphertext.ct
+(** Reduce a size-3 ciphertext back to size 2 with the relin key. *)
+
+val mul : Keys.t -> Ciphertext.ct -> Ciphertext.ct -> Ciphertext.ct
+(** [mul_raw] followed by {!relinearize}. *)
+
+val mul_plain : Ciphertext.ct -> Ciphertext.pt -> Ciphertext.ct
+
+val square : Keys.t -> Ciphertext.ct -> Ciphertext.ct
+
+val rotate : Keys.t -> Ciphertext.ct -> int -> Ciphertext.ct
+(** Left-rotate the slot vector; requires the matching rotation key. *)
+
+val conjugate : Keys.t -> Ciphertext.ct -> Ciphertext.ct
+
+val rescale : Ciphertext.ct -> Ciphertext.ct
+(** Drop the top prime and divide the scale by it. *)
+
+val mod_switch : Ciphertext.ct -> Ciphertext.ct
+(** Drop the top prime without scaling (level alignment only). *)
+
+val mod_switch_to : Ciphertext.ct -> level:int -> Ciphertext.ct
+
+val upscale : Context.t -> Ciphertext.ct -> target_scale:float -> Ciphertext.ct
+(** Multiply by the constant 1 encoded at [target_scale /. current]; raises
+    the scale without consuming a level. *)
+
+val noise_budget_estimate : Keys.t -> Ciphertext.ct -> expected:float array -> float
+(** -log2 of the max decode error against [expected]; test instrumentation. *)

@@ -1,0 +1,47 @@
+(** The genuine CKKS bootstrapping pipeline (Cheon et al. / HEAAN-style),
+    runnable at toy parameters:
+
+    + {b ModRaise}: reinterpret a level-0 ciphertext modulo the whole
+      chain; the message becomes [m + (q0/Delta) * I] for small integers
+      [I] bounded by the secret key's 1-norm (hence the sparse-secret
+      option of {!Keys.generate}).
+    + {b CoeffToSlot}: a homomorphic linear transform (diagonal
+      matrix-vector method over the inverse embedding matrix) moves
+      polynomial coefficients into slots.
+    + {b EvalMod}: remove the [q0 I] multiples with
+      [m ~ (eps/2pi) sin(2pi t / eps)], evaluating the sine by a short
+      Taylor expansion of [exp] at a scaled-down angle followed by [r]
+      homomorphic double-angle squarings; real and imaginary slot parts
+      are separated with a conjugation and processed independently.
+    + {b SlotToCoeff}: the forward embedding matrix returns slots to
+      coefficient position.
+
+    The large benchmarks use the cheap recryption oracle instead
+    ({!Bootstrap.refresh}, DESIGN.md); this module exists to demonstrate
+    and test the real pipeline — the unit tests bootstrap a ciphertext at
+    N = 64..128 and verify the refreshed level and message. *)
+
+type config = {
+  taylor_degree : int; (** of the exp expansion; 7 is ample *)
+  double_angles : int; (** r: squarings, covering |I| <= 2^(r-2)-ish *)
+}
+
+val default_config : config
+
+val depth_needed : config -> int
+(** Levels consumed above the output target. *)
+
+val required_rotations : Context.t -> int list
+(** Rotation steps the linear transforms use (all of [1 .. slots-1]). *)
+
+val bootstrap :
+  ?config:config ->
+  Keys.t ->
+  target_level:int ->
+  Ciphertext.ct ->
+  Ciphertext.ct
+(** Refresh a level-0 (or low-level) ciphertext to [target_level] without
+    the secret key. Requires the context chain to hold
+    [target_level + depth_needed] levels and the keys to include
+    {!required_rotations} plus conjugation. The input message must satisfy
+    [|m| <= 1]. *)

@@ -1,0 +1,43 @@
+type level = Bits128 | Bits192 | Bits256 | Toy
+
+(* HomomorphicEncryption.org standard, ternary secret, classical security.
+   The 2^16 row extrapolates the published trend (used by Lattigo and
+   Fhelipe for bootstrappable parameter sets). *)
+let table =
+  [
+    (10, 27, 19, 14);
+    (11, 54, 37, 29);
+    (12, 109, 75, 58);
+    (13, 218, 152, 118);
+    (14, 438, 305, 237);
+    (15, 881, 611, 476);
+    (16, 1761, 1225, 953);
+  ]
+
+let max_log2_q level ~log2_n =
+  match level with
+  | Toy -> max_int
+  | _ -> (
+    match List.find_opt (fun (ln, _, _, _) -> ln = log2_n) table with
+    | None -> 0
+    | Some (_, b128, b192, b256) -> (
+      match level with
+      | Bits128 -> b128
+      | Bits192 -> b192
+      | Bits256 -> b256
+      | Toy -> assert false))
+
+let min_log2_n level ~log2_q =
+  match level with
+  | Toy -> Some 10
+  | _ ->
+    List.find_map
+      (fun (ln, _, _, _) ->
+        if float_of_int (max_log2_q level ~log2_n:ln) >= log2_q then Some ln else None)
+      table
+
+let to_string = function
+  | Bits128 -> "128-bit"
+  | Bits192 -> "192-bit"
+  | Bits256 -> "256-bit"
+  | Toy -> "toy (no security)"

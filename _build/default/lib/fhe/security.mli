@@ -1,0 +1,22 @@
+(** Security-parameter tables.
+
+    The tables follow the HomomorphicEncryption.org standard (Albrecht et
+    al., "Homomorphic Encryption Standard", 2019) for ternary secrets and
+    classical attacks: for each ring degree they cap the total ciphertext
+    modulus (including any key-switching special primes) that may be used
+    at a given security level. The paper's Section 4.4 describes ANT-ACE
+    using exactly these tables to pick N once Q is known. *)
+
+type level = Bits128 | Bits192 | Bits256 | Toy
+(** [Toy] disables the check; used only in bootstrap unit tests at tiny
+    ring degrees, never by the compiler's parameter selection. *)
+
+val max_log2_q : level -> log2_n:int -> int
+(** Largest permitted [log2 Q] for a ring degree [2^log2_n]. Ring degrees
+    outside the tabulated range [2^10 .. 2^16] yield 0 (conservative). *)
+
+val min_log2_n : level -> log2_q:float -> int option
+(** Smallest tabulated [log2 N] whose cap accommodates [log2_q]; [None]
+    if even [2^16] is too small. *)
+
+val to_string : level -> string

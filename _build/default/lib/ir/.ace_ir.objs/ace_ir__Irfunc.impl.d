@@ -1,0 +1,1 @@
+lib/ir/irfunc.ml: Array Hashtbl Level List Op Printf Types

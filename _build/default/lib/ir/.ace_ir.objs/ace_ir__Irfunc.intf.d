@@ -1,0 +1,1 @@
+lib/ir/irfunc.mli: Level Op Types

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Irfunc Level List Printf Unix Verify

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Float Format Irfunc Level List Op Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Irfunc Level Op Printf Types

@@ -1,0 +1,17 @@
+type t = Nn | Vector | Sihe | Ckks | Poly
+
+let to_string = function
+  | Nn -> "NN"
+  | Vector -> "VECTOR"
+  | Sihe -> "SIHE"
+  | Ckks -> "CKKS"
+  | Poly -> "POLY"
+
+let all = [ Nn; Vector; Sihe; Ckks; Poly ]
+
+let lower_target = function
+  | Nn -> Some Vector
+  | Vector -> Some Sihe
+  | Sihe -> Some Ckks
+  | Ckks -> Some Poly
+  | Poly -> None

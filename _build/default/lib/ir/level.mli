@@ -1,0 +1,15 @@
+(** The five abstraction levels of the ANT-ACE IR (paper Table 2).
+
+    A function is tagged with the level it currently sits at; lowering
+    passes move whole functions one level down. POLY is represented by a
+    separate statement-based IR ({!Ace_poly_ir}) because it introduces RNS
+    loops; it still appears here so pass bookkeeping and compile-time
+    breakdowns (Figure 5) can attribute work to it. *)
+
+type t = Nn | Vector | Sihe | Ckks | Poly
+
+val to_string : t -> string
+val all : t list
+
+val lower_target : t -> t option
+(** The next level down, [None] from [Poly]. *)

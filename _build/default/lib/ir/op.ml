@@ -1,0 +1,139 @@
+type conv_attrs = {
+  out_channels : int;
+  in_channels : int;
+  kernel : int;
+  stride : int;
+  pad : int;
+}
+
+type pool_attrs = { pool_kernel : int; pool_stride : int }
+type gemm_attrs = { rows : int; cols : int }
+type slice_attrs = { start : int; slice_len : int; stride : int }
+
+type nn_kind =
+  | Conv of conv_attrs
+  | Gemm of gemm_attrs
+  | Relu
+  | Sigmoid
+  | Tanh
+  | Average_pool of pool_attrs
+  | Global_average_pool
+  | Flatten
+  | Reshape of int array
+  | Add
+  | Strided_slice of slice_attrs
+
+type t =
+  | Param of int
+  | Weight of string
+  | Const_scalar of float
+  | Nn of nn_kind
+  | V_add
+  | V_mul
+  | V_sub
+  | V_broadcast of int
+  | V_pad of int
+  | V_reshape of int
+  | V_roll of int
+  | V_slice of slice_attrs
+  | V_tile of int
+  | V_nonlinear of string
+  | S_rotate of int
+  | S_add
+  | S_sub
+  | S_mul
+  | S_neg
+  | S_encode
+  | S_decode
+  | C_rotate of int
+  | C_add
+  | C_sub
+  | C_mul
+  | C_neg
+  | C_encode
+  | C_decode
+  | C_relin
+  | C_rescale
+  | C_mod_switch
+  | C_upscale of float
+  | C_downscale of float
+  | C_bootstrap of int
+
+let nn_name = function
+  | Conv _ -> "conv"
+  | Gemm _ -> "gemm"
+  | Relu -> "relu"
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+  | Average_pool _ -> "average_pool"
+  | Global_average_pool -> "global_average_pool"
+  | Flatten -> "flatten"
+  | Reshape _ -> "reshape"
+  | Add -> "add"
+  | Strided_slice _ -> "strided_slice"
+
+let name = function
+  | Param i -> Printf.sprintf "param.%d" i
+  | Weight s -> Printf.sprintf "weight(%s)" s
+  | Const_scalar f -> Printf.sprintf "const(%g)" f
+  | Nn k -> "NN." ^ nn_name k
+  | V_add -> "VECTOR.add"
+  | V_mul -> "VECTOR.mul"
+  | V_sub -> "VECTOR.sub"
+  | V_broadcast k -> Printf.sprintf "VECTOR.broadcast[%d]" k
+  | V_pad k -> Printf.sprintf "VECTOR.pad[%d]" k
+  | V_reshape k -> Printf.sprintf "VECTOR.reshape[%d]" k
+  | V_roll k -> Printf.sprintf "VECTOR.roll[%d]" k
+  | V_slice { start; slice_len; stride } ->
+    Printf.sprintf "VECTOR.slice[%d:%d:%d]" start slice_len stride
+  | V_tile k -> Printf.sprintf "VECTOR.tile[%d]" k
+  | V_nonlinear f -> Printf.sprintf "VECTOR.nonlinear(%s)" f
+  | S_rotate k -> Printf.sprintf "SIHE.rotate[%d]" k
+  | S_add -> "SIHE.add"
+  | S_sub -> "SIHE.sub"
+  | S_mul -> "SIHE.mul"
+  | S_neg -> "SIHE.neg"
+  | S_encode -> "SIHE.encode"
+  | S_decode -> "SIHE.decode"
+  | C_rotate k -> Printf.sprintf "CKKS.rotate[%d]" k
+  | C_add -> "CKKS.add"
+  | C_sub -> "CKKS.sub"
+  | C_mul -> "CKKS.mul"
+  | C_neg -> "CKKS.neg"
+  | C_encode -> "CKKS.encode"
+  | C_decode -> "CKKS.decode"
+  | C_relin -> "CKKS.relin"
+  | C_rescale -> "CKKS.rescale"
+  | C_mod_switch -> "CKKS.modswitch"
+  | C_upscale f -> Printf.sprintf "CKKS.upscale[2^%.1f]" (Float.log2 f)
+  | C_downscale f -> Printf.sprintf "CKKS.downscale[2^%.1f]" (Float.log2 f)
+  | C_bootstrap l -> Printf.sprintf "CKKS.bootstrap[->L%d]" l
+
+let level = function
+  | Param _ | Weight _ | Const_scalar _ -> None
+  | Nn _ -> Some Level.Nn
+  | V_add | V_mul | V_sub | V_broadcast _ | V_pad _ | V_reshape _ | V_roll _ | V_slice _
+  | V_tile _ | V_nonlinear _ ->
+    Some Level.Vector
+  | S_rotate _ | S_add | S_sub | S_mul | S_neg | S_encode | S_decode -> Some Level.Sihe
+  | C_rotate _ | C_add | C_sub | C_mul | C_neg | C_encode | C_decode | C_relin | C_rescale
+  | C_mod_switch | C_upscale _ | C_downscale _ | C_bootstrap _ ->
+    Some Level.Ckks
+
+let arity = function
+  | Param _ | Weight _ | Const_scalar _ -> Some 0
+  | Nn (Conv _) | Nn (Gemm _) -> Some 3
+  | Nn Add -> Some 2
+  | Nn (Relu | Sigmoid | Tanh | Average_pool _ | Global_average_pool | Flatten | Reshape _
+       | Strided_slice _) ->
+    Some 1
+  | V_add | V_mul | V_sub -> Some 2
+  | V_broadcast _ | V_pad _ | V_reshape _ | V_roll _ | V_slice _ | V_tile _ | V_nonlinear _
+    ->
+    Some 1
+  | S_add | S_sub | S_mul -> Some 2
+  | S_rotate _ | S_neg | S_encode | S_decode -> Some 1
+  | C_add | C_sub | C_mul -> Some 2
+  | C_rotate _ | C_neg | C_encode | C_decode | C_relin | C_rescale | C_mod_switch
+  | C_upscale _ | C_downscale _ | C_bootstrap _ ->
+    Some 1

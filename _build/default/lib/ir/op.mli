@@ -1,0 +1,84 @@
+(** Opcodes of the DAG-based IR levels (NN, VECTOR, SIHE, CKKS).
+
+    One variant spans all four levels so that the infrastructure (builder,
+    verifier, printer, pass manager) is shared, exactly as the paper's
+    "in-house IR" hosts multiple abstraction levels. The verifier enforces
+    that a function only contains opcodes of its own level (plus the
+    common ones). POLY has its own statement IR in [Ace_poly_ir]. *)
+
+type conv_attrs = {
+  out_channels : int;
+  in_channels : int;
+  kernel : int; (** square kernels *)
+  stride : int;
+  pad : int; (** symmetric zero padding *)
+}
+
+type pool_attrs = { pool_kernel : int; pool_stride : int }
+
+type gemm_attrs = { rows : int; cols : int (** weight matrix is rows x cols *) }
+
+type slice_attrs = { start : int; slice_len : int; stride : int }
+
+type nn_kind =
+  | Conv of conv_attrs (** args: input, weight, bias *)
+  | Gemm of gemm_attrs (** args: input, weight, bias *)
+  | Relu
+  | Sigmoid
+  | Tanh
+  | Average_pool of pool_attrs
+  | Global_average_pool
+  | Flatten
+  | Reshape of int array
+  | Add (** element-wise; the residual connection *)
+  | Strided_slice of slice_attrs
+
+type t =
+  (* common *)
+  | Param of int (** function parameter index *)
+  | Weight of string (** named constant from the function's constant pool *)
+  | Const_scalar of float
+  (* NN *)
+  | Nn of nn_kind
+  (* VECTOR (paper Table 4) *)
+  | V_add
+  | V_mul
+  | V_sub
+  | V_broadcast of int
+  | V_pad of int
+  | V_reshape of int
+  | V_roll of int
+  | V_slice of slice_attrs
+  | V_tile of int
+  | V_nonlinear of string (** elementwise fn kept opaque until SIHE *)
+  (* SIHE (paper Table 5) *)
+  | S_rotate of int
+  | S_add
+  | S_sub
+  | S_mul
+  | S_neg
+  | S_encode
+  | S_decode
+  (* CKKS (paper Table 6) *)
+  | C_rotate of int
+  | C_add
+  | C_sub
+  | C_mul
+  | C_neg
+  | C_encode
+  | C_decode
+  | C_relin
+  | C_rescale
+  | C_mod_switch
+  | C_upscale of float
+  | C_downscale of float
+  | C_bootstrap of int (** target level *)
+
+val name : t -> string
+(** Dotted mnemonic, e.g. ["VECTOR.roll"], matching the paper's listings. *)
+
+val level : t -> Level.t option
+(** The level an opcode belongs to; [None] for the common opcodes. *)
+
+val arity : t -> int option
+(** Expected argument count when fixed; [None] for variadic. *)

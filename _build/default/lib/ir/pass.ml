@@ -1,0 +1,36 @@
+type t = { pass_name : string; pass_level : Level.t; run : Irfunc.t -> Irfunc.t }
+
+let make ~name ~level run = { pass_name = name; pass_level = level; run }
+
+type timing = { timed_pass : string; timed_level : Level.t; seconds : float }
+
+let run_pipeline ?(verify_after = true) passes f =
+  let timings = ref [] in
+  let out =
+    List.fold_left
+      (fun acc p ->
+        let t0 = Unix.gettimeofday () in
+        let next = p.run acc in
+        let dt = Unix.gettimeofday () -. t0 in
+        timings := { timed_pass = p.pass_name; timed_level = p.pass_level; seconds = dt } :: !timings;
+        if verify_after then begin
+          match Verify.verify_result next with
+          | Ok () -> ()
+          | Error m ->
+            raise (Verify.Ill_formed (Printf.sprintf "after pass %s: %s" p.pass_name m))
+        end;
+        next)
+      f passes
+  in
+  (out, List.rev !timings)
+
+let level_seconds timings =
+  List.filter_map
+    (fun lvl ->
+      let s =
+        List.fold_left
+          (fun acc t -> if t.timed_level = lvl then acc +. t.seconds else acc)
+          0.0 timings
+      in
+      if s > 0.0 || List.exists (fun t -> t.timed_level = lvl) timings then Some (lvl, s) else None)
+    Level.all

@@ -1,0 +1,25 @@
+(** Pass manager.
+
+    A pass transforms an IR function and is tagged with the level whose
+    compile-time budget it belongs to, so the driver can report the
+    per-level breakdown of Figure 5. Passes are verified after execution
+    unless disabled (the verifier is itself part of the infrastructure
+    budget). *)
+
+type t = {
+  pass_name : string;
+  pass_level : Level.t;
+  run : Irfunc.t -> Irfunc.t;
+}
+
+val make : name:string -> level:Level.t -> (Irfunc.t -> Irfunc.t) -> t
+
+type timing = { timed_pass : string; timed_level : Level.t; seconds : float }
+
+val run_pipeline :
+  ?verify_after:bool -> t list -> Irfunc.t -> Irfunc.t * timing list
+(** Run passes in order, timing each. [verify_after] defaults to true.
+    @raise Verify.Ill_formed if a pass breaks the invariants. *)
+
+val level_seconds : timing list -> (Level.t * float) list
+(** Aggregate timings per level, in level order, for the Figure 5 rows. *)

@@ -1,0 +1,37 @@
+let pp_node fmt (n : Irfunc.node) =
+  let args = String.concat " " (List.map (Printf.sprintf "%%%d") (Array.to_list n.args)) in
+  Format.fprintf fmt "  %%%d = %s%s%s : %s" n.id (Op.name n.op)
+    (if args = "" then "" else " ")
+    args
+    (Types.to_string n.ty);
+  if n.scale > 0.0 then Format.fprintf fmt " scale=2^%.2f" (Float.log2 n.scale);
+  if n.node_level >= 0 then Format.fprintf fmt " level=%d" n.node_level;
+  Format.fprintf fmt "@,"
+
+let pp fmt f =
+  let params =
+    Irfunc.params f |> Array.to_list
+    |> List.mapi (fun i (name, ty) -> Printf.sprintf "%%%d /*%s*/: %s" i name (Types.to_string ty))
+    |> String.concat ", "
+  in
+  Format.fprintf fmt "@[<v>func @%s(%s)  level=%s@," (Irfunc.name f) params
+    (Level.to_string (Irfunc.level f));
+  Irfunc.iter f (fun n ->
+      match n.op with
+      | Op.Param _ -> ()
+      | _ -> pp_node fmt n);
+  Format.fprintf fmt "  return %s@,"
+    (String.concat " " (List.map (Printf.sprintf "%%%d") (Irfunc.returns f)));
+  let consts = Irfunc.const_names f in
+  if consts <> [] then
+    Format.fprintf fmt "  // constants: %s@,"
+      (String.concat ", "
+         (List.map
+            (fun c -> Printf.sprintf "%s[%d]" c (Array.length (Irfunc.const f c)))
+            consts));
+  Format.fprintf fmt "@]"
+
+let to_string f = Format.asprintf "%a" pp f
+
+let line_count f =
+  Irfunc.fold f ~init:2 ~f:(fun acc n -> match n.op with Op.Param _ -> acc | _ -> acc + 1)

@@ -1,0 +1,19 @@
+(** Textual rendering of IR functions, in an SSA listing style:
+
+    {v
+    func @linear_infer(%0: tensor<84x1>) -> tensor<10x1>  level=NN
+      %1 = weight(fc.weight) : tensor<10x84>
+      %2 = weight(fc.bias) : tensor<10x1>
+      %3 = NN.gemm %0 %1 %2 : tensor<10x1>
+      return %3
+    v}
+
+    Used by the Section-4 walk-through example, by golden tests, and by
+    compile-statistics reporting (IR line counts per level). *)
+
+val pp : Format.formatter -> Irfunc.t -> unit
+val to_string : Irfunc.t -> string
+
+val line_count : Irfunc.t -> int
+(** Number of instruction lines the listing contains (the paper reports
+    POLY-IR size in lines for the gemv example). *)

@@ -1,0 +1,34 @@
+type t =
+  | Tensor of int array
+  | Vec of int
+  | Plain
+  | Cipher
+  | Cipher3
+  | Scalar
+
+let equal a b =
+  match (a, b) with
+  | Tensor x, Tensor y -> x = y
+  | Vec x, Vec y -> x = y
+  | Plain, Plain | Cipher, Cipher | Cipher3, Cipher3 | Scalar, Scalar -> true
+  | (Tensor _ | Vec _ | Plain | Cipher | Cipher3 | Scalar), _ -> false
+
+let to_string = function
+  | Tensor dims ->
+    "tensor<" ^ String.concat "x" (Array.to_list (Array.map string_of_int dims)) ^ ">"
+  | Vec n -> Printf.sprintf "vec<%d>" n
+  | Plain -> "plain"
+  | Cipher -> "cipher"
+  | Cipher3 -> "cipher3"
+  | Scalar -> "scalar"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let tensor_elems = function
+  | Tensor dims -> Array.fold_left ( * ) 1 dims
+  | Vec n -> n
+  | Plain | Cipher | Cipher3 | Scalar -> invalid_arg "Types.tensor_elems"
+
+let is_ciphertext = function
+  | Cipher | Cipher3 -> true
+  | Tensor _ | Vec _ | Plain | Scalar -> false

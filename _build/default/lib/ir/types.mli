@@ -1,0 +1,25 @@
+(** Types carried by IR values across abstraction levels.
+
+    NN values are shaped tensors; VECTOR abstracts them to flat cleartext
+    vectors; SIHE and CKKS distinguish ciphertexts ([Cipher], and the
+    transient three-polynomial [Cipher3] produced by ciphertext-ciphertext
+    multiplication), encoded plaintexts ([Plain]) and cleartext vectors
+    inherited from the VECTOR level. Element types are uniformly float. *)
+
+type t =
+  | Tensor of int array (** dimensions, row-major *)
+  | Vec of int (** cleartext vector; SIHE/CKKS inherit it from VECTOR *)
+  | Plain
+  | Cipher
+  | Cipher3
+  | Scalar
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val tensor_elems : t -> int
+(** Number of scalar elements; @raise Invalid_argument for non-tensor /
+    non-vector types. *)
+
+val is_ciphertext : t -> bool

@@ -1,0 +1,126 @@
+exception Ill_formed of string
+
+let fail id fmt = Printf.ksprintf (fun s -> raise (Ill_formed (Printf.sprintf "node %%%d: %s" id s))) fmt
+
+let conv_out_dims (a : Op.conv_attrs) in_dims =
+  match in_dims with
+  | [| c; h; w |] when c = a.in_channels ->
+    let out d = ((d + (2 * a.pad) - a.kernel) / a.stride) + 1 in
+    [| a.out_channels; out h; out w |]
+  | _ -> [||]
+
+let check_node f (n : Irfunc.node) =
+  let ty i = (Irfunc.node f n.args.(i)).ty in
+  let is_cipher t = Types.equal t Types.Cipher in
+  let cipher_or_plain t = Types.equal t Types.Cipher || Types.equal t Types.Plain in
+  match n.op with
+  | Op.Param i ->
+    let _, pty = (Irfunc.params f).(i) in
+    if not (Types.equal pty n.ty) then fail n.id "param type mismatch"
+  | Op.Weight name ->
+    if not (Irfunc.has_const f name) then fail n.id "weight %s not in constant pool" name;
+    let elems = Array.length (Irfunc.const f name) in
+    (match n.ty with
+    | Types.Tensor _ | Types.Vec _ ->
+      if Types.tensor_elems n.ty <> elems then
+        fail n.id "weight %s has %d elements but type %s" name elems (Types.to_string n.ty)
+    | Types.Plain -> ()
+    | _ -> fail n.id "weight must be tensor, vector, clear or plain")
+  | Op.Const_scalar _ -> if not (Types.equal n.ty Types.Scalar) then fail n.id "const must be scalar"
+  | Op.Nn k -> (
+    match k with
+    | Op.Conv a -> (
+      match (ty 0, n.ty) with
+      | Types.Tensor din, Types.Tensor dout ->
+        let expect = conv_out_dims a din in
+        if expect = [||] then fail n.id "conv input shape/channels mismatch";
+        if expect <> dout then
+          fail n.id "conv output should be %s" (Types.to_string (Types.Tensor expect))
+      | _ -> fail n.id "conv operands must be tensors")
+    | Op.Gemm g -> (
+      match (ty 0, n.ty) with
+      | Types.Tensor _, Types.Tensor dout ->
+        if Types.tensor_elems (ty 0) <> g.cols then fail n.id "gemm input length != cols";
+        if Types.tensor_elems (Types.Tensor dout) <> g.rows then fail n.id "gemm output length != rows"
+      | _ -> fail n.id "gemm operands must be tensors")
+    | Op.Relu | Op.Sigmoid | Op.Tanh | Op.Average_pool _ | Op.Global_average_pool
+    | Op.Flatten | Op.Reshape _ | Op.Strided_slice _ -> (
+      match ty 0 with
+      | Types.Tensor _ -> ()
+      | _ -> fail n.id "NN op needs tensor input")
+    | Op.Add ->
+      if not (Types.equal (ty 0) (ty 1)) then fail n.id "NN.add operands differ";
+      if not (Types.equal (ty 0) n.ty) then fail n.id "NN.add result type differs")
+  | Op.V_add | Op.V_mul | Op.V_sub ->
+    if not (Types.equal (ty 0) (ty 1) && Types.equal (ty 0) n.ty) then
+      fail n.id "VECTOR binop type mismatch"
+  | Op.V_roll _ | Op.V_nonlinear _ ->
+    if not (Types.equal (ty 0) n.ty) then fail n.id "VECTOR unop must preserve type"
+  | Op.V_broadcast _ | Op.V_pad _ | Op.V_reshape _ | Op.V_slice _ | Op.V_tile _ -> (
+    match (ty 0, n.ty) with
+    | Types.Vec _, Types.Vec _ -> ()
+    | _ -> fail n.id "VECTOR shape op needs vectors")
+  | Op.S_add | Op.S_sub | Op.S_mul ->
+    if not (is_cipher (ty 0)) then fail n.id "SIHE binop first operand must be cipher";
+    if not (cipher_or_plain (ty 1)) then fail n.id "SIHE binop second operand must be cipher|plain";
+    if not (is_cipher n.ty) then fail n.id "SIHE binop result must be cipher"
+  | Op.S_rotate _ | Op.S_neg ->
+    if not (is_cipher (ty 0) && is_cipher n.ty) then fail n.id "SIHE unop needs cipher"
+  | Op.S_encode -> (
+    match (ty 0, n.ty) with
+    | Types.Vec _, Types.Plain -> ()
+    | _ -> fail n.id "SIHE.encode: clear -> plain")
+  | Op.S_decode -> (
+    match (ty 0, n.ty) with
+    | Types.Plain, Types.Vec _ -> ()
+    | _ -> fail n.id "SIHE.decode: plain -> clear")
+  | Op.C_add | Op.C_sub ->
+    if not (is_cipher (ty 0)) then fail n.id "CKKS binop first operand must be cipher";
+    if not (cipher_or_plain (ty 1)) then fail n.id "CKKS binop second operand must be cipher|plain";
+    if not (is_cipher n.ty) then fail n.id "CKKS binop result must be cipher"
+  | Op.C_mul ->
+    if not (is_cipher (ty 0)) then fail n.id "CKKS.mul first operand must be cipher";
+    (match ty 1 with
+    | Types.Cipher -> if not (Types.equal n.ty Types.Cipher3) then fail n.id "cipher*cipher yields cipher3"
+    | Types.Plain -> if not (Types.equal n.ty Types.Cipher) then fail n.id "cipher*plain yields cipher"
+    | _ -> fail n.id "CKKS.mul second operand must be cipher|plain")
+  | Op.C_relin -> (
+    match (ty 0, n.ty) with
+    | Types.Cipher3, Types.Cipher -> ()
+    | _ -> fail n.id "CKKS.relin: cipher3 -> cipher")
+  | Op.C_rotate _ | Op.C_neg | Op.C_rescale | Op.C_mod_switch | Op.C_upscale _
+  | Op.C_downscale _ | Op.C_bootstrap _ ->
+    if not (is_cipher (ty 0) && is_cipher n.ty) then fail n.id "CKKS unop needs cipher"
+  | Op.C_encode -> (
+    match (ty 0, n.ty) with
+    | Types.Vec _, Types.Plain -> ()
+    | _ -> fail n.id "CKKS.encode: clear -> plain")
+  | Op.C_decode -> (
+    match (ty 0, n.ty) with
+    | Types.Plain, Types.Vec _ -> ()
+    | _ -> fail n.id "CKKS.decode: plain -> clear")
+
+let verify f =
+  if Irfunc.returns f = [] then raise (Ill_formed "no return values");
+  Irfunc.iter f (fun n ->
+      Array.iter
+        (fun a -> if a >= n.id then fail n.id "argument %%%d is not an earlier node" a)
+        n.args;
+      (match Op.arity n.op with
+      | Some k when k <> Array.length n.args -> fail n.id "arity"
+      | _ -> ());
+      (* SIHE and CKKS functions inherit cleartext VECTOR ops (the paper's
+         Listings 3-4 keep VECTOR.slice on weights), except the nonlinear
+         placeholder, which must have been approximated away. *)
+      (match (Op.level n.op, Irfunc.level f) with
+      | None, _ -> ()
+      | Some l, fl when l = fl -> ()
+      | Some Level.Vector, (Level.Sihe | Level.Ckks) -> (
+        match n.op with
+        | Op.V_nonlinear fn -> fail n.id "unapproximated nonlinear %s below VECTOR level" fn
+        | _ -> ())
+      | Some l, fl ->
+        fail n.id "%s op in %s-level function" (Level.to_string l) (Level.to_string fl));
+      check_node f n)
+
+let verify_result f = try Ok (verify f) with Ill_formed m -> Error m

@@ -1,0 +1,16 @@
+(** IR verifier.
+
+    Checks structural well-formedness (argument ids in range and earlier
+    than their users, arities, returns set), level consistency (a function
+    at level L contains only L-level and common opcodes) and per-opcode
+    typing rules (e.g. [SIHE.mul]'s first operand is a ciphertext, its
+    second a ciphertext or plaintext, and the result type matches; Conv
+    weights have the declared shape). Every pass is expected to preserve
+    [verify]; the pass manager re-checks after each pass when enabled. *)
+
+exception Ill_formed of string
+
+val verify : Irfunc.t -> unit
+(** @raise Ill_formed with a diagnostic naming the offending node. *)
+
+val verify_result : Irfunc.t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/models/dataset.ml: Ace_util Array

@@ -1,0 +1,1 @@
+lib/models/resnet.ml: Ace_ir Ace_nn Ace_onnx Ace_util Array Hashtbl Irfunc List Op Printf Verify

@@ -1,0 +1,1 @@
+lib/models/resnet.mli: Ace_ir Ace_onnx

@@ -1,0 +1,40 @@
+module Rng = Ace_util.Rng
+
+type t = {
+  images : float array array;
+  labels : int array;
+  prototypes : float array array;
+  classes : int;
+  dims : int array;
+}
+
+let clip v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v
+
+let generate ~classes ~image_size ~count ~noise ~seed =
+  let dims = [| 3; image_size; image_size |] in
+  let n = 3 * image_size * image_size in
+  let proto_rng = Rng.create (seed * 31 + 1) in
+  let protos = Array.init classes (fun _ -> Array.init n (fun _ -> Rng.float proto_rng 1.0)) in
+  let rng = Rng.create seed in
+  let labels = Array.init count (fun _ -> Rng.int rng classes) in
+  let images =
+    Array.map
+      (fun label ->
+        Array.init n (fun i -> clip (protos.(label).(i) +. Rng.gaussian rng noise)))
+      labels
+  in
+  { images; labels; prototypes = protos; classes; dims }
+
+let model_labels infer t =
+  let argmax v =
+    let best = ref 0 in
+    Array.iteri (fun i x -> if x > v.(!best) then best := i) v;
+    !best
+  in
+  let proto_class = Array.map (fun p -> argmax (infer p)) t.prototypes in
+  Array.map (fun l -> proto_class.(l)) t.labels
+
+let argmax v =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > v.(!best) then best := i) v;
+  !best

@@ -1,0 +1,30 @@
+(** Synthetic labelled image set (CIFAR substitute, see DESIGN.md).
+
+    Images are class prototypes plus noise: class [k] has a deterministic
+    prototype pattern; a sample is [prototype + sigma * noise], clipped to
+    [\[0, 1\]]. The resulting task is learnable-free — a fixed network
+    separates classes only as well as its random features allow — but that
+    is irrelevant for the paper's Table 11, which measures whether
+    {e encrypted} inference preserves the {e cleartext} model's outputs.
+    We report both label accuracy and clear/encrypted agreement. *)
+
+type t = {
+  images : float array array;
+  labels : int array;
+  prototypes : float array array; (** noise-free class patterns *)
+  classes : int;
+  dims : int array;
+}
+
+val model_labels :
+  (float array -> float array) -> t -> int array
+(** [model_labels infer t] relabels each sample with the class the model
+    assigns to its {e noise-free prototype}. With these labels, "accuracy"
+    measures robustness of the model's own decision regions to the sample
+    noise — meaningful even for untrained synthetic networks, and directly
+    comparable between cleartext and encrypted execution (Table 11). *)
+
+val generate :
+  classes:int -> image_size:int -> count:int -> noise:float -> seed:int -> t
+
+val argmax : float array -> int

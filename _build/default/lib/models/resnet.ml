@@ -1,0 +1,170 @@
+module B = Ace_onnx.Builder
+module Model = Ace_onnx.Model
+module Rng = Ace_util.Rng
+open Ace_ir
+
+type spec = {
+  model_name : string;
+  depth : int;
+  classes : int;
+  image_size : int;
+  base_channels : int;
+  seed : int;
+}
+
+(* Simulation scale (DESIGN.md): 8x8 inputs, 4/8/16 channels so the whole
+   suite (six models, two strategies) fits a single-core time budget. The
+   block structure (6n+2) is exactly the paper's. *)
+let mk name depth classes seed =
+  { model_name = name; depth; classes; image_size = 8; base_channels = 4; seed }
+
+let resnet20 = mk "resnet20" 20 10 101
+let resnet32 = mk "resnet32" 32 10 102
+let resnet32_star = mk "resnet32s" 32 100 103
+let resnet44 = mk "resnet44" 44 10 104
+let resnet56 = mk "resnet56" 56 10 105
+let resnet110 = mk "resnet110" 110 10 106
+
+let all_paper_models = [ resnet20; resnet32; resnet32_star; resnet44; resnet56; resnet110 ]
+
+let blocks_per_stage s =
+  if (s.depth - 2) mod 6 <> 0 then invalid_arg "Resnet: depth must be 6n+2";
+  (s.depth - 2) / 6
+
+let build s =
+  let n = blocks_per_stage s in
+  let b = B.create s.model_name in
+  let rng = Rng.create s.seed in
+  let seed () = Rng.int rng 1_000_000 in
+  B.input b "image" [| 3; s.image_size; s.image_size |];
+  let conv ~name ~inp ~in_c ~out_c ~kernel ~stride =
+    let fan_in = in_c * kernel * kernel in
+    let std = sqrt (2.0 /. float_of_int fan_in) in
+    B.init_normal b (name ^ ".weight") [| out_c; in_c; kernel; kernel |] ~seed:(seed ()) ~std;
+    B.init_normal b (name ^ ".bias") [| out_c |] ~seed:(seed ()) ~std:0.02;
+    let pad = kernel / 2 in
+    B.node b ~op:"Conv"
+      ~attrs:[ ("strides", Model.A_ints [ stride; stride ]); ("pads", Model.A_ints [ pad; pad; pad; pad ]) ]
+      ~inputs:[ inp; name ^ ".weight"; name ^ ".bias" ]
+      name;
+    name
+  in
+  let relu ~name ~inp =
+    B.node b ~op:"Relu" ~inputs:[ inp ] name;
+    name
+  in
+  let x = ref (conv ~name:"conv1" ~inp:"image" ~in_c:3 ~out_c:s.base_channels ~kernel:3 ~stride:1) in
+  x := relu ~name:"relu1" ~inp:!x;
+  let channels = ref s.base_channels in
+  for stage = 0 to 2 do
+    for block = 0 to n - 1 do
+      let tag = Printf.sprintf "s%db%d" stage block in
+      let stride = if stage > 0 && block = 0 then 2 else 1 in
+      let out_c = if stage > 0 && block = 0 then !channels * 2 else !channels in
+      let shortcut =
+        if stride = 1 && out_c = !channels then !x
+        else
+          conv ~name:(tag ^ ".short") ~inp:!x ~in_c:!channels ~out_c ~kernel:1 ~stride
+      in
+      let c1 = conv ~name:(tag ^ ".conv1") ~inp:!x ~in_c:!channels ~out_c ~kernel:3 ~stride in
+      let r1 = relu ~name:(tag ^ ".relu1") ~inp:c1 in
+      let c2 = conv ~name:(tag ^ ".conv2") ~inp:r1 ~in_c:out_c ~out_c ~kernel:3 ~stride:1 in
+      B.node b ~op:"Add" ~inputs:[ c2; shortcut ] (tag ^ ".sum");
+      x := relu ~name:(tag ^ ".relu2") ~inp:(tag ^ ".sum");
+      channels := out_c
+    done
+  done;
+  B.node b ~op:"GlobalAveragePool" ~inputs:[ !x ] "gap";
+  let fan_in = !channels in
+  B.init_normal b "fc.weight" [| s.classes; fan_in |] ~seed:(seed ()) ~std:(sqrt (2.0 /. float_of_int fan_in));
+  B.init_normal b "fc.bias" [| s.classes |] ~seed:(seed ()) ~std:0.02;
+  B.node b ~op:"Gemm" ~inputs:[ "gap"; "fc.weight"; "fc.bias" ] "logits";
+  B.output b "logits" [| s.classes |];
+  B.finish b
+
+(* Calibration: the network without its biases is positively homogeneous,
+   and ReLU commutes with positive scaling, so multiplying the first conv's
+   weights and every bias by alpha scales every activation by alpha
+   exactly. Choose alpha so the largest |ReLU input| on a probe set lands
+   at [headroom]. *)
+let calibrate ?(samples = 4) ?(headroom = 0.85) f spec =
+  (* Probe with deterministic pseudo-images in [0,1). *)
+  let rng = Rng.create (spec.seed + 7777) in
+  let dims = 3 * spec.image_size * spec.image_size in
+  let probes = List.init samples (fun _ -> Array.init dims (fun _ -> Rng.float rng 1.0)) in
+  (* Find max |ReLU input| by evaluating truncated copies of the function:
+     rebuild f with returns set to each ReLU's argument. Cheap at these
+     sizes and keeps Nn_interp's interface minimal. *)
+  let relu_args =
+    Irfunc.fold f ~init:[] ~f:(fun acc n ->
+        match n.Irfunc.op with
+        | Op.Nn Op.Relu -> n.Irfunc.args.(0) :: acc
+        | _ -> acc)
+  in
+  let worst = ref 1e-9 in
+  let probe_f = f in
+  let saved = Irfunc.returns f in
+  List.iter
+    (fun arg ->
+      Irfunc.set_returns probe_f [ arg ];
+      List.iter
+        (fun img ->
+          let out = List.hd (Ace_nn.Nn_interp.run probe_f [ img ]) in
+          Array.iter (fun v -> worst := max !worst (abs_float v)) out)
+        probes)
+    relu_args;
+  Irfunc.set_returns probe_f saved;
+  let alpha = headroom /. !worst in
+  (* Apply: first conv weights and all biases scaled by alpha. The NN IR
+     shares constants by name, so rewrite the pool via a rebuilt function. *)
+  let first_conv_weight =
+    let found = ref None in
+    Irfunc.iter f (fun n ->
+        match (n.Irfunc.op, !found) with
+        | Op.Nn (Op.Conv _), None -> (
+          match (Irfunc.node f n.Irfunc.args.(1)).Irfunc.op with
+          | Op.Weight w -> found := Some w
+          | _ -> ())
+        | _ -> ());
+    match !found with
+    | Some w -> w
+    | None -> invalid_arg "calibrate: no convolution found"
+  in
+  let bias_names =
+    Irfunc.fold f ~init:[] ~f:(fun acc n ->
+        match n.Irfunc.op with
+        | Op.Nn (Op.Conv _) | Op.Nn (Op.Gemm _) -> (
+          match (Irfunc.node f n.Irfunc.args.(2)).Irfunc.op with
+          | Op.Weight b -> b :: acc
+          | _ -> acc)
+        | _ -> acc)
+  in
+  (* The pool stores constants by reference; scale them in place. *)
+  let scale_const name factor =
+    let data = Irfunc.const f name in
+    Array.iteri (fun i v -> data.(i) <- v *. factor) data
+  in
+  scale_const first_conv_weight alpha;
+  List.iter (fun b -> scale_const b alpha) (List.sort_uniq compare bias_names);
+  f
+
+let cache : (string, Irfunc.t) Hashtbl.t = Hashtbl.create 8
+
+let build_calibrated ?(samples = 4) s =
+  match Hashtbl.find_opt cache s.model_name with
+  | Some f -> f
+  | None ->
+    let f = Ace_nn.Import.import (build s) in
+    let f = calibrate ~samples f s in
+    Verify.verify f;
+    Hashtbl.replace cache s.model_name f;
+    f
+
+let multiplicative_depth_hint s =
+  (* One plaintext multiply per conv plus the ReLU polynomial depth per
+     activation along the longest path; refined analysis happens in the
+     CKKS-level pass. *)
+  let n = blocks_per_stage s in
+  let relus = 1 + (6 * n) in
+  let convs = s.depth - 1 in
+  convs + (relus * 8)

@@ -1,0 +1,47 @@
+(** ResNet model generators (the paper's evaluation workloads).
+
+    The paper evaluates ResNet-20/32/44/56/110 on CIFAR-10 and ResNet-32
+    on CIFAR-100. CIFAR weights and training are unavailable in this
+    container, so the generators build the same architectures at a
+    documented simulation scale (DESIGN.md): [3 x size x size] inputs,
+    three stages of [n] residual blocks with the classic depth formula
+    [depth = 6n + 2], channel widths doubling per stage, stride-2
+    transitions, global average pooling and a final FC layer. Weights are
+    deterministic pseudo-random, He-style scaled, then calibrated so that
+    every ReLU input stays within the sign-approximation domain. *)
+
+type spec = {
+  model_name : string;
+  depth : int; (** 6n+2: 20, 32, 44, 56, 110 *)
+  classes : int; (** 10, or 100 for ResNet-32* *)
+  image_size : int;
+  base_channels : int;
+  seed : int;
+}
+
+val resnet20 : spec
+val resnet32 : spec
+
+val resnet32_star : spec
+(** The paper's CIFAR-100 variant ("ResNet-32*"). *)
+
+val resnet44 : spec
+val resnet56 : spec
+val resnet110 : spec
+
+val all_paper_models : spec list
+(** The six evaluation rows of Figures 5-7 / Tables 10-11, paper order. *)
+
+val blocks_per_stage : spec -> int
+
+val build : spec -> Ace_onnx.Model.graph
+(** Generate the ONNX-subset graph (uncalibrated weights). *)
+
+val build_calibrated : ?samples:int -> spec -> Ace_ir.Irfunc.t
+(** Import to NN IR and rescale each layer's weights so activations on a
+    probe set stay within [(-1, 1)] — the precondition of the polynomial
+    ReLU (paper Section 6, RQ4 discusses exactly this precision interplay).
+    Results are cached per spec. *)
+
+val multiplicative_depth_hint : spec -> int
+(** Rough multiplicative-depth count used by parameter-selection tests. *)

@@ -1,0 +1,1 @@
+lib/nn/fusion.ml: Ace_ir Array Irfunc Level List Op Pass

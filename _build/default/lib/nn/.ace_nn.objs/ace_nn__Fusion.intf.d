@@ -1,0 +1,1 @@
+lib/nn/fusion.mli: Ace_ir

@@ -1,0 +1,1 @@
+lib/nn/import.ml: Ace_ir Ace_onnx Array Hashtbl Irfunc Level List Op Printf String Types Verify

@@ -1,0 +1,1 @@
+lib/nn/import.mli: Ace_ir Ace_onnx

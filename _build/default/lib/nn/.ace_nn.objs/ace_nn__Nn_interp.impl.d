@@ -1,0 +1,1 @@
+lib/nn/nn_interp.ml: Ace_ir Array Irfunc Level List Op Printf Types

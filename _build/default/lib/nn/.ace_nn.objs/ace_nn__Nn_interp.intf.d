@@ -1,0 +1,1 @@
+lib/nn/nn_interp.mli: Ace_ir

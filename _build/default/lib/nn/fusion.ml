@@ -1,0 +1,65 @@
+open Ace_ir
+
+let copy_meta (src : Irfunc.node) dst_f id =
+  let m = Irfunc.node dst_f id in
+  if m.Irfunc.origin = "" then m.Irfunc.origin <- src.Irfunc.origin
+
+let dce f =
+  let live = Array.make (Irfunc.num_nodes f) false in
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      Array.iter mark (Irfunc.node f i).Irfunc.args
+    end
+  in
+  List.iter mark (Irfunc.returns f);
+  (* Parameters always survive (they define the calling convention). *)
+  Array.iteri (fun i _ -> live.(i) <- true) (Irfunc.params f);
+  let params = Array.to_list (Irfunc.params f) in
+  Irfunc.map_rebuild f ~name:(Irfunc.name f) ~level:(Irfunc.level f) ~params
+    ~emit:(fun dst lookup n ->
+      match n.Irfunc.op with
+      | Op.Param i -> Irfunc.param dst i
+      | _ ->
+        if live.(n.Irfunc.id) then begin
+          let id = Irfunc.add dst n.Irfunc.op (Array.map lookup n.Irfunc.args) n.Irfunc.ty in
+          copy_meta n dst id;
+          id
+        end
+        else
+          (* Dead: map to a sentinel that must never be referenced. The
+             lookup of a dead node by a live one is impossible because
+             liveness is closed over arguments. *)
+          -1)
+
+let collapse_shape_ops f =
+  let is_shape_only (n : Irfunc.node) =
+    match n.Irfunc.op with
+    | Op.Nn Op.Flatten | Op.Nn (Op.Reshape _) -> true
+    | _ -> false
+  in
+  let params = Array.to_list (Irfunc.params f) in
+  Irfunc.map_rebuild f ~name:(Irfunc.name f) ~level:(Irfunc.level f) ~params
+    ~emit:(fun dst lookup n ->
+      match n.Irfunc.op with
+      | Op.Param i -> Irfunc.param dst i
+      | Op.Nn Op.Flatten | Op.Nn (Op.Reshape _) ->
+        let src = Irfunc.node f n.Irfunc.args.(0) in
+        let id =
+          if is_shape_only src then
+            (* Skip the intermediate: retype this node over its grandparent. *)
+            Irfunc.add dst n.Irfunc.op [| lookup src.Irfunc.args.(0) |] n.Irfunc.ty
+          else Irfunc.add dst n.Irfunc.op (Array.map lookup n.Irfunc.args) n.Irfunc.ty
+        in
+        copy_meta n dst id;
+        id
+      | _ ->
+        let id = Irfunc.add dst n.Irfunc.op (Array.map lookup n.Irfunc.args) n.Irfunc.ty in
+        copy_meta n dst id;
+        id)
+
+let pass =
+  [
+    Pass.make ~name:"nn-collapse-shape-ops" ~level:Level.Nn collapse_shape_ops;
+    Pass.make ~name:"nn-dce" ~level:Level.Nn dce;
+  ]

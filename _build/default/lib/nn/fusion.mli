@@ -1,0 +1,16 @@
+(** NN-level operator fusion and cleanup (paper Table 2, row NN).
+
+    BatchNorm folding happens at import; what remains profitable here is
+    dead-code elimination (folding leaves orphaned producers behind) and
+    collapsing chains of shape-only operators (Flatten/Reshape compose to
+    a single reshape, and disappear entirely when the element order is
+    unchanged end to end — the VECTOR level flattens everything anyway). *)
+
+val dce : Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
+(** Drop nodes unreachable from the returns. *)
+
+val collapse_shape_ops : Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
+(** Rewrite Flatten/Reshape-of-Flatten/Reshape to one node. *)
+
+val pass : Ace_ir.Pass.t list
+(** The NN fusion pipeline in canonical order. *)

@@ -1,0 +1,217 @@
+module Model = Ace_onnx.Model
+open Ace_ir
+
+exception Unsupported of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let tensor dims = Types.Tensor dims
+
+(* Value environment: ONNX value name -> (IR node id, dims). *)
+type env = (string, int * int array) Hashtbl.t
+
+let import (g : Model.graph) =
+  Model.check g;
+  let params = List.map (fun (v : Model.value_info) -> (v.v_name, tensor v.v_dims)) g.g_inputs in
+  let f = Irfunc.create ~name:g.g_name ~level:Level.Nn ~params in
+  let env : env = Hashtbl.create 64 in
+  List.iteri
+    (fun i (v : Model.value_info) -> Hashtbl.replace env v.v_name (Irfunc.param f i, v.v_dims))
+    g.g_inputs;
+  List.iter
+    (fun (i : Model.initializer_) -> Irfunc.add_const f i.i_name ~dims:i.i_dims i.i_data)
+    g.g_inits;
+  let weight_node name dims =
+    let id = Irfunc.add f (Op.Weight name) [||] (tensor dims) in
+    id
+  in
+  let value name =
+    match Hashtbl.find_opt env name with
+    | Some v -> v
+    | None -> (
+      (* Initializers referenced as node inputs materialise lazily. *)
+      match Model.find_init g name with
+      | Some i ->
+        let v = (weight_node i.i_name i.i_dims, i.i_dims) in
+        Hashtbl.replace env name v;
+        v
+      | None -> fail "undefined value %s" name)
+  in
+  let init_data name =
+    match Model.find_init g name with
+    | Some i -> i
+    | None -> fail "%s must be an initializer" name
+  in
+  let emit (n : Model.node) =
+    let out_name = List.hd n.n_outputs in
+    let define id dims = Hashtbl.replace env out_name (id, dims) in
+    match n.n_op with
+    | "Conv" ->
+      let x, xd = value (List.nth n.n_inputs 0) in
+      let w = init_data (List.nth n.n_inputs 1) in
+      let b = init_data (List.nth n.n_inputs 2) in
+      let oc, ic, kh, kw =
+        match w.i_dims with
+        | [| a; b; c; d |] -> (a, b, c, d)
+        | _ -> fail "Conv weight must be 4-D"
+      in
+      if kh <> kw then fail "Conv: only square kernels";
+      let stride = match Model.attr_ints n "strides" ~default:[ 1; 1 ] with
+        | [ s ] | [ s; _ ] -> s
+        | _ -> 1
+      in
+      let pad = match Model.attr_ints n "pads" ~default:[ 0; 0; 0; 0 ] with
+        | p :: _ -> p
+        | [] -> 0
+      in
+      (match xd with
+      | [| c; _; _ |] when c = ic -> ()
+      | _ -> fail "Conv: input channel mismatch for %s" n.n_name);
+      let attrs = { Op.out_channels = oc; in_channels = ic; kernel = kh; stride; pad } in
+      let h = xd.(1) and wdim = xd.(2) in
+      let out d = ((d + (2 * pad) - kh) / stride) + 1 in
+      let od = [| oc; out h; out wdim |] in
+      let wi = weight_node w.i_name w.i_dims and bi = weight_node b.i_name b.i_dims in
+      define (Irfunc.add f (Op.Nn (Op.Conv attrs)) [| x; wi; bi |] (tensor od)) od
+    | "Gemm" ->
+      let x, xd = value (List.nth n.n_inputs 0) in
+      let w = init_data (List.nth n.n_inputs 1) in
+      let b = init_data (List.nth n.n_inputs 2) in
+      let rows, cols =
+        match w.i_dims with [| r; c |] -> (r, c) | _ -> fail "Gemm weight must be 2-D"
+      in
+      if Array.fold_left ( * ) 1 xd <> cols then fail "Gemm: input length mismatch";
+      let od = [| rows |] in
+      let wi = weight_node w.i_name w.i_dims and bi = weight_node b.i_name b.i_dims in
+      define (Irfunc.add f (Op.Nn (Op.Gemm { Op.rows; cols })) [| x; wi; bi |] (tensor od)) od
+    | "Relu" ->
+      let x, xd = value (List.hd n.n_inputs) in
+      define (Irfunc.add f (Op.Nn Op.Relu) [| x |] (tensor xd)) xd
+    | "Sigmoid" ->
+      let x, xd = value (List.hd n.n_inputs) in
+      define (Irfunc.add f (Op.Nn Op.Sigmoid) [| x |] (tensor xd)) xd
+    | "Tanh" ->
+      let x, xd = value (List.hd n.n_inputs) in
+      define (Irfunc.add f (Op.Nn Op.Tanh) [| x |] (tensor xd)) xd
+    | "Add" ->
+      let x, xd = value (List.nth n.n_inputs 0) in
+      let y, yd = value (List.nth n.n_inputs 1) in
+      if xd <> yd then fail "Add: shape mismatch";
+      define (Irfunc.add f (Op.Nn Op.Add) [| x; y |] (tensor xd)) xd
+    | "AveragePool" ->
+      let x, xd = value (List.hd n.n_inputs) in
+      let k = match Model.attr_ints n "kernel_shape" ~default:[ 2 ] with
+        | kk :: _ -> kk
+        | [] -> 2
+      in
+      let s = match Model.attr_ints n "strides" ~default:[ k ] with
+        | ss :: _ -> ss
+        | [] -> k
+      in
+      (match xd with
+      | [| c; h; w |] ->
+        let od = [| c; ((h - k) / s) + 1; ((w - k) / s) + 1 |] in
+        define
+          (Irfunc.add f (Op.Nn (Op.Average_pool { Op.pool_kernel = k; pool_stride = s })) [| x |]
+             (tensor od))
+          od
+      | _ -> fail "AveragePool needs CHW input")
+    | "GlobalAveragePool" ->
+      let x, xd = value (List.hd n.n_inputs) in
+      (match xd with
+      | [| c; _; _ |] ->
+        let od = [| c |] in
+        define (Irfunc.add f (Op.Nn Op.Global_average_pool) [| x |] (tensor od)) od
+      | _ -> fail "GlobalAveragePool needs CHW input")
+    | "Flatten" ->
+      let x, xd = value (List.hd n.n_inputs) in
+      let od = [| Array.fold_left ( * ) 1 xd |] in
+      define (Irfunc.add f (Op.Nn Op.Flatten) [| x |] (tensor od)) od
+    | "Reshape" ->
+      let x, xd = value (List.nth n.n_inputs 0) in
+      let shape =
+        match Model.attr_ints n "shape" ~default:[] with
+        | [] -> fail "Reshape needs a shape attribute"
+        | l -> Array.of_list l
+      in
+      if Array.fold_left ( * ) 1 shape <> Array.fold_left ( * ) 1 xd then
+        fail "Reshape: element count mismatch";
+      define (Irfunc.add f (Op.Nn (Op.Reshape shape)) [| x |] (tensor shape)) shape
+    | "Slice" ->
+      let x, xd = value (List.hd n.n_inputs) in
+      let start = Model.attr_int n "start" ~default:0 in
+      let len = Model.attr_int n "len" ~default:(Array.fold_left ( * ) 1 xd) in
+      let stride = Model.attr_int n "stride" ~default:1 in
+      let od = [| len |] in
+      define
+        (Irfunc.add f (Op.Nn (Op.Strided_slice { Op.start; slice_len = len; stride })) [| x |]
+           (tensor od))
+        od
+    | "BatchNormalization" ->
+      (* Fold into the producing Conv: w' = w * g / sqrt(v + eps),
+         b' = (b - mean) * g / sqrt(v + eps) + beta. *)
+      let xname = List.hd n.n_inputs in
+      let x, xd = value xname in
+      let producer = Irfunc.node f x in
+      (match producer.Irfunc.op with
+      | Op.Nn (Op.Conv attrs) ->
+        let gamma = (init_data (List.nth n.n_inputs 1)).i_data in
+        let beta = (init_data (List.nth n.n_inputs 2)).i_data in
+        let mean = (init_data (List.nth n.n_inputs 3)).i_data in
+        let var = (init_data (List.nth n.n_inputs 4)).i_data in
+        let eps = Model.attr_float n "epsilon" ~default:1e-5 in
+        let wid = producer.Irfunc.args.(1) and bid = producer.Irfunc.args.(2) in
+        let wname = match (Irfunc.node f wid).Irfunc.op with
+          | Op.Weight s -> s
+          | _ -> fail "BatchNormalization: conv weight is not a constant"
+        in
+        let bname = match (Irfunc.node f bid).Irfunc.op with
+          | Op.Weight s -> s
+          | _ -> fail "BatchNormalization: conv bias is not a constant"
+        in
+        let w = Irfunc.const f wname and b = Irfunc.const f bname in
+        let oc = attrs.Op.out_channels in
+        let per = Array.length w / oc in
+        let w' = Array.copy w and b' = Array.copy b in
+        for o = 0 to oc - 1 do
+          let s = gamma.(o) /. sqrt (var.(o) +. eps) in
+          for j = 0 to per - 1 do
+            w'.((o * per) + j) <- w.((o * per) + j) *. s
+          done;
+          b'.(o) <- ((b.(o) -. mean.(o)) *. s) +. beta.(o)
+        done;
+        let wname' = Irfunc.fresh_const f ~prefix:(wname ^ ".bn") ~dims:(Irfunc.const_dims f wname) w' in
+        let bname' = Irfunc.fresh_const f ~prefix:(bname ^ ".bn") ~dims:(Irfunc.const_dims f bname) b' in
+        let wi = weight_node wname' (Irfunc.const_dims f wname) in
+        let bi = weight_node bname' (Irfunc.const_dims f bname) in
+        let id = Irfunc.add f (Op.Nn (Op.Conv attrs)) [| producer.Irfunc.args.(0); wi; bi |] (tensor xd) in
+        define id xd
+      | _ -> fail "BatchNormalization must directly follow Conv")
+    | op -> fail "unsupported op %s" op
+  in
+  let tag (n : Model.node) start =
+    let kind =
+      match n.n_op with
+      | "Conv" -> "conv"
+      | "Gemm" -> "gemm"
+      | "Relu" -> "relu"
+      | "Sigmoid" | "Tanh" -> "activation"
+      | "AveragePool" | "GlobalAveragePool" -> "pool"
+      | op -> String.lowercase_ascii op
+    in
+    for i = start to Irfunc.num_nodes f - 1 do
+      (Irfunc.node f i).Irfunc.origin <- kind ^ ":" ^ n.n_name
+    done
+  in
+  List.iter (fun n -> let start = Irfunc.num_nodes f in emit n; tag n start) g.g_nodes;
+  let rets =
+    List.map
+      (fun (o : Model.value_info) ->
+        match Hashtbl.find_opt env o.v_name with
+        | Some (id, _) -> id
+        | None -> fail "output %s never produced" o.v_name)
+      g.g_outputs
+  in
+  Irfunc.set_returns f rets;
+  Verify.verify f;
+  f

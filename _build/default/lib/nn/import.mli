@@ -1,0 +1,14 @@
+(** ONNX-subset graph -> NN IR.
+
+    Performs shape inference while building (the NN IR is strongly typed,
+    paper Section 4.1), maps every supported operator of Table 3, and
+    folds BatchNormalization into the preceding convolution's weights —
+    the standard inference-time transformation, which also removes an op
+    CKKS could only approximate. Initializers become the IR function's
+    constant pool. *)
+
+exception Unsupported of string
+
+val import : Ace_onnx.Model.graph -> Ace_ir.Irfunc.t
+(** @raise Unsupported for graphs outside the supported fragment (e.g. a
+    BatchNormalization that does not follow a Conv). *)

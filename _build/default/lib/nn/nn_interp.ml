@@ -1,0 +1,107 @@
+open Ace_ir
+
+let conv2d ~x ~w ~b ~in_dims ~attrs =
+  let { Op.out_channels = oc; in_channels = ic; kernel = k; stride = s; pad = p } = attrs in
+  let h = in_dims.(1) and wd = in_dims.(2) in
+  let oh = ((h + (2 * p) - k) / s) + 1 and ow = ((wd + (2 * p) - k) / s) + 1 in
+  let out = Array.make (oc * oh * ow) 0.0 in
+  for o = 0 to oc - 1 do
+    for y = 0 to oh - 1 do
+      for xx = 0 to ow - 1 do
+        let acc = ref b.(o) in
+        for c = 0 to ic - 1 do
+          for dy = 0 to k - 1 do
+            for dx = 0 to k - 1 do
+              let iy = (y * s) + dy - p and ix = (xx * s) + dx - p in
+              if iy >= 0 && iy < h && ix >= 0 && ix < wd then
+                acc :=
+                  !acc
+                  +. (x.((c * h * wd) + (iy * wd) + ix)
+                     *. w.((((((o * ic) + c) * k) + dy) * k) + dx))
+            done
+          done
+        done;
+        out.((o * oh * ow) + (y * ow) + xx) <- !acc
+      done
+    done
+  done;
+  out
+
+let avg_pool ~x ~in_dims ~kernel ~stride =
+  let c = in_dims.(0) and h = in_dims.(1) and w = in_dims.(2) in
+  let oh = ((h - kernel) / stride) + 1 and ow = ((w - kernel) / stride) + 1 in
+  let out = Array.make (c * oh * ow) 0.0 in
+  let inv = 1.0 /. float_of_int (kernel * kernel) in
+  for cc = 0 to c - 1 do
+    for y = 0 to oh - 1 do
+      for xx = 0 to ow - 1 do
+        let acc = ref 0.0 in
+        for dy = 0 to kernel - 1 do
+          for dx = 0 to kernel - 1 do
+            acc := !acc +. x.((cc * h * w) + (((y * stride) + dy) * w) + (xx * stride) + dx)
+          done
+        done;
+        out.((cc * oh * ow) + (y * ow) + xx) <- !acc *. inv
+      done
+    done
+  done;
+  out
+
+let dims_of = function
+  | Types.Tensor d -> d
+  | t -> invalid_arg ("Nn_interp: not a tensor: " ^ Types.to_string t)
+
+let run f inputs =
+  if Irfunc.level f <> Level.Nn then invalid_arg "Nn_interp.run: not an NN-level function";
+  let values = Array.make (Irfunc.num_nodes f) [||] in
+  let inputs = Array.of_list inputs in
+  Irfunc.iter f (fun n ->
+      let arg i = values.(n.Irfunc.args.(i)) in
+      let in_dims i = dims_of (Irfunc.node f n.Irfunc.args.(i)).Irfunc.ty in
+      let result =
+        match n.Irfunc.op with
+        | Op.Param i ->
+          if i >= Array.length inputs then invalid_arg "Nn_interp.run: missing input";
+          inputs.(i)
+        | Op.Weight name -> Irfunc.const f name
+        | Op.Const_scalar v -> [| v |]
+        | Op.Nn (Op.Conv attrs) -> conv2d ~x:(arg 0) ~w:(arg 1) ~b:(arg 2) ~in_dims:(in_dims 0) ~attrs
+        | Op.Nn (Op.Gemm { Op.rows; cols }) ->
+          let x = arg 0 and w = arg 1 and b = arg 2 in
+          Array.init rows (fun r ->
+              let acc = ref b.(r) in
+              for c = 0 to cols - 1 do
+                acc := !acc +. (w.((r * cols) + c) *. x.(c))
+              done;
+              !acc)
+        | Op.Nn Op.Relu -> Array.map (fun v -> if v > 0.0 then v else 0.0) (arg 0)
+        | Op.Nn Op.Sigmoid -> Array.map (fun v -> 1.0 /. (1.0 +. exp (-.v))) (arg 0)
+        | Op.Nn Op.Tanh -> Array.map tanh (arg 0)
+        | Op.Nn (Op.Average_pool { Op.pool_kernel; pool_stride }) ->
+          avg_pool ~x:(arg 0) ~in_dims:(in_dims 0) ~kernel:pool_kernel ~stride:pool_stride
+        | Op.Nn Op.Global_average_pool ->
+          let d = in_dims 0 in
+          let c = d.(0) and hw = d.(1) * d.(2) in
+          let x = arg 0 in
+          Array.init c (fun cc ->
+              let acc = ref 0.0 in
+              for j = 0 to hw - 1 do
+                acc := !acc +. x.((cc * hw) + j)
+              done;
+              !acc /. float_of_int hw)
+        | Op.Nn (Op.Flatten | Op.Reshape _) -> arg 0
+        | Op.Nn Op.Add ->
+          let x = arg 0 and y = arg 1 in
+          Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+        | Op.Nn (Op.Strided_slice { Op.start; slice_len; stride }) ->
+          let x = arg 0 in
+          Array.init slice_len (fun i -> x.(start + (i * stride)))
+        | op -> invalid_arg ("Nn_interp: unexpected op " ^ Op.name op)
+      in
+      values.(n.Irfunc.id) <- result);
+  List.map (fun r -> values.(r)) (Irfunc.returns f)
+
+let run1 f input =
+  match run f [ input ] with
+  | [ out ] -> out
+  | outs -> invalid_arg (Printf.sprintf "Nn_interp.run1: %d outputs" (List.length outs))

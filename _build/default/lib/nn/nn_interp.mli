@@ -1,0 +1,23 @@
+(** Reference (cleartext) interpreter for the NN IR.
+
+    This is both the "unencrypted" side of the paper's Table 11 accuracy
+    experiment and the ground truth every lowering is validated against
+    (the paper's NN-level instrumentation, Section 5). Semantics follow
+    the ONNX operator definitions: convolutions use zero padding, pools
+    average uniformly, tensors are row-major CHW. *)
+
+val run : Ace_ir.Irfunc.t -> float array list -> float array list
+(** [run f inputs] evaluates an NN-level function. Input order matches the
+    function parameters; outputs match the returns. *)
+
+val run1 : Ace_ir.Irfunc.t -> float array -> float array
+(** Single-input single-output convenience. *)
+
+val conv2d :
+  x:float array ->
+  w:float array ->
+  b:float array ->
+  in_dims:int array ->
+  attrs:Ace_ir.Op.conv_attrs ->
+  float array
+(** Exposed for direct testing of the reference semantics. *)

@@ -1,0 +1,1 @@
+lib/onnx/builder.ml: Ace_util Array List Model

@@ -1,0 +1,1 @@
+lib/onnx/builder.mli: Model

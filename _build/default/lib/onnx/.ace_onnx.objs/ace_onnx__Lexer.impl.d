@@ -1,0 +1,1 @@
+lib/onnx/lexer.ml: Buffer List Printf String

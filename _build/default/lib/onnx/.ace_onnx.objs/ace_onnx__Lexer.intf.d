@@ -1,0 +1,1 @@
+lib/onnx/lexer.mli:

@@ -1,0 +1,1 @@
+lib/onnx/model.ml: Array Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/onnx/model.mli: Format

@@ -1,0 +1,1 @@
+lib/onnx/parser.ml: Ace_util Array Buffer Lexer List Model Printf String

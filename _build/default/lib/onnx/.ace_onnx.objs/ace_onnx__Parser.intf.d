@@ -1,0 +1,1 @@
+lib/onnx/parser.mli: Lexer Model

@@ -1,0 +1,43 @@
+module Rng = Ace_util.Rng
+
+type t = {
+  b_name : string;
+  mutable inputs : Model.value_info list;
+  mutable outputs : Model.value_info list;
+  mutable inits : Model.initializer_ list;
+  mutable nodes : Model.node list;
+}
+
+let create name = { b_name = name; inputs = []; outputs = []; inits = []; nodes = [] }
+
+let input t name dims = t.inputs <- { Model.v_name = name; v_dims = dims } :: t.inputs
+let output t name dims = t.outputs <- { Model.v_name = name; v_dims = dims } :: t.outputs
+
+let init_dense t name dims data =
+  t.inits <- { Model.i_name = name; i_dims = dims; i_data = data } :: t.inits
+
+let init_normal t name dims ~seed ~std =
+  let elems = Array.fold_left ( * ) 1 dims in
+  let rng = Rng.create seed in
+  init_dense t name dims (Array.init elems (fun _ -> Rng.gaussian rng std))
+
+let init_zeros t name dims =
+  init_dense t name dims (Array.make (Array.fold_left ( * ) 1 dims) 0.0)
+
+let node t ~op ?(attrs = []) ~inputs out =
+  t.nodes <-
+    { Model.n_name = out; n_op = op; n_inputs = inputs; n_outputs = [ out ]; n_attrs = attrs }
+    :: t.nodes
+
+let finish t =
+  let g =
+    {
+      Model.g_name = t.b_name;
+      g_inputs = List.rev t.inputs;
+      g_outputs = List.rev t.outputs;
+      g_inits = List.rev t.inits;
+      g_nodes = List.rev t.nodes;
+    }
+  in
+  Model.check g;
+  g

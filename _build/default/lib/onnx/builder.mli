@@ -1,0 +1,24 @@
+(** Programmatic construction of ONNX-subset graphs.
+
+    The model generators (ResNet family, the Figure 4 gemv example) build
+    graphs through this API instead of emitting text; [Parser.to_text]
+    serialises the result when a file is wanted. Node output names double
+    as value names, matching ONNX convention. *)
+
+type t
+
+val create : string -> t
+
+val input : t -> string -> int array -> unit
+val output : t -> string -> int array -> unit
+
+val init_dense : t -> string -> int array -> float array -> unit
+val init_normal : t -> string -> int array -> seed:int -> std:float -> unit
+val init_zeros : t -> string -> int array -> unit
+
+val node :
+  t -> op:string -> ?attrs:(string * Model.attr) list -> inputs:string list -> string -> unit
+(** [node t ~op ~inputs out] appends a node producing value [out]. *)
+
+val finish : t -> Model.graph
+(** Validates with {!Model.check} and returns the graph. *)

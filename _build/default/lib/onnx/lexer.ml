@@ -1,0 +1,138 @@
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | EQUALS
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Lex_error of string * pos
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let advance () =
+    if !i < n && src.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  let here () = { line = !line; col = !col } in
+  let push tok pos = out := (tok, pos) :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = here () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      push (IDENT (String.sub src start (!i - start))) pos
+    end
+    else if is_digit c || ((c = '-' || c = '+') && !i + 1 < n && (is_digit src.[!i + 1] || src.[!i + 1] = '.'))
+    then begin
+      let start = !i in
+      advance ();
+      let is_float = ref false in
+      while
+        !i < n
+        &&
+        match src.[!i] with
+        | '0' .. '9' -> true
+        | '.' | 'e' | 'E' ->
+          is_float := true;
+          true
+        | '-' | '+' ->
+          (* Only inside an exponent. *)
+          !i > start && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')
+        | _ -> false
+      do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> push (FLOAT f) pos
+        | None -> raise (Lex_error (Printf.sprintf "bad float %S" text, pos))
+      else begin
+        match int_of_string_opt text with
+        | Some v -> push (INT v) pos
+        | None -> raise (Lex_error (Printf.sprintf "bad integer %S" text, pos))
+      end
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '"' then begin
+          closed := true;
+          advance ()
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          advance ()
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", pos));
+      push (STRING (Buffer.contents buf)) pos
+    end
+    else begin
+      let tok =
+        match c with
+        | '{' -> LBRACE
+        | '}' -> RBRACE
+        | '[' -> LBRACKET
+        | ']' -> RBRACKET
+        | '(' -> LPAREN
+        | ')' -> RPAREN
+        | ',' -> COMMA
+        | ':' -> COLON
+        | '=' -> EQUALS
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos))
+      in
+      advance ();
+      push tok pos
+    end
+  done;
+  push EOF (here ());
+  List.rev !out
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | EQUALS -> "'='"
+  | EOF -> "end of input"

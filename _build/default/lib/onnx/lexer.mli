@@ -1,0 +1,30 @@
+(** Hand-written lexer for the textual ONNX-subset format.
+
+    Menhir is not available in the sealed toolchain, so the frontend uses a
+    classical hand-rolled lexer / recursive-descent parser pair. Tokens
+    carry line/column positions for diagnostics. *)
+
+type token =
+  | IDENT of string (** identifiers; dots allowed ("conv1.weight") *)
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | EQUALS
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Lex_error of string * pos
+
+val tokenize : string -> (token * pos) list
+(** Whole-input tokenization. Comments run from [#] to end of line. *)
+
+val token_to_string : token -> string

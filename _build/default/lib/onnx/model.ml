@@ -1,0 +1,88 @@
+type attr = A_int of int | A_ints of int list | A_float of float | A_string of string
+
+type value_info = { v_name : string; v_dims : int array }
+type initializer_ = { i_name : string; i_dims : int array; i_data : float array }
+
+type node = {
+  n_name : string;
+  n_op : string;
+  n_inputs : string list;
+  n_outputs : string list;
+  n_attrs : (string * attr) list;
+}
+
+type graph = {
+  g_name : string;
+  g_inputs : value_info list;
+  g_outputs : value_info list;
+  g_inits : initializer_ list;
+  g_nodes : node list;
+}
+
+let supported_ops =
+  [
+    "Conv"; "Gemm"; "Relu"; "Sigmoid"; "Tanh"; "AveragePool"; "GlobalAveragePool"; "Flatten";
+    "Reshape"; "Add"; "Slice"; "BatchNormalization";
+  ]
+
+let attr node name =
+  List.assoc_opt name node.n_attrs
+
+let attr_int node name ~default =
+  match attr node name with
+  | Some (A_int i) -> i
+  | Some _ -> invalid_arg (Printf.sprintf "attr %s: expected int" name)
+  | None -> default
+
+let attr_ints node name ~default =
+  match attr node name with
+  | Some (A_ints l) -> l
+  | Some (A_int i) -> [ i ]
+  | Some _ -> invalid_arg (Printf.sprintf "attr %s: expected ints" name)
+  | None -> default
+
+let attr_float node name ~default =
+  match attr node name with
+  | Some (A_float f) -> f
+  | Some (A_int i) -> float_of_int i
+  | Some _ -> invalid_arg (Printf.sprintf "attr %s: expected float" name)
+  | None -> default
+
+let find_init g name = List.find_opt (fun i -> i.i_name = name) g.g_inits
+
+exception Invalid_model of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_model s)) fmt
+
+let check g =
+  let defined = Hashtbl.create 64 in
+  let define kind name =
+    if Hashtbl.mem defined name then fail "%s %s defined twice" kind name;
+    Hashtbl.add defined name ()
+  in
+  List.iter (fun v -> define "input" v.v_name) g.g_inputs;
+  List.iter
+    (fun i ->
+      define "initializer" i.i_name;
+      let elems = Array.fold_left ( * ) 1 i.i_dims in
+      if elems <> Array.length i.i_data then
+        fail "initializer %s: %d dims-elements vs %d data" i.i_name elems (Array.length i.i_data))
+    g.g_inits;
+  List.iter
+    (fun n ->
+      if not (List.mem n.n_op supported_ops) then
+        fail "node %s: unsupported op %s (supported: %s)" n.n_name n.n_op
+          (String.concat ", " supported_ops);
+      List.iter
+        (fun i -> if not (Hashtbl.mem defined i) then fail "node %s: undefined input %s" n.n_name i)
+        n.n_inputs;
+      List.iter (define "value") n.n_outputs)
+    g.g_nodes;
+  List.iter
+    (fun o -> if not (Hashtbl.mem defined o.v_name) then fail "undefined graph output %s" o.v_name)
+    g.g_outputs
+
+let pp_summary fmt g =
+  Format.fprintf fmt "@[<v>model %s: %d nodes, %d initializers (%d params)@]" g.g_name
+    (List.length g.g_nodes) (List.length g.g_inits)
+    (List.fold_left (fun acc i -> acc + Array.length i.i_data) 0 g.g_inits)

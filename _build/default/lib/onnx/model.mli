@@ -1,0 +1,47 @@
+(** In-memory representation of the ONNX-subset exchange format.
+
+    This mirrors the pieces of ONNX that the paper's frontend consumes
+    (Table 3 operators, float tensors, named initializers). The sealed
+    container has no protobuf, so models travel in an equivalent textual
+    syntax parsed by {!Parser}; see DESIGN.md for the substitution note. *)
+
+type attr = A_int of int | A_ints of int list | A_float of float | A_string of string
+
+type value_info = { v_name : string; v_dims : int array }
+
+type initializer_ = { i_name : string; i_dims : int array; i_data : float array }
+
+type node = {
+  n_name : string;
+  n_op : string; (** ONNX op_type, e.g. "Conv" *)
+  n_inputs : string list;
+  n_outputs : string list;
+  n_attrs : (string * attr) list;
+}
+
+type graph = {
+  g_name : string;
+  g_inputs : value_info list;
+  g_outputs : value_info list;
+  g_inits : initializer_ list;
+  g_nodes : node list;
+}
+
+val supported_ops : string list
+(** The operator subset the frontend accepts (paper Table 3, plus
+    BatchNormalization which the importer folds away). *)
+
+val attr_int : node -> string -> default:int -> int
+val attr_ints : node -> string -> default:int list -> int list
+val attr_float : node -> string -> default:float -> float
+
+val find_init : graph -> string -> initializer_ option
+
+exception Invalid_model of string
+
+val check : graph -> unit
+(** Structural validation: unique names, inputs defined before use, single
+    assignment, all op types supported, initializer shapes consistent.
+    @raise Invalid_model with a diagnostic. *)
+
+val pp_summary : Format.formatter -> graph -> unit

@@ -1,0 +1,293 @@
+module Rng = Ace_util.Rng
+open Lexer
+
+exception Parse_error of string * Lexer.pos
+
+type state = { mutable toks : (token * pos) list }
+
+let peek st = match st.toks with [] -> (EOF, { line = 0; col = 0 }) | t :: _ -> t
+
+let next st =
+  let t = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  t
+
+let error st what =
+  let tok, pos = peek st in
+  raise (Parse_error (Printf.sprintf "expected %s, found %s" what (token_to_string tok), pos))
+
+let expect st tok what = if fst (next st) <> tok then error st what
+
+let ident st =
+  match next st with
+  | IDENT s, _ -> s
+  | _ -> error st "identifier"
+
+let int_lit st =
+  match next st with
+  | INT i, _ -> i
+  | _ -> error st "integer"
+
+let number st =
+  match next st with
+  | INT i, _ -> float_of_int i
+  | FLOAT f, _ -> f
+  | _ -> error st "number"
+
+(* f32[d0,d1,...] *)
+let parse_type st =
+  let t = ident st in
+  if t <> "f32" then error st "type f32";
+  expect st LBRACKET "'['";
+  let dims = ref [ int_lit st ] in
+  while fst (peek st) = COMMA do
+    ignore (next st);
+    dims := int_lit st :: !dims
+  done;
+  expect st RBRACKET "']'";
+  Array.of_list (List.rev !dims)
+
+let parse_kv_args st =
+  (* name=value pairs inside parens; caller consumed '('. *)
+  let kvs = ref [] in
+  let rec loop () =
+    let k = ident st in
+    expect st EQUALS "'='";
+    let v = number st in
+    kvs := (k, v) :: !kvs;
+    if fst (peek st) = COMMA then begin
+      ignore (next st);
+      loop ()
+    end
+  in
+  if fst (peek st) <> RPAREN then loop ();
+  expect st RPAREN "')'";
+  !kvs
+
+let kv kvs name ~where =
+  match List.assoc_opt name kvs with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "initializer %s: missing %s" where name)
+
+let parse_init_expr st ~name ~elems =
+  match ident st with
+  | "dense" ->
+    expect st LPAREN "'('";
+    let vals = ref [] in
+    let rec loop () =
+      vals := number st :: !vals;
+      if fst (peek st) = COMMA then begin
+        ignore (next st);
+        loop ()
+      end
+    in
+    if fst (peek st) <> RPAREN then loop ();
+    expect st RPAREN "')'";
+    let a = Array.of_list (List.rev !vals) in
+    if Array.length a <> elems then
+      raise
+        (Parse_error
+           ( Printf.sprintf "initializer %s: %d values for %d elements" name (Array.length a) elems,
+             snd (peek st) ));
+    a
+  | "zeros" -> Array.make elems 0.0
+  | "normal" ->
+    expect st LPAREN "'('";
+    let kvs = parse_kv_args st in
+    let seed = int_of_float (kv kvs "seed" ~where:name) in
+    let std = kv kvs "std" ~where:name in
+    let rng = Rng.create seed in
+    Array.init elems (fun _ -> Rng.gaussian rng std)
+  | "uniform" ->
+    expect st LPAREN "'('";
+    let kvs = parse_kv_args st in
+    let seed = int_of_float (kv kvs "seed" ~where:name) in
+    let lo = kv kvs "lo" ~where:name and hi = kv kvs "hi" ~where:name in
+    let rng = Rng.create seed in
+    Array.init elems (fun _ -> lo +. Rng.float rng (hi -. lo))
+  | _ -> error st "initializer expression (dense | zeros | normal | uniform)"
+
+let parse_attr_value st =
+  match peek st with
+  | INT _, _ -> (
+    match next st with
+    | INT i, _ -> Model.A_int i
+    | _ -> assert false)
+  | FLOAT _, _ -> (
+    match next st with
+    | FLOAT f, _ -> Model.A_float f
+    | _ -> assert false)
+  | STRING _, _ -> (
+    match next st with
+    | STRING s, _ -> Model.A_string s
+    | _ -> assert false)
+  | LPAREN, _ ->
+    ignore (next st);
+    let vals = ref [] in
+    let rec loop () =
+      vals := int_lit st :: !vals;
+      if fst (peek st) = COMMA then begin
+        ignore (next st);
+        loop ()
+      end
+    in
+    if fst (peek st) <> RPAREN then loop ();
+    expect st RPAREN "')'";
+    Model.A_ints (List.rev !vals)
+  | _ -> error st "attribute value"
+
+let parse st =
+  let model_kw = ident st in
+  if model_kw <> "model" then error st "'model'";
+  let g_name = match next st with STRING s, _ -> s | _ -> error st "model name string" in
+  expect st LBRACE "'{'";
+  let inputs = ref [] and outputs = ref [] and inits = ref [] and nodes = ref [] in
+  let rec items () =
+    match peek st with
+    | RBRACE, _ -> ignore (next st)
+    | IDENT "input", _ ->
+      ignore (next st);
+      let name = ident st in
+      expect st COLON "':'";
+      let dims = parse_type st in
+      inputs := { Model.v_name = name; v_dims = dims } :: !inputs;
+      items ()
+    | IDENT "output", _ ->
+      ignore (next st);
+      let name = ident st in
+      expect st COLON "':'";
+      let dims = parse_type st in
+      outputs := { Model.v_name = name; v_dims = dims } :: !outputs;
+      items ()
+    | IDENT "init", _ ->
+      ignore (next st);
+      let name = ident st in
+      expect st COLON "':'";
+      let dims = parse_type st in
+      expect st EQUALS "'='";
+      let elems = Array.fold_left ( * ) 1 dims in
+      let data = parse_init_expr st ~name ~elems in
+      inits := { Model.i_name = name; i_dims = dims; i_data = data } :: !inits;
+      items ()
+    | IDENT "node", _ ->
+      ignore (next st);
+      let out0 = ident st in
+      let outs = ref [ out0 ] in
+      while fst (peek st) = COMMA do
+        ignore (next st);
+        outs := ident st :: !outs
+      done;
+      expect st EQUALS "'='";
+      let op = ident st in
+      expect st LPAREN "'('";
+      let ins = ref [] in
+      if fst (peek st) <> RPAREN then begin
+        let rec loop () =
+          ins := ident st :: !ins;
+          if fst (peek st) = COMMA then begin
+            ignore (next st);
+            loop ()
+          end
+        in
+        loop ()
+      end;
+      expect st RPAREN "')'";
+      let attrs = ref [] in
+      if fst (peek st) = LBRACKET then begin
+        ignore (next st);
+        let rec loop () =
+          let k = ident st in
+          expect st EQUALS "'='";
+          let v = parse_attr_value st in
+          attrs := (k, v) :: !attrs;
+          if fst (peek st) = COMMA then begin
+            ignore (next st);
+            loop ()
+          end
+        in
+        if fst (peek st) <> RBRACKET then loop ();
+        expect st RBRACKET "']'"
+      end;
+      nodes :=
+        {
+          Model.n_name = out0;
+          n_op = op;
+          n_inputs = List.rev !ins;
+          n_outputs = List.rev !outs;
+          n_attrs = List.rev !attrs;
+        }
+        :: !nodes;
+      items ()
+    | _ -> error st "item (input | output | init | node | '}')"
+  in
+  items ();
+  expect st EOF "end of input";
+  let g =
+    {
+      Model.g_name;
+      g_inputs = List.rev !inputs;
+      g_outputs = List.rev !outputs;
+      g_inits = List.rev !inits;
+      g_nodes = List.rev !nodes;
+    }
+  in
+  Model.check g;
+  g
+
+let parse src = parse { toks = tokenize src }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src
+
+let to_text (g : Model.graph) =
+  let buf = Buffer.create 4096 in
+  let dims d = String.concat "," (List.map string_of_int (Array.to_list d)) in
+  Buffer.add_string buf (Printf.sprintf "model \"%s\" {\n" g.g_name);
+  List.iter
+    (fun (v : Model.value_info) ->
+      Buffer.add_string buf (Printf.sprintf "  input %s : f32[%s]\n" v.v_name (dims v.v_dims)))
+    g.g_inputs;
+  List.iter
+    (fun (i : Model.initializer_) ->
+      let vals = String.concat ", " (List.map (Printf.sprintf "%.17g") (Array.to_list i.i_data)) in
+      Buffer.add_string buf
+        (Printf.sprintf "  init %s : f32[%s] = dense(%s)\n" i.i_name (dims i.i_dims) vals))
+    g.g_inits;
+  List.iter
+    (fun (n : Model.node) ->
+      let attrs =
+        if n.n_attrs = [] then ""
+        else
+          " ["
+          ^ String.concat ", "
+              (List.map
+                 (fun (k, v) ->
+                   let s =
+                     match v with
+                     | Model.A_int i -> string_of_int i
+                     | Model.A_float f -> Printf.sprintf "%.17g" f
+                     | Model.A_string s -> Printf.sprintf "%S" s
+                     | Model.A_ints l ->
+                       "(" ^ String.concat ", " (List.map string_of_int l) ^ ")"
+                   in
+                   k ^ "=" ^ s)
+                 n.n_attrs)
+          ^ "]"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  node %s = %s(%s)%s\n"
+           (String.concat ", " n.n_outputs)
+           n.n_op
+           (String.concat ", " n.n_inputs)
+           attrs))
+    g.g_nodes;
+  List.iter
+    (fun (v : Model.value_info) ->
+      Buffer.add_string buf (Printf.sprintf "  output %s : f32[%s]\n" v.v_name (dims v.v_dims)))
+    g.g_outputs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

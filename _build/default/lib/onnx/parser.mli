@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the textual ONNX-subset format.
+
+    {v
+    model "linear_infer" {
+      input image : f32[84,1]
+      init fc.weight : f32[10,84] = normal(seed=7, std=0.1)
+      init fc.bias   : f32[10,1]  = dense(0.1, 0.2, ... )
+      node out = Gemm(image, fc.weight, fc.bias)
+      output out : f32[10,1]
+    }
+    v}
+
+    Initializer expressions: [dense(x, y, ...)] (explicit values),
+    [normal(seed=S, std=V)] and [uniform(seed=S, lo=A, hi=B)]
+    (deterministic pseudo-random fills) and [zeros]. Random fills keep
+    model files small; real ONNX ships raw tensors, which would be
+    megabytes of text. *)
+
+exception Parse_error of string * Lexer.pos
+
+val parse : string -> Model.graph
+(** Parse and {!Model.check} a model from source text. *)
+
+val parse_file : string -> Model.graph
+
+val to_text : Model.graph -> string
+(** Render a graph back to the textual format ([dense] initializers only);
+    [parse (to_text g)] is structurally equal to [g]. *)

@@ -1,0 +1,1 @@
+lib/poly_ir/loop_fusion.ml: List Poly_ir

@@ -1,0 +1,1 @@
+lib/poly_ir/loop_fusion.mli: Poly_ir

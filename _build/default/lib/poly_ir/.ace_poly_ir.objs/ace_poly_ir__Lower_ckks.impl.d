@@ -1,0 +1,1 @@
+lib/poly_ir/lower_ckks.ml: Ace_ir Array Float Irfunc Level List Op Poly_ir Printf Types

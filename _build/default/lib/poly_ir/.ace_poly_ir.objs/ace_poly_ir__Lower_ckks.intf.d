@@ -1,0 +1,1 @@
+lib/poly_ir/lower_ckks.mli: Ace_ir Poly_ir

@@ -1,0 +1,1 @@
+lib/poly_ir/op_fusion.ml: List Poly_ir

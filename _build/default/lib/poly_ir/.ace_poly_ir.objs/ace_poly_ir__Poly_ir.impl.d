@@ -1,0 +1,1 @@
+lib/poly_ir/poly_ir.ml: Format List Printf String

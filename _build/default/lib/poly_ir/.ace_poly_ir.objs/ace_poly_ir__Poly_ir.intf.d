@@ -1,0 +1,1 @@
+lib/poly_ir/poly_ir.mli: Format

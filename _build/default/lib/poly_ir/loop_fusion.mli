@@ -1,0 +1,14 @@
+(** POLY-level loop fusion (paper Section 4.5).
+
+    RNS loops have compile-time-constant trip counts; adjacent loops whose
+    bounds are syntactically equal and whose bodies are element-wise [hw_]
+    operations can be fused, eliminating intermediate polynomial traffic
+    (the paper's poly3 -> tmp example). The fusion is conservative: only
+    directly adjacent loops fuse, and only when the second loop's reads of
+    the first loop's writes are element-aligned — which element-wise hw
+    ops guarantee. *)
+
+val fuse : Poly_ir.func -> Poly_ir.func
+
+val fused_loops : Poly_ir.func -> Poly_ir.func -> int
+(** How many loops disappeared between the two versions. *)

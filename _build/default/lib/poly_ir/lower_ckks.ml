@@ -1,0 +1,168 @@
+open Ace_ir
+open Poly_ir
+
+let v id = Printf.sprintf "t%d" id
+let limb name part = Printf.sprintf "%s.c%d" name part
+
+let lower f =
+  if Irfunc.level f <> Level.Ckks then invalid_arg "Lower_ckks.lower: not a CKKS function";
+  let body = ref [] in
+  let push s = body := s :: !body in
+  let limbs_of n = (Irfunc.node f n).Irfunc.node_level + 1 in
+  let binop_loop n (op : hw_op) parts =
+    let dst = v n in
+    List.iter
+      (fun part ->
+        let node = Irfunc.node f n in
+        let a = v node.Irfunc.args.(0) and b = v node.Irfunc.args.(1) in
+        push
+          (For
+             {
+               idx = "i";
+               bound = Num_q (limb a part, limbs_of n);
+               body = [ Hw { h_dst = limb dst part; h_op = op; h_args = [ limb a part; limb b part ] } ];
+             }))
+      parts
+  in
+  let keyswitch ~dst ~src ~tag ~limbs =
+    (* The shared relin/rotate skeleton (paper Section 4.5 / Table 7). *)
+    push (Comment (Printf.sprintf "key switch (%s)" tag));
+    push (Call { c_dst = dst ^ ".dig"; c_op = P_decomp; c_args = [ src ] });
+    push (Call { c_dst = dst ^ ".ext"; c_op = P_mod_up; c_args = [ dst ^ ".dig" ] });
+    push
+      (For
+         {
+           idx = "i";
+           bound = Num_q (dst ^ ".ext", limbs + 1);
+           body =
+             [
+               Hw { h_dst = dst ^ ".acc0"; h_op = Hw_modmul; h_args = [ dst ^ ".ext"; "ksk.b" ] };
+               Hw { h_dst = dst ^ ".acc1"; h_op = Hw_modmul; h_args = [ dst ^ ".ext"; "ksk.a" ] };
+             ];
+         });
+    push (Call { c_dst = dst; c_op = P_mod_down; c_args = [ dst ^ ".acc0"; dst ^ ".acc1" ] })
+  in
+  Irfunc.iter f (fun n ->
+      let id = n.Irfunc.id in
+      match n.Irfunc.op with
+      | Op.Param i ->
+        push (Comment (Printf.sprintf "t%d := ciphertext parameter %d" id i))
+      | Op.Weight name -> push (Comment (Printf.sprintf "t%d := constant %s" id name))
+      | Op.Const_scalar c -> push (Comment (Printf.sprintf "t%d := scalar %g" id c))
+      | Op.V_add | Op.V_sub | Op.V_mul | Op.V_roll _ | Op.V_slice _ | Op.V_broadcast _
+      | Op.V_pad _ | Op.V_reshape _ | Op.V_tile _ | Op.V_nonlinear _ ->
+        push (Comment (Printf.sprintf "t%d := cleartext %s" id (Op.name n.Irfunc.op)))
+      | Op.C_encode ->
+        push
+          (Call
+             {
+               c_dst = v id;
+               c_op = P_encode;
+               c_args =
+                 [
+                   v n.Irfunc.args.(0);
+                   Printf.sprintf "scale=2^%.2f" (Float.log2 n.Irfunc.scale);
+                   Printf.sprintf "level=%d" n.Irfunc.node_level;
+                 ];
+             })
+      | Op.C_decode -> push (Comment "decode (decryptor side)")
+      | Op.C_add -> binop_loop id Hw_modadd [ 0; 1 ]
+      | Op.C_sub -> binop_loop id Hw_modsub [ 0; 1 ]
+      | Op.C_neg ->
+        push
+          (For
+             {
+               idx = "i";
+               bound = Num_q (limb (v n.Irfunc.args.(0)) 0, limbs_of n.Irfunc.args.(0));
+               body =
+                 [
+                   Hw
+                     {
+                       h_dst = limb (v id) 0;
+                       h_op = Hw_modsub;
+                       h_args = [ "zero"; limb (v n.Irfunc.args.(0)) 0 ];
+                     };
+                   Hw
+                     {
+                       h_dst = limb (v id) 1;
+                       h_op = Hw_modsub;
+                       h_args = [ "zero"; limb (v n.Irfunc.args.(0)) 1 ];
+                     };
+                 ];
+             })
+      | Op.C_mul -> (
+        let a = v n.Irfunc.args.(0) and b = v n.Irfunc.args.(1) in
+        let dst = v id in
+        match (Irfunc.node f n.Irfunc.args.(1)).Irfunc.ty with
+        | Types.Plain ->
+          push
+            (For
+               {
+                 idx = "i";
+                 bound = Num_q (limb a 0, limbs_of n.Irfunc.args.(0));
+                 body =
+                   [
+                     Hw { h_dst = limb dst 0; h_op = Hw_modmul; h_args = [ limb a 0; b ] };
+                     Hw { h_dst = limb dst 1; h_op = Hw_modmul; h_args = [ limb a 1; b ] };
+                   ];
+               })
+        | _ ->
+          push
+            (For
+               {
+                 idx = "i";
+                 bound = Num_q (limb a 0, limbs_of n.Irfunc.args.(0));
+                 body =
+                   [
+                     Hw { h_dst = limb dst 0; h_op = Hw_modmul; h_args = [ limb a 0; limb b 0 ] };
+                     Hw { h_dst = limb dst 1; h_op = Hw_modmul; h_args = [ limb a 0; limb b 1 ] };
+                     Hw { h_dst = limb dst 1; h_op = Hw_modmuladd; h_args = [ limb a 1; limb b 0; limb dst 1 ] };
+                     Hw { h_dst = limb dst 2; h_op = Hw_modmul; h_args = [ limb a 1; limb b 1 ] };
+                   ];
+               }))
+      | Op.C_relin ->
+        keyswitch ~dst:(v id) ~src:(limb (v n.Irfunc.args.(0)) 2) ~tag:"relinearize"
+          ~limbs:(limbs_of n.Irfunc.args.(0));
+        push
+          (For
+             {
+               idx = "i";
+               bound = Num_q (limb (v n.Irfunc.args.(0)) 0, limbs_of n.Irfunc.args.(0));
+               body =
+                 [
+                   Hw
+                     {
+                       h_dst = limb (v id) 0;
+                       h_op = Hw_modadd;
+                       h_args = [ limb (v n.Irfunc.args.(0)) 0; v id ^ ".ks0" ];
+                     };
+                   Hw
+                     {
+                       h_dst = limb (v id) 1;
+                       h_op = Hw_modadd;
+                       h_args = [ limb (v n.Irfunc.args.(0)) 1; v id ^ ".ks1" ];
+                     };
+                 ];
+             })
+      | Op.C_rotate k ->
+        push (Call { c_dst = v id ^ ".r0"; c_op = P_automorphism k; c_args = [ limb (v n.Irfunc.args.(0)) 0 ] });
+        push (Call { c_dst = v id ^ ".r1"; c_op = P_automorphism k; c_args = [ limb (v n.Irfunc.args.(0)) 1 ] });
+        keyswitch ~dst:(v id) ~src:(v id ^ ".r1") ~tag:(Printf.sprintf "rotate %d" k)
+          ~limbs:(limbs_of n.Irfunc.args.(0))
+      | Op.C_rescale ->
+        push (Call { c_dst = v id; c_op = P_rescale; c_args = [ v n.Irfunc.args.(0) ] })
+      | Op.C_mod_switch ->
+        push (Comment (Printf.sprintf "t%d := drop top limb of t%d" id n.Irfunc.args.(0)))
+      | Op.C_upscale _ | Op.C_downscale _ ->
+        push (Comment (Printf.sprintf "t%d := scale adjust of t%d" id n.Irfunc.args.(0)))
+      | Op.C_bootstrap target ->
+        push (Call { c_dst = v id; c_op = P_bootstrap target; c_args = [ v n.Irfunc.args.(0) ] })
+      | Op.Nn _ | Op.S_rotate _ | Op.S_add | Op.S_sub | Op.S_mul | Op.S_neg | Op.S_encode
+      | Op.S_decode ->
+        invalid_arg "Lower_ckks: non-CKKS op");
+  {
+    poly_name = Irfunc.name f;
+    poly_params = Array.to_list (Array.map fst (Irfunc.params f));
+    body = List.rev !body;
+    returns = List.map v (Irfunc.returns f);
+  }

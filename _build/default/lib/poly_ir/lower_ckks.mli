@@ -1,0 +1,12 @@
+(** CKKS IR -> POLY IR lowering.
+
+    Each CKKS operator expands into its RNS realisation: additions become
+    per-limb loops of [hw_modadd] over both ciphertext components;
+    multiplications become NTT-domain pointwise loops plus the
+    relinearisation sequence [decomp -> mod_up -> inner products ->
+    mod_down]; rotations become [automorphism] plus the same key-switch
+    skeleton; rescale and bootstrap stay whole-polynomial calls. The
+    result is what the C backend prints and what the POLY-level fusion
+    passes optimise. *)
+
+val lower : Ace_ir.Irfunc.t -> Poly_ir.func

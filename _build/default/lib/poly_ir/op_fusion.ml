@@ -1,0 +1,27 @@
+open Poly_ir
+
+let rec fuse_body = function
+  (* modmul t, ...; modadd dst, (t, u) -> modmuladd dst (a, b, u) *)
+  | Hw { h_dst = t; h_op = Hw_modmul; h_args = [ a; b ] }
+    :: Hw { h_dst; h_op = Hw_modadd; h_args = [ x; y ] }
+    :: rest
+    when (x = t || y = t) && t <> h_dst ->
+    let other = if x = t then y else x in
+    Hw { h_dst; h_op = Hw_modmuladd; h_args = [ a; b; other ] } :: fuse_body rest
+  | Call { c_dst = d1; c_op = P_decomp; c_args } :: Call { c_dst = d2; c_op = P_mod_up; c_args = [ src ] } :: rest
+    when src = d1 ->
+    Call { c_dst = d2; c_op = P_decomp_modup; c_args } :: fuse_body rest
+  | For f :: rest -> For { f with body = fuse_body f.body } :: fuse_body rest
+  | s :: rest -> s :: fuse_body rest
+  | [] -> []
+
+let fuse f = { f with body = fuse_body f.body }
+
+let count_fused f =
+  let rec go acc = function
+    | For { body; _ } -> List.fold_left go acc body
+    | Hw { h_op = Hw_modmuladd; _ } -> acc + 1
+    | Call { c_op = P_decomp_modup; _ } -> acc + 1
+    | Hw _ | Call _ | Comment _ -> acc
+  in
+  List.fold_left go 0 f.body

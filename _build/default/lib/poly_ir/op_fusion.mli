@@ -1,0 +1,13 @@
+(** POLY-level operator fusion (paper Section 4.5).
+
+    Two rewrites backed by fused ACEfhe entry points:
+
+    - [hw_modmul] whose result immediately feeds an [hw_modadd] becomes a
+      single [hw_modmuladd];
+    - a [decomp] call immediately followed by [mod_up] of its result
+      becomes [decomp_modup], avoiding one whole-polynomial round trip. *)
+
+val fuse : Poly_ir.func -> Poly_ir.func
+
+val count_fused : Poly_ir.func -> int
+(** Number of fused operators present ([hw_modmuladd] + [decomp_modup]). *)

@@ -1,0 +1,107 @@
+type bound = Num_q of string * int (* variable, resolved trip count *) | Const_bound of int
+
+type hw_op =
+  | Hw_modadd
+  | Hw_modsub
+  | Hw_modmul
+  | Hw_modmuladd
+  | Hw_ntt
+  | Hw_intt
+  | Hw_rotate of int
+
+type call_op =
+  | P_decomp
+  | P_mod_up
+  | P_mod_down
+  | P_decomp_modup
+  | P_rescale
+  | P_automorphism of int
+  | P_encode
+  | P_bootstrap of int
+  | P_alloc
+
+type stmt =
+  | For of { idx : string; bound : bound; body : stmt list }
+  | Hw of { h_dst : string; h_op : hw_op; h_args : string list }
+  | Call of { c_dst : string; c_op : call_op; c_args : string list }
+  | Comment of string
+
+type func = {
+  poly_name : string;
+  poly_params : string list;
+  body : stmt list;
+  returns : string list;
+}
+
+let rec stmt_size = function
+  | For { body; _ } -> 1 + List.fold_left (fun acc s -> acc + stmt_size s) 0 body
+  | Hw _ | Call _ | Comment _ -> 1
+
+let stmt_count f = List.fold_left (fun acc s -> acc + stmt_size s) 0 f.body
+
+let rec loops s =
+  match s with
+  | For { body; _ } -> 1 + List.fold_left (fun acc s -> acc + loops s) 0 body
+  | Hw _ | Call _ | Comment _ -> 0
+
+let loop_count f = List.fold_left (fun acc s -> acc + loops s) 0 f.body
+
+let memory_traffic f ~ring_degree ~avg_limbs =
+  (* Each Hw statement inside a loop streams its operands and destination
+     once per limb: (args + 1) * N * 8 bytes * limbs. Statements fused
+     into the same loop share the loop's intermediate values, which is
+     what reduces this number after Loop_fusion. *)
+  let rec go in_loop acc = function
+    | For { body; _ } -> List.fold_left (go true) acc body
+    | Hw { h_args; _ } ->
+      if in_loop then acc + ((List.length h_args + 1) * ring_degree * 8 * avg_limbs) else acc
+    | Call { c_args; _ } -> acc + ((List.length c_args + 1) * ring_degree * 8 * avg_limbs)
+    | Comment _ -> acc
+  in
+  List.fold_left (go false) 0 f.body
+
+let hw_name = function
+  | Hw_modadd -> "hw_modadd"
+  | Hw_modsub -> "hw_modsub"
+  | Hw_modmul -> "hw_modmul"
+  | Hw_modmuladd -> "hw_modmuladd"
+  | Hw_ntt -> "hw_ntt"
+  | Hw_intt -> "hw_intt"
+  | Hw_rotate g -> Printf.sprintf "hw_rotate<%d>" g
+
+let call_name = function
+  | P_decomp -> "decomp"
+  | P_mod_up -> "mod_up"
+  | P_mod_down -> "mod_down"
+  | P_decomp_modup -> "decomp_modup"
+  | P_rescale -> "rescale"
+  | P_automorphism g -> Printf.sprintf "automorphism<%d>" g
+  | P_encode -> "encode"
+  | P_bootstrap l -> Printf.sprintf "bootstrap<L%d>" l
+  | P_alloc -> "alloc"
+
+let rec pp_stmt fmt ~indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | For { idx; bound; body } ->
+    let b =
+      match bound with
+      | Num_q (v, _) -> Printf.sprintf "num_q(%s)" v
+      | Const_bound c -> string_of_int c
+    in
+    Format.fprintf fmt "%sfor %s < %s {@," pad idx b;
+    List.iter (pp_stmt fmt ~indent:(indent + 2)) body;
+    Format.fprintf fmt "%s}@," pad
+  | Hw { h_dst; h_op; h_args } ->
+    Format.fprintf fmt "%s%s[i] = %s(%s)@," pad h_dst (hw_name h_op)
+      (String.concat ", " (List.map (fun a -> a ^ "[i]") h_args))
+  | Call { c_dst; c_op; c_args } ->
+    Format.fprintf fmt "%s%s = %s(%s)@," pad c_dst (call_name c_op) (String.concat ", " c_args)
+  | Comment c -> Format.fprintf fmt "%s// %s@," pad c
+
+let pp fmt f =
+  Format.fprintf fmt "@[<v>poly_func @%s(%s)@," f.poly_name (String.concat ", " f.poly_params);
+  List.iter (pp_stmt fmt ~indent:2) f.body;
+  Format.fprintf fmt "  return %s@,@]" (String.concat ", " f.returns)
+
+let to_string f = Format.asprintf "%a" pp f

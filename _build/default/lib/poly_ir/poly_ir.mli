@@ -1,0 +1,62 @@
+(** The POLY IR (paper Section 4.5): CKKS operations decomposed into RNS
+    polynomial operations.
+
+    Unlike the DAG levels, POLY is a statement IR with explicit RNS loops
+    — the loop structure is what its optimizations (loop fusion, operator
+    fusion) rewrite. Loop bounds are symbolic [num_q v] expressions, which
+    are compile-time constants per ciphertext level, exactly the property
+    the paper exploits for fusion legality.
+
+    Operator inventory follows Table 7: high-level whole-polynomial calls
+    ([decomp], [mod_up], [mod_down], [rescale], [ntt], [intt], ...) plus
+    [hw_]-prefixed per-RNS-limb primitives inside loops. *)
+
+type bound = Num_q of string * int (* variable, resolved trip count *) | Const_bound of int
+
+type hw_op =
+  | Hw_modadd
+  | Hw_modsub
+  | Hw_modmul
+  | Hw_modmuladd (** fused multiply-add, the Op_fusion target *)
+  | Hw_ntt
+  | Hw_intt
+  | Hw_rotate of int (** Galois automorphism on one limb *)
+
+type call_op =
+  | P_decomp
+  | P_mod_up
+  | P_mod_down
+  | P_decomp_modup (** fused, the Op_fusion target *)
+  | P_rescale
+  | P_automorphism of int
+  | P_encode
+  | P_bootstrap of int
+  | P_alloc
+
+type stmt =
+  | For of { idx : string; bound : bound; body : stmt list }
+  | Hw of { h_dst : string; h_op : hw_op; h_args : string list }
+      (** element ops, implicitly indexed by the enclosing loop variable *)
+  | Call of { c_dst : string; c_op : call_op; c_args : string list }
+  | Comment of string
+
+type func = {
+  poly_name : string;
+  poly_params : string list;
+  body : stmt list;
+  returns : string list;
+}
+
+val stmt_count : func -> int
+(** Total statements (the paper reports the gemv example as POLY-IR
+    lines). *)
+
+val loop_count : func -> int
+
+val memory_traffic : func -> ring_degree:int -> avg_limbs:int -> int
+(** Rough bytes moved: every statement inside a loop touches its operand
+    limbs once; fused loops touch intermediates in registers instead of
+    arrays — the quantity the paper's loop-fusion example improves. *)
+
+val pp : Format.formatter -> func -> unit
+val to_string : func -> string

@@ -1,0 +1,1 @@
+lib/rns/crt.ml: Ace_util Array Hashtbl Modarith Ntt

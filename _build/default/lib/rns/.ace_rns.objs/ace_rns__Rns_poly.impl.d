@@ -1,0 +1,1 @@
+lib/rns/rns_poly.ml: Ace_util Array Crt Float Format Hashtbl Modarith Ntt

@@ -1,0 +1,100 @@
+module Bignum = Ace_util.Bignum
+
+type t = {
+  ring_degree : int;
+  moduli : int array;
+  plans : Ntt.plan array;
+  products : Bignum.t array; (* products.(l) = q_0 * ... * q_{l-1}; products.(0) = 1 *)
+  inv_cache : (int * int, int) Hashtbl.t;
+  qhat_inv_cache : (int, int array) Hashtbl.t;
+  qhat_mod_cache : (int * int, int array) Hashtbl.t;
+  qhat_big_cache : (int, Bignum.t array) Hashtbl.t;
+}
+
+let make ~ring_degree ~moduli =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun q ->
+      if Hashtbl.mem seen q then invalid_arg "Crt.make: duplicate modulus";
+      Hashtbl.add seen q ())
+    moduli;
+  let plans = Array.map (fun q -> Ntt.make ~modulus:q ~ring_degree) moduli in
+  let k = Array.length moduli in
+  let products = Array.make (k + 1) Bignum.one in
+  for i = 1 to k do
+    products.(i) <- Bignum.mul_int products.(i - 1) moduli.(i - 1)
+  done;
+  {
+    ring_degree;
+    moduli;
+    plans;
+    products;
+    inv_cache = Hashtbl.create 32;
+    qhat_inv_cache = Hashtbl.create 8;
+    qhat_mod_cache = Hashtbl.create 8;
+    qhat_big_cache = Hashtbl.create 8;
+  }
+
+let ring_degree t = t.ring_degree
+let num_moduli t = Array.length t.moduli
+let modulus t i = t.moduli.(i)
+let moduli t = t.moduli
+let plan t i = t.plans.(i)
+let product t ~limbs = t.products.(limbs)
+let log2_product t ~limbs = log (Bignum.to_float t.products.(limbs)) /. log 2.0
+
+let inv_mod t ~num ~target =
+  match Hashtbl.find_opt t.inv_cache (num, target) with
+  | Some v -> v
+  | None ->
+    let v = Modarith.inv t.moduli.(num) ~modulus:t.moduli.(target) in
+    Hashtbl.add t.inv_cache (num, target) v;
+    v
+
+let qhat_big t ~limbs =
+  match Hashtbl.find_opt t.qhat_big_cache limbs with
+  | Some v -> v
+  | None ->
+    let v =
+      Array.init limbs (fun i ->
+          let acc = ref Bignum.one in
+          for j = 0 to limbs - 1 do
+            if j <> i then acc := Bignum.mul_int !acc t.moduli.(j)
+          done;
+          !acc)
+    in
+    Hashtbl.add t.qhat_big_cache limbs v;
+    v
+
+let qhat_invs t ~limbs =
+  match Hashtbl.find_opt t.qhat_inv_cache limbs with
+  | Some v -> v
+  | None ->
+    let big = qhat_big t ~limbs in
+    let v =
+      Array.init limbs (fun i ->
+          let r = Bignum.mod_int big.(i) t.moduli.(i) in
+          Modarith.inv r ~modulus:t.moduli.(i))
+    in
+    Hashtbl.add t.qhat_inv_cache limbs v;
+    v
+
+let qhat_mod t ~limbs ~target =
+  match Hashtbl.find_opt t.qhat_mod_cache (limbs, target) with
+  | Some v -> v
+  | None ->
+    let big = qhat_big t ~limbs in
+    let m = t.moduli.(target) in
+    let v = Array.map (fun q -> Bignum.mod_int q m) big in
+    Hashtbl.add t.qhat_mod_cache (limbs, target) v;
+    v
+
+let crt_to_bignum t ~limbs residue =
+  let big = qhat_big t ~limbs in
+  let invs = qhat_invs t ~limbs in
+  let acc = ref Bignum.zero in
+  for i = 0 to limbs - 1 do
+    let c = Modarith.mul (residue i) invs.(i) ~modulus:t.moduli.(i) in
+    acc := Bignum.add !acc (Bignum.mul_int big.(i) c)
+  done;
+  Bignum.rem !acc t.products.(limbs)

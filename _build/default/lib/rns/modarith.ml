@@ -1,0 +1,34 @@
+let max_modulus_bits = 31
+
+let add a b ~modulus =
+  let s = a + b in
+  if s >= modulus then s - modulus else s
+
+let sub a b ~modulus =
+  let d = a - b in
+  if d < 0 then d + modulus else d
+
+let mul a b ~modulus = a * b mod modulus
+
+let neg a ~modulus = if a = 0 then 0 else modulus - a
+
+let pow b e ~modulus =
+  if e < 0 then invalid_arg "Modarith.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b ~modulus else acc in
+      go acc (mul b b ~modulus) (e lsr 1)
+    end
+  in
+  go 1 (b mod modulus) e
+
+let inv a ~modulus =
+  if a mod modulus = 0 then invalid_arg "Modarith.inv: zero";
+  pow a (modulus - 2) ~modulus
+
+let reduce a ~modulus =
+  let r = a mod modulus in
+  if r < 0 then r + modulus else r
+
+let centered a ~modulus = if a > modulus / 2 then a - modulus else a

@@ -1,0 +1,28 @@
+(** Word-sized modular arithmetic.
+
+    All moduli in this code base are odd primes strictly below 2^31, so the
+    product of two reduced residues fits in OCaml's 63-bit native int and no
+    multi-word reduction is ever needed. This is the word-size substitution
+    documented in DESIGN.md (the paper's ACEfhe uses 64-bit RNS limbs). *)
+
+val max_modulus_bits : int
+(** Largest supported modulus width (31). *)
+
+val add : int -> int -> modulus:int -> int
+val sub : int -> int -> modulus:int -> int
+val mul : int -> int -> modulus:int -> int
+val neg : int -> modulus:int -> int
+
+val pow : int -> int -> modulus:int -> int
+(** [pow b e ~modulus] is [b^e mod modulus] by square-and-multiply;
+    [e >= 0]. *)
+
+val inv : int -> modulus:int -> int
+(** Modular inverse for prime modulus (Fermat). @raise Invalid_argument on
+    [0]. *)
+
+val reduce : int -> modulus:int -> int
+(** Reduce an arbitrary native int (possibly negative) into [\[0, m)]. *)
+
+val centered : int -> modulus:int -> int
+(** Lift a residue to the centered representative in [(-m/2, m/2]]. *)

@@ -1,0 +1,170 @@
+(* Butterflies use Shoup multiplication: for a fixed twiddle w modulo q,
+   precompute w' = floor(w * 2^31 / q); then
+       mulmod(x, w) = x*w - (x*w' >> 31)*q, corrected by one subtraction.
+   All products stay below 2^62, inside OCaml's native int. This replaces
+   the hardware division of [mod] in the transform's inner loop. *)
+
+type plan = {
+  modulus : int;
+  n : int;
+  log_n : int;
+  psi_pows : int array;
+  psi_pows_shoup : int array;
+  psi_inv_pows : int array;
+  psi_inv_pows_shoup : int array;
+  omega_stage : int array array;
+  omega_stage_shoup : int array array;
+  omega_inv_stage : int array array;
+  omega_inv_stage_shoup : int array array;
+  bitrev : int array;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2i n =
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let shoup w q = (w lsl 31) / q
+
+let shoup_of q a = Array.map (fun w -> shoup w q) a
+
+let make ~modulus ~ring_degree =
+  if not (is_pow2 ring_degree) then invalid_arg "Ntt.make: degree not a power of two";
+  if (modulus - 1) mod (2 * ring_degree) <> 0 then
+    invalid_arg "Ntt.make: modulus not NTT-friendly";
+  if modulus >= 1 lsl 31 then invalid_arg "Ntt.make: modulus too wide";
+  let n = ring_degree in
+  let log_n = log2i n in
+  let psi = Primes.root_of_unity ~order:(2 * n) ~modulus in
+  let omega = Modarith.mul psi psi ~modulus in
+  let pows base =
+    let a = Array.make n 1 in
+    for i = 1 to n - 1 do
+      a.(i) <- Modarith.mul a.(i - 1) base ~modulus
+    done;
+    a
+  in
+  let psi_pows = pows psi in
+  let psi_inv = Modarith.inv psi ~modulus in
+  let n_inv = Modarith.inv n ~modulus in
+  let psi_inv_pows =
+    let a = pows psi_inv in
+    Array.map (fun x -> Modarith.mul x n_inv ~modulus) a
+  in
+  let omega_stage = Array.make log_n [||] in
+  let omega_inv_stage = Array.make log_n [||] in
+  let omega_inv = Modarith.inv omega ~modulus in
+  for s = 1 to log_n do
+    let half = 1 lsl (s - 1) in
+    let step = n lsr s in
+    let tw = Array.make half 1 and tw_inv = Array.make half 1 in
+    let w = Modarith.pow omega step ~modulus in
+    let w_inv = Modarith.pow omega_inv step ~modulus in
+    for j = 1 to half - 1 do
+      tw.(j) <- Modarith.mul tw.(j - 1) w ~modulus;
+      tw_inv.(j) <- Modarith.mul tw_inv.(j - 1) w_inv ~modulus
+    done;
+    omega_stage.(s - 1) <- tw;
+    omega_inv_stage.(s - 1) <- tw_inv
+  done;
+  let bitrev = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = ref 0 and x = ref i in
+    for _ = 1 to log_n do
+      r := (!r lsl 1) lor (!x land 1);
+      x := !x lsr 1
+    done;
+    bitrev.(i) <- !r
+  done;
+  {
+    modulus;
+    n;
+    log_n;
+    psi_pows;
+    psi_pows_shoup = shoup_of modulus psi_pows;
+    psi_inv_pows;
+    psi_inv_pows_shoup = shoup_of modulus psi_inv_pows;
+    omega_stage;
+    omega_stage_shoup = Array.map (shoup_of modulus) omega_stage;
+    omega_inv_stage;
+    omega_inv_stage_shoup = Array.map (shoup_of modulus) omega_inv_stage;
+    bitrev;
+  }
+
+let modulus p = p.modulus
+let ring_degree p = p.n
+
+let permute_bitrev p a =
+  for i = 0 to p.n - 1 do
+    let j = p.bitrev.(i) in
+    if j > i then begin
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    end
+  done
+
+let[@inline] mul_shoup x w w' q =
+  let t = (x * w') lsr 31 in
+  let r = (x * w) - (t * q) in
+  if r >= q then r - q else r
+
+let cyclic_ntt p stages stages_shoup a =
+  let q = p.modulus in
+  permute_bitrev p a;
+  for s = 1 to p.log_n do
+    let half = 1 lsl (s - 1) in
+    let len = half lsl 1 in
+    let tw = stages.(s - 1) and tw' = stages_shoup.(s - 1) in
+    let i = ref 0 in
+    while !i < p.n do
+      let base = !i in
+      for j = 0 to half - 1 do
+        let u = Array.unsafe_get a (base + j) in
+        let x = Array.unsafe_get a (base + j + half) in
+        let v = mul_shoup x (Array.unsafe_get tw j) (Array.unsafe_get tw' j) q in
+        let s1 = u + v in
+        Array.unsafe_set a (base + j) (if s1 >= q then s1 - q else s1);
+        let d = u - v in
+        Array.unsafe_set a (base + j + half) (if d < 0 then d + q else d)
+      done;
+      i := base + len
+    done
+  done
+
+let twist p pows pows' a =
+  let q = p.modulus in
+  for i = 0 to p.n - 1 do
+    Array.unsafe_set a i
+      (mul_shoup (Array.unsafe_get a i) (Array.unsafe_get pows i) (Array.unsafe_get pows' i) q)
+  done
+
+let forward p a =
+  twist p p.psi_pows p.psi_pows_shoup a;
+  cyclic_ntt p p.omega_stage p.omega_stage_shoup a
+
+let inverse p a =
+  cyclic_ntt p p.omega_inv_stage p.omega_inv_stage_shoup a;
+  (* psi_inv_pows carries both the untwist and the 1/n factor. *)
+  twist p p.psi_inv_pows p.psi_inv_pows_shoup a
+
+let pointwise_mul p dst a b =
+  let q = p.modulus in
+  let inv_q = 1.0 /. float_of_int q in
+  for i = 0 to p.n - 1 do
+    let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+    (* Barrett via floating-point quotient estimate; off by at most one. *)
+    let quot = int_of_float (float_of_int x *. float_of_int y *. inv_q) in
+    let r = (x * y) - (quot * q) in
+    let r = if r < 0 then r + q else if r >= q then r - q else r in
+    Array.unsafe_set dst i r
+  done
+
+let negacyclic_convolution p a b =
+  let fa = Array.copy a and fb = Array.copy b in
+  forward p fa;
+  forward p fb;
+  pointwise_mul p fa fa fb;
+  inverse p fa;
+  fa

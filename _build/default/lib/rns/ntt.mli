@@ -1,0 +1,32 @@
+(** Negacyclic number-theoretic transform over Z_q[X]/(X^N + 1).
+
+    A plan caches the twiddle factors for one (modulus, ring degree) pair.
+    The negacyclic transform is implemented as the classical twist: multiply
+    coefficient [i] by [psi^i] (a primitive 2N-th root of unity), run a
+    cyclic NTT of size N with [omega = psi^2], and invert symmetrically.
+    Pointwise products in the transformed domain therefore realise
+    multiplication modulo [X^N + 1]. *)
+
+type plan
+
+val make : modulus:int -> ring_degree:int -> plan
+(** Requires [modulus] prime with [modulus ≡ 1 (mod 2 * ring_degree)] and
+    [ring_degree] a power of two. *)
+
+val modulus : plan -> int
+val ring_degree : plan -> int
+
+val forward : plan -> int array -> unit
+(** In-place forward transform; input in coefficient order, output in the
+    evaluation (NTT) domain. *)
+
+val inverse : plan -> int array -> unit
+(** In-place inverse; exact round-trip with {!forward}. *)
+
+val pointwise_mul : plan -> int array -> int array -> int array -> unit
+(** [pointwise_mul p dst a b] writes the element-wise modular product. [dst]
+    may alias [a] or [b]. *)
+
+val negacyclic_convolution : plan -> int array -> int array -> int array
+(** Reference entry point: full multiply of two coefficient-domain inputs,
+    used in tests to validate against the schoolbook product. *)

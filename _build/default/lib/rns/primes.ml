@@ -1,0 +1,112 @@
+(* Deterministic Miller-Rabin. For n < 3,317,044,064,679,887,385,961,981 the
+   bases {2,3,5,7,11,13,17,19,23,29,31,37} are exact; our inputs are < 2^31
+   so the margin is vast. The witness loop needs mulmod on values up to n-1;
+   since n < 2^31 the products fit native ints. *)
+
+let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n land 1 = 0 then false
+  else begin
+    let d = ref (n - 1) and r = ref 0 in
+    while !d land 1 = 0 do
+      d := !d lsr 1;
+      incr r
+    done;
+    let composite_witness a =
+      let a = a mod n in
+      if a = 0 then false
+      else begin
+        let x = ref (Modarith.pow a !d ~modulus:n) in
+        if !x = 1 || !x = n - 1 then false
+        else begin
+          let found = ref false in
+          (try
+             for _ = 1 to !r - 1 do
+               x := Modarith.mul !x !x ~modulus:n;
+               if !x = n - 1 then begin
+                 found := true;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          not !found
+        end
+      end
+    in
+    not (List.exists composite_witness witnesses)
+  end
+
+let ntt_prime_near ~bits ~ring_degree ~below =
+  if bits > Modarith.max_modulus_bits then
+    invalid_arg "Primes.ntt_prime_near: modulus too wide for native arithmetic";
+  let step = 2 * ring_degree in
+  let cap = min below (1 lsl bits) in
+  (* Largest candidate of the form k*step + 1 strictly below cap. *)
+  let start = (cap - 2) / step * step + 1 in
+  let rec scan q =
+    if q <= step then raise Not_found
+    else if is_prime q then q
+    else scan (q - step)
+  in
+  scan start
+
+let chain ~count ~bits ~ring_degree =
+  let rec go acc below remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let q = ntt_prime_near ~bits ~ring_degree ~below in
+      go (q :: acc) q (remaining - 1)
+    end
+  in
+  go [] max_int count
+
+let near_pow2 ~count ~bits ~ring_degree ~avoid =
+  if bits + 1 > Modarith.max_modulus_bits then
+    invalid_arg "Primes.near_pow2: modulus too wide for native arithmetic";
+  let step = 2 * ring_degree in
+  let target = 1 lsl bits in
+  (* Candidates are target +- k*step + 1; walk k outwards, preferring the
+     candidate closest to the target at each step. *)
+  let found = ref [] in
+  let admissible q =
+    q > step && q < 1 lsl (bits + 1) && is_prime q && (not (List.mem q avoid))
+    && not (List.mem q !found)
+  in
+  let k = ref 0 in
+  while List.length !found < count do
+    incr k;
+    let above = target + (!k * step) + 1 and below = target - (!k * step) + 1 in
+    if admissible below && List.length !found < count then found := below :: !found;
+    if admissible above && List.length !found < count then found := above :: !found;
+    if !k > 1 lsl 22 then raise Not_found
+  done;
+  List.rev !found
+
+let prime_factors n =
+  let rec go n p acc =
+    if p * p > n then if n > 1 then n :: acc else acc
+    else if n mod p = 0 then begin
+      let rec strip n = if n mod p = 0 then strip (n / p) else n in
+      go (strip n) (p + 1) (p :: acc)
+    end
+    else go n (p + 1) acc
+  in
+  go n 2 []
+
+let primitive_root ~modulus =
+  let phi = modulus - 1 in
+  let factors = prime_factors phi in
+  let is_generator g =
+    List.for_all (fun p -> Modarith.pow g (phi / p) ~modulus <> 1) factors
+  in
+  let rec scan g = if is_generator g then g else scan (g + 1) in
+  scan 2
+
+let root_of_unity ~order ~modulus =
+  if (modulus - 1) mod order <> 0 then
+    invalid_arg "Primes.root_of_unity: order does not divide modulus-1";
+  let g = primitive_root ~modulus in
+  Modarith.pow g ((modulus - 1) / order) ~modulus

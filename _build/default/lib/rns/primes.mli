@@ -1,0 +1,35 @@
+(** Primality testing and NTT-friendly prime generation.
+
+    RNS-CKKS needs a chain of co-prime moduli [q_i], each congruent to
+    1 modulo 2N so that the negacyclic NTT over Z_{q_i}[X]/(X^N+1) exists.
+    The chain is generated deterministically: primes are scanned downwards
+    from a per-role starting point so that the same parameters always yield
+    the same chain. *)
+
+val is_prime : int -> bool
+(** Deterministic Miller–Rabin, exact for all inputs below 2^62. *)
+
+val ntt_prime_near : bits:int -> ring_degree:int -> below:int -> int
+(** [ntt_prime_near ~bits ~ring_degree ~below] is the largest prime
+    [q < below] with [q ≡ 1 (mod 2*ring_degree)] and [q < 2^bits].
+    @raise Not_found if the scan exhausts the range. *)
+
+val chain :
+  count:int -> bits:int -> ring_degree:int -> int list
+(** [chain ~count ~bits ~ring_degree] generates [count] distinct NTT
+    primes of at most [bits] bits, largest first. *)
+
+val near_pow2 :
+  count:int -> bits:int -> ring_degree:int -> avoid:int list -> int list
+(** [near_pow2 ~count ~bits ~ring_degree ~avoid] returns [count] distinct
+    NTT primes as close as possible to [2^bits] (alternating above and
+    below so that their product stays near [2^(bits*count)]), skipping any
+    in [avoid]. Rescaling by such primes keeps the ciphertext scale within
+    a fraction of a percent of the nominal Delta. *)
+
+val primitive_root : modulus:int -> int
+(** A generator of the multiplicative group mod a prime. *)
+
+val root_of_unity : order:int -> modulus:int -> int
+(** A primitive [order]-th root of unity mod a prime with
+    [order | modulus-1]. *)

@@ -1,0 +1,285 @@
+module Rng = Ace_util.Rng
+module Bignum = Ace_util.Bignum
+
+type domain = Coeff | Eval
+
+type t = {
+  ctx : Crt.t;
+  chain_idx : int array;
+  data : int array array;
+  domain : domain;
+}
+
+let create ctx ~chain_idx domain =
+  let n = Crt.ring_degree ctx in
+  { ctx; chain_idx = Array.copy chain_idx; data = Array.init (Array.length chain_idx) (fun _ -> Array.make n 0); domain }
+
+let of_data ctx ~chain_idx domain data =
+  if Array.length data <> Array.length chain_idx then invalid_arg "Rns_poly.of_data: arity";
+  let n = Crt.ring_degree ctx in
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Rns_poly.of_data: row length") data;
+  { ctx; chain_idx = Array.copy chain_idx; data; domain }
+
+let prefix_idx ~limbs = Array.init limbs (fun i -> i)
+
+let num_limbs t = Array.length t.chain_idx
+let ring_degree t = Crt.ring_degree t.ctx
+let domain t = t.domain
+
+let clone t = { t with data = Array.map Array.copy t.data }
+
+let equal a b =
+  a.domain = b.domain && a.chain_idx = b.chain_idx
+  && Array.for_all2 (fun x y -> x = y) a.data b.data
+
+let check_compatible a b =
+  if a.domain <> b.domain then invalid_arg "Rns_poly: domain mismatch";
+  if a.chain_idx <> b.chain_idx then invalid_arg "Rns_poly: limb-set mismatch"
+
+let of_centered_coeffs ctx ~chain_idx coeffs =
+  let n = Crt.ring_degree ctx in
+  if Array.length coeffs <> n then invalid_arg "Rns_poly.of_centered_coeffs: length";
+  let data =
+    Array.map
+      (fun ci ->
+        let q = Crt.modulus ctx ci in
+        Array.map (fun c -> Modarith.reduce c ~modulus:q) coeffs)
+      chain_idx
+  in
+  { ctx; chain_idx = Array.copy chain_idx; data; domain = Coeff }
+
+let of_rounded_floats ctx ~chain_idx floats =
+  let coeffs = Array.map (fun f -> int_of_float (Float.round f)) floats in
+  of_centered_coeffs ctx ~chain_idx coeffs
+
+let to_ntt t =
+  match t.domain with
+  | Eval -> t
+  | Coeff ->
+    let data =
+      Array.mapi
+        (fun k a ->
+          let a = Array.copy a in
+          Ntt.forward (Crt.plan t.ctx t.chain_idx.(k)) a;
+          a)
+        t.data
+    in
+    { t with data; domain = Eval }
+
+let to_coeff t =
+  match t.domain with
+  | Coeff -> t
+  | Eval ->
+    let data =
+      Array.mapi
+        (fun k a ->
+          let a = Array.copy a in
+          Ntt.inverse (Crt.plan t.ctx t.chain_idx.(k)) a;
+          a)
+        t.data
+    in
+    { t with data; domain = Coeff }
+
+let in_domain d t = match d with Coeff -> to_coeff t | Eval -> to_ntt t
+
+let map2 f a b =
+  check_compatible a b;
+  let data =
+    Array.init (num_limbs a) (fun k ->
+        let q = Crt.modulus a.ctx a.chain_idx.(k) in
+        let xa = a.data.(k) and xb = b.data.(k) in
+        Array.init (Array.length xa) (fun i -> f xa.(i) xb.(i) q))
+  in
+  { a with data }
+
+let add a b = map2 (fun x y q -> Modarith.add x y ~modulus:q) a b
+let sub a b = map2 (fun x y q -> Modarith.sub x y ~modulus:q) a b
+
+let neg a =
+  let data =
+    Array.mapi
+      (fun k x ->
+        let q = Crt.modulus a.ctx a.chain_idx.(k) in
+        Array.map (fun v -> Modarith.neg v ~modulus:q) x)
+      a.data
+  in
+  { a with data }
+
+let mul a b =
+  if a.domain <> Eval || b.domain <> Eval then
+    invalid_arg "Rns_poly.mul: operands must be in the evaluation domain";
+  check_compatible a b;
+  let data =
+    Array.init (num_limbs a) (fun k ->
+        let plan = Crt.plan a.ctx a.chain_idx.(k) in
+        let dst = Array.make (Crt.ring_degree a.ctx) 0 in
+        Ntt.pointwise_mul plan dst a.data.(k) b.data.(k);
+        dst)
+  in
+  { a with data }
+
+let scalar_mul s a =
+  let data =
+    Array.mapi
+      (fun k x ->
+        let q = Crt.modulus a.ctx a.chain_idx.(k) in
+        let s = Modarith.reduce s ~modulus:q in
+        Array.map (fun v -> Modarith.mul v s ~modulus:q) x)
+      a.data
+  in
+  { a with data }
+
+let scalar_mul_per_limb scalars a =
+  if Array.length scalars <> num_limbs a then
+    invalid_arg "Rns_poly.scalar_mul_per_limb: arity";
+  let data =
+    Array.mapi
+      (fun k x ->
+        let q = Crt.modulus a.ctx a.chain_idx.(k) in
+        let s = Modarith.reduce scalars.(k) ~modulus:q in
+        Array.map (fun v -> Modarith.mul v s ~modulus:q) x)
+      a.data
+  in
+  { a with data }
+
+(* X^i -> X^(i*g mod 2N); exponents >= N wrap with a sign flip because
+   X^N = -1. The (destination, sign) table is cached per (N, g). *)
+let automorphism_tables : (int * int, int array * bool array) Hashtbl.t = Hashtbl.create 32
+
+let automorphism_table ~n ~galois =
+  match Hashtbl.find_opt automorphism_tables (n, galois) with
+  | Some t -> t
+  | None ->
+    let two_n = 2 * n in
+    let dest = Array.make n 0 and flip = Array.make n false in
+    for i = 0 to n - 1 do
+      let e = i * galois mod two_n in
+      if e < n then dest.(i) <- e
+      else begin
+        dest.(i) <- e - n;
+        flip.(i) <- true
+      end
+    done;
+    Hashtbl.add automorphism_tables (n, galois) (dest, flip);
+    (dest, flip)
+
+let automorphism ~galois t =
+  if t.domain <> Coeff then invalid_arg "Rns_poly.automorphism: need Coeff domain";
+  let n = ring_degree t in
+  if galois land 1 = 0 then invalid_arg "Rns_poly.automorphism: even Galois element";
+  let dest, flip = automorphism_table ~n ~galois in
+  let data =
+    Array.mapi
+      (fun k x ->
+        let q = Crt.modulus t.ctx t.chain_idx.(k) in
+        let out = Array.make n 0 in
+        for i = 0 to n - 1 do
+          let v = Array.unsafe_get x i in
+          let e = Array.unsafe_get dest i in
+          Array.unsafe_set out e (if Array.unsafe_get flip i then (if v = 0 then 0 else q - v) else v)
+        done;
+        out)
+      t.data
+  in
+  { t with data }
+
+let sample_uniform ctx ~chain_idx rng =
+  let n = Crt.ring_degree ctx in
+  let data =
+    Array.map
+      (fun ci ->
+        let q = Crt.modulus ctx ci in
+        Array.init n (fun _ -> Rng.int rng q))
+      chain_idx
+  in
+  { ctx; chain_idx = Array.copy chain_idx; data; domain = Eval }
+
+let of_small_sampler ctx ~chain_idx rng sample =
+  let n = Crt.ring_degree ctx in
+  let coeffs = Array.init n (fun _ -> sample rng) in
+  of_centered_coeffs ctx ~chain_idx coeffs
+
+let sample_ternary ctx ~chain_idx rng = of_small_sampler ctx ~chain_idx rng Rng.ternary
+
+let sample_sparse_ternary ctx ~chain_idx ~hamming rng =
+  let n = Crt.ring_degree ctx in
+  if hamming < 0 || hamming > n then invalid_arg "Rns_poly.sample_sparse_ternary";
+  let coeffs = Array.make n 0 in
+  let placed = ref 0 in
+  while !placed < hamming do
+    let i = Rng.int rng n in
+    if coeffs.(i) = 0 then begin
+      coeffs.(i) <- (if Rng.int rng 2 = 0 then 1 else -1);
+      incr placed
+    end
+  done;
+  of_centered_coeffs ctx ~chain_idx coeffs
+
+let sample_gaussian ctx ~chain_idx ~sigma rng =
+  of_small_sampler ctx ~chain_idx rng (fun r -> int_of_float (Float.round (Rng.gaussian r sigma)))
+
+let restrict t ~chain_idx =
+  let pos ci =
+    let rec find k =
+      if k >= Array.length t.chain_idx then invalid_arg "Rns_poly.restrict: missing limb"
+      else if t.chain_idx.(k) = ci then k
+      else find (k + 1)
+    in
+    find 0
+  in
+  let data = Array.map (fun ci -> Array.copy t.data.(pos ci)) chain_idx in
+  { t with chain_idx = Array.copy chain_idx; data }
+
+let drop_limbs t ~keep =
+  if keep <= 0 || keep > num_limbs t then invalid_arg "Rns_poly.drop_limbs";
+  { t with chain_idx = Array.sub t.chain_idx 0 keep; data = Array.sub t.data 0 keep }
+
+let rescale t =
+  if t.domain <> Coeff then invalid_arg "Rns_poly.rescale: need Coeff domain";
+  let l = num_limbs t in
+  if l < 2 then invalid_arg "Rns_poly.rescale: single limb";
+  let top_ci = t.chain_idx.(l - 1) in
+  let q_top = Crt.modulus t.ctx top_ci in
+  let top = t.data.(l - 1) in
+  let n = ring_degree t in
+  let data =
+    Array.init (l - 1) (fun k ->
+        let ci = t.chain_idx.(k) in
+        let q = Crt.modulus t.ctx ci in
+        let inv = Crt.inv_mod t.ctx ~num:top_ci ~target:ci in
+        let x = t.data.(k) in
+        Array.init n (fun i ->
+            (* Centered lift of the top residue gives round-to-nearest
+               rather than floor division. *)
+            let c = Modarith.centered top.(i) ~modulus:q_top in
+            let d = Modarith.sub x.(i) (Modarith.reduce c ~modulus:q) ~modulus:q in
+            Modarith.mul d inv ~modulus:q))
+  in
+  { t with chain_idx = Array.sub t.chain_idx 0 (l - 1); data }
+
+let extend_limb t ~target_chain_idx =
+  if t.domain <> Coeff then invalid_arg "Rns_poly.extend_limb: need Coeff domain";
+  if num_limbs t <> 1 then invalid_arg "Rns_poly.extend_limb: not a digit";
+  let src_q = Crt.modulus t.ctx t.chain_idx.(0) in
+  let dst_q = Crt.modulus t.ctx target_chain_idx in
+  Array.map
+    (fun v -> Modarith.reduce (Modarith.centered v ~modulus:src_q) ~modulus:dst_q)
+    t.data.(0)
+
+let lift_limb_to t ~src ~target_modulus =
+  let src_q = Crt.modulus t.ctx t.chain_idx.(src) in
+  Array.map
+    (fun v -> Modarith.reduce (Modarith.centered v ~modulus:src_q) ~modulus:target_modulus)
+    t.data.(src)
+
+let coeff_bignum t i =
+  if t.domain <> Coeff then invalid_arg "Rns_poly.coeff_bignum: need Coeff domain";
+  let l = num_limbs t in
+  Array.iteri
+    (fun k ci -> if ci <> k then invalid_arg "Rns_poly.coeff_bignum: non-prefix limb set")
+    (Array.sub t.chain_idx 0 l);
+  Crt.crt_to_bignum t.ctx ~limbs:l (fun k -> t.data.(k).(i))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>poly n=%d limbs=%d domain=%s@]" (ring_degree t) (num_limbs t)
+    (match t.domain with Coeff -> "coeff" | Eval -> "eval")

@@ -1,0 +1,105 @@
+(** Polynomials of R_Q = Z_Q[X]/(X^N+1) in RNS representation.
+
+    A polynomial carries an explicit set of limbs: [chain_idx.(k)] names the
+    position in the {!Crt.t} modulus chain backing local limb [k], and
+    [data.(k)] holds the N residues modulo that prime. Ciphertext
+    polynomials use the prefix [0..level]; key-switching temporarily works
+    over the prefix extended with the special prime at the end of the
+    chain, which is why the limb set is explicit rather than implied.
+
+    The [domain] records whether residues are in coefficient order or in
+    the NTT evaluation domain. Multiplication requires [Eval]; rescaling
+    and automorphisms require [Coeff]; converting between them is explicit
+    so that callers account for every transform (the dominant cost). *)
+
+type domain = Coeff | Eval
+
+type t = private {
+  ctx : Crt.t;
+  chain_idx : int array;
+  data : int array array;
+  domain : domain;
+}
+
+val create : Crt.t -> chain_idx:int array -> domain -> t
+(** Zero polynomial over the given limb set. *)
+
+val of_data : Crt.t -> chain_idx:int array -> domain -> int array array -> t
+(** Wrap residue rows directly (takes ownership; rows must be reduced).
+    Performance escape hatch for the evaluator's key-switch inner loop. *)
+
+val prefix_idx : limbs:int -> int array
+(** [\[|0; ...; limbs-1|\]], the standard ciphertext limb set. *)
+
+val num_limbs : t -> int
+val ring_degree : t -> int
+val domain : t -> domain
+val clone : t -> t
+val equal : t -> t -> bool
+
+val of_centered_coeffs : Crt.t -> chain_idx:int array -> int array -> t
+(** Reduce signed integer coefficients into every limb; result in [Coeff]. *)
+
+val of_rounded_floats : Crt.t -> chain_idx:int array -> float array -> t
+(** Round-to-nearest, then as {!of_centered_coeffs}. Coefficients must stay
+    within native-int magnitude (|x| < 2^62); encoding guarantees this. *)
+
+val to_ntt : t -> t
+val to_coeff : t -> t
+val in_domain : domain -> t -> t
+(** Convert if needed. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Pointwise product; both arguments must be [Eval] with equal limb sets. *)
+
+val scalar_mul : int -> t -> t
+(** Multiply by a signed integer scalar (reduced per limb). *)
+
+val scalar_mul_per_limb : int array -> t -> t
+(** Limb-dependent scalar, e.g. a CRT-decomposed big-integer constant. *)
+
+val automorphism : galois:int -> t -> t
+(** X ↦ X^galois with [galois] odd; input and output in [Coeff]. This is
+    the slot-rotation primitive. *)
+
+val sample_uniform : Crt.t -> chain_idx:int array -> Ace_util.Rng.t -> t
+val sample_ternary : Crt.t -> chain_idx:int array -> Ace_util.Rng.t -> t
+
+val sample_sparse_ternary :
+  Crt.t -> chain_idx:int array -> hamming:int -> Ace_util.Rng.t -> t
+(** [sample_sparse_ternary] draws exactly [hamming] nonzero (+-1)
+    coefficients; CKKS bootstrapping keeps the secret sparse so
+    ModRaise's integer overflow stays small. *)
+
+val sample_gaussian :
+  Crt.t -> chain_idx:int array -> sigma:float -> Ace_util.Rng.t -> t
+
+val restrict : t -> chain_idx:int array -> t
+(** Keep only the limbs whose chain indices appear in [chain_idx] (which
+    must be a subsequence of the polynomial's own limb set). Restriction is
+    how full-basis keys are reused at lower ciphertext levels. *)
+
+val drop_limbs : t -> keep:int -> t
+(** Forget the top limbs without rescaling (modulus switching, value is
+    unchanged mod the smaller product). *)
+
+val rescale : t -> t
+(** Divide by the top limb's modulus with rounding and drop that limb;
+    input must be [Coeff] with at least two limbs; output is [Coeff]. *)
+
+val extend_limb : t -> target_chain_idx:int -> int array
+(** For a single-limb [Coeff] polynomial (a key-switch digit): re-reduce the
+    centered integer residues modulo another chain prime. Exact, because a
+    digit's coefficients are bona fide small integers. *)
+
+val lift_limb_to : t -> src:int -> target_modulus:int -> int array
+(** Centered residues of limb [src] reduced modulo [target_modulus]. *)
+
+val coeff_bignum : t -> int -> Ace_util.Bignum.t
+(** CRT-recombine coefficient [i] (requires a prefix limb set in [Coeff]
+    domain); used by the decoder. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sihe/lower_vec.ml: Ace_approx Ace_ir Array Fun Hashtbl Irfunc Level List Op Option Printf Types Verify

@@ -1,0 +1,1 @@
+lib/sihe/lower_vec.mli: Ace_ir

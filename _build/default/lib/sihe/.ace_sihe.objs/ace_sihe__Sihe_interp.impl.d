@@ -1,0 +1,1 @@
+lib/sihe/sihe_interp.ml: Ace_ir Array Irfunc Level List Op Printf

@@ -1,0 +1,1 @@
+lib/sihe/sihe_interp.mli: Ace_ir

@@ -1,0 +1,30 @@
+(** VECTOR IR -> SIHE IR lowering (paper Section 4.3).
+
+    Two jobs:
+
+    - {b Ciphertext type inference}: the function input is a ciphertext;
+      dataflow marks every value reachable from it as [Cipher] and rewrites
+      its producers to homomorphic SIHE operators, inserting [SIHE.encode]
+      where a cleartext operand meets a ciphertext (exactly the
+      [VECTOR.slice -> SIHE.encode] pattern of Listing 3).
+
+    - {b Nonlinear approximation}: [VECTOR.nonlinear(relu)] expands into
+      [0.5 * x * (1 + sign(x))] with the composite minimax sign polynomial
+      (Lee et al. [36]) evaluated by square-and-multiply over SIHE ops. *)
+
+type config = {
+  relu_alpha : int; (** sign precision: resolves |x| >= 2^-alpha *)
+}
+
+exception Unsupported of string
+
+val default : config
+
+val lower : config -> Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
+
+val relu_depth : config -> int
+(** Multiplicative depth one expanded ReLU consumes (used by the CKKS
+    level's bootstrap placement). *)
+
+val rotation_amounts : Ace_ir.Irfunc.t -> int list
+(** Distinct [SIHE.rotate] steps — the input to rotation-key planning. *)

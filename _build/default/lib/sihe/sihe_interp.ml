@@ -1,0 +1,40 @@
+open Ace_ir
+
+let roll v k =
+  let n = Array.length v in
+  let k = ((k mod n) + n) mod n in
+  Array.init n (fun i -> v.((i + k) mod n))
+
+let run f inputs =
+  if Irfunc.level f <> Level.Sihe then invalid_arg "Sihe_interp.run: not a SIHE function";
+  let values = Array.make (Irfunc.num_nodes f) [||] in
+  let inputs = Array.of_list inputs in
+  Irfunc.iter f (fun n ->
+      let arg i = values.(n.Irfunc.args.(i)) in
+      let result =
+        match n.Irfunc.op with
+        | Op.Param i -> inputs.(i)
+        | Op.Weight name -> Irfunc.const f name
+        | Op.Const_scalar v -> [| v |]
+        | Op.S_add -> Array.map2 ( +. ) (arg 0) (arg 1)
+        | Op.S_sub -> Array.map2 ( -. ) (arg 0) (arg 1)
+        | Op.S_mul -> Array.map2 ( *. ) (arg 0) (arg 1)
+        | Op.S_neg -> Array.map (fun v -> -.v) (arg 0)
+        | Op.S_rotate k -> roll (arg 0) k
+        | Op.S_encode | Op.S_decode -> arg 0
+        | Op.V_add -> Array.map2 ( +. ) (arg 0) (arg 1)
+        | Op.V_sub -> Array.map2 ( -. ) (arg 0) (arg 1)
+        | Op.V_mul -> Array.map2 ( *. ) (arg 0) (arg 1)
+        | Op.V_roll k -> roll (arg 0) k
+        | Op.V_slice { Op.start; slice_len; stride } ->
+          let x = arg 0 in
+          Array.init slice_len (fun i -> x.(start + (i * stride)))
+        | op -> invalid_arg ("Sihe_interp: unexpected op " ^ Op.name op)
+      in
+      values.(n.Irfunc.id) <- result);
+  List.map (fun r -> values.(r)) (Irfunc.returns f)
+
+let run1 f input =
+  match run f [ input ] with
+  | [ out ] -> out
+  | outs -> invalid_arg (Printf.sprintf "Sihe_interp.run1: %d outputs" (List.length outs))

@@ -1,0 +1,10 @@
+(** Cleartext simulator for the SIHE IR.
+
+    Ciphertexts and plaintexts are simulated as float vectors; rotate is a
+    cyclic shift, mul is slot-wise. Running this after lowering shows the
+    exact numerical effect of the polynomial ReLU approximation without
+    any encryption noise — the difference against {!Ace_vector.Vec_interp}
+    is purely approximation error, which tests bound. *)
+
+val run : Ace_ir.Irfunc.t -> float array list -> float array list
+val run1 : Ace_ir.Irfunc.t -> float array -> float array

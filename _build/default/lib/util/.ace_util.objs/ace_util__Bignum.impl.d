@@ -1,0 +1,1 @@
+lib/util/bignum.ml: Array Buffer Format List Printf Stdlib

@@ -1,0 +1,187 @@
+(* Little-endian limbs in base 2^26; normalised (no high zero limbs). *)
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let normalise (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs n acc = if n = 0 then acc else limbs (n lsr base_bits) ((n land base_mask) :: acc) in
+  normalise (Array.of_list (List.rev (limbs n [])))
+
+let to_int_opt (a : t) =
+  (* max_int is 2^62 - 1 = three limbs with a 10-bit top limb. *)
+  let la = Array.length a in
+  let fits =
+    la < 3 || (la = 3 && a.(2) < 1 lsl (62 - (2 * base_bits)))
+  in
+  if fits then begin
+    let v = ref 0 in
+    for i = la - 1 downto 0 do
+      v := (!v lsl base_bits) lor a.(i)
+    done;
+    Some !v
+  end
+  else None
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  normalise r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Bignum.sub: underflow";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalise r
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        (* a.(i)*b.(j) < 2^52; + r < 2^26; + carry < 2^26: fits in 63 bits. *)
+        let s = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land base_mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    normalise r
+  end
+
+let mul_int (a : t) k =
+  if k < 0 then invalid_arg "Bignum.mul_int: negative";
+  if k = 0 || Array.length a = 0 then zero
+  else if k >= 1 lsl 31 then mul a (of_int k)
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * k) + !carry in
+      r.(i) <- s land base_mask;
+      carry := s lsr base_bits
+    done;
+    let k' = ref la in
+    while !carry <> 0 do
+      r.(!k') <- !carry land base_mask;
+      carry := !carry lsr base_bits;
+      incr k'
+    done;
+    normalise r
+  end
+
+let add_int a k = add a (of_int k)
+
+let divmod_int (a : t) k =
+  if k <= 0 then invalid_arg "Bignum.divmod_int: non-positive divisor";
+  if k >= 1 lsl 31 then invalid_arg "Bignum.divmod_int: divisor too large";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    (* rem < k < 2^31 so (rem << 26) + limb < 2^57: safe. *)
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / k;
+    rem := cur mod k
+  done;
+  (normalise q, !rem)
+
+let mod_int a k = snd (divmod_int a k)
+
+let rem a m =
+  if Array.length m = 0 then invalid_arg "Bignum.rem: zero modulus";
+  let r = ref a in
+  (* Scale m by powers of two so the loop is logarithmic in a/m. *)
+  let rec shrink () =
+    if compare !r m >= 0 then begin
+      let s = ref m in
+      while compare (add !s !s) !r <= 0 do
+        s := add !s !s
+      done;
+      r := sub !r !s;
+      shrink ()
+    end
+  in
+  shrink ();
+  !r
+
+let to_float (a : t) =
+  let v = ref 0.0 in
+  for i = Array.length a - 1 downto 0 do
+    v := (!v *. float_of_int base) +. float_of_int a.(i)
+  done;
+  !v
+
+let to_string (a : t) =
+  if Array.length a = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go x =
+      let q, r = divmod_int x 1_000_000_000 in
+      if Array.length q = 0 then Buffer.add_string buf (string_of_int r)
+      else begin
+        go q;
+        Buffer.add_string buf (Printf.sprintf "%09d" r)
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let centered_to_float x ~modulus =
+  let half = fst (divmod_int modulus 2) in
+  if compare x half > 0 then -.to_float (sub modulus x) else to_float x

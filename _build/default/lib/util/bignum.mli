@@ -1,0 +1,56 @@
+(** Arbitrary-precision unsigned naturals.
+
+    The RNS-CKKS runtime keeps ciphertext polynomials as residues modulo a
+    chain of word-sized primes, so almost all arithmetic is word arithmetic.
+    The one place a multi-precision integer is unavoidable is decoding: the
+    CRT recombination of residues into a coefficient modulo
+    [Q = q0 * q1 * ... * q_{l}], followed by a centered lift to a float.
+    This module supplies exactly that capability.
+
+    Representation: little-endian limb array in base 2^26, normalised (no
+    trailing zero limbs, zero is the empty array). Base 2^26 keeps every
+    intermediate product-plus-carry within OCaml's 63-bit native int. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int n] for [n >= 0]. *)
+
+val to_int_opt : t -> int option
+(** Total inverse of [of_int] when the value fits in a native int. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b]. @raise Invalid_argument otherwise. *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+(** [mul_int a k] for [0 <= k < 2^31]. *)
+
+val add_int : t -> int -> t
+
+val divmod_int : t -> int -> t * int
+(** [divmod_int a k] for [0 < k < 2^31] is the quotient and remainder. *)
+
+val mod_int : t -> int -> int
+
+val rem : t -> t -> t
+(** [rem a m]: remainder of [a] modulo [m], by repeated scaled subtraction;
+    intended for [a < c * m] with small [c] (CRT sums), not general division. *)
+
+val to_float : t -> float
+val to_string : t -> string
+(** Decimal rendering. *)
+
+val pp : Format.formatter -> t -> unit
+
+val centered_to_float : t -> modulus:t -> float
+(** [centered_to_float x ~modulus:m] lifts the residue [x mod m] to the
+    centered representative in [(-m/2, m/2]] and converts to float. This is
+    the decode-side lift of CKKS. *)

@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+let bits64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling over the top 62 bits keeps the result unbiased. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec loop () =
+    let r = Int64.to_int (bits64 t) land mask in
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then loop () else v
+  in
+  loop ()
+
+let float t x =
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  let u = float_of_int r /. 9007199254740992.0 (* 2^53 *) in
+  u *. x
+
+let gaussian t sigma =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u = 0.0 then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let ternary t = int t 3 - 1
+
+let centered_binomial t k =
+  let acc = ref 0 in
+  for _ = 1 to k do
+    acc := !acc + int t 2 - int t 2
+  done;
+  !acc

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the system flows through this module so that key
+    generation, encryption and synthetic data are reproducible from a seed.
+    The generator is splitmix64, which has a 64-bit state, passes BigCrush,
+    and is trivially seedable. It is {e not} a CSPRNG; this repository is a
+    systems reproduction, not a deployment-grade cryptographic library, and
+    the substitution is recorded in DESIGN.md. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a seed. Equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val gaussian : t -> float -> float
+(** [gaussian t sigma] samples a centered normal of standard deviation
+    [sigma] (Box–Muller). *)
+
+val ternary : t -> int
+(** Uniform in [{-1, 0, 1}]; the CKKS secret-key distribution. *)
+
+val centered_binomial : t -> int -> int
+(** [centered_binomial t k] samples the centered binomial distribution of
+    parameter [k] (sum of [k] coin differences), a common RLWE error
+    distribution. *)

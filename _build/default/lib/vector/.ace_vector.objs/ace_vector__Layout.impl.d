@@ -1,0 +1,1 @@
+lib/vector/layout.ml: Array Format Printf

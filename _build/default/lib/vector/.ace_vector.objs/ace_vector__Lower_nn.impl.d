@@ -1,0 +1,1 @@
+lib/vector/lower_nn.ml: Ace_ir Array Fun Hashtbl Irfunc Layout Level List Op Printf Types Verify

@@ -1,0 +1,1 @@
+lib/vector/lower_nn.mli: Ace_ir Layout

@@ -1,0 +1,1 @@
+lib/vector/vec_interp.ml: Ace_ir Array Irfunc Level List Op Printf

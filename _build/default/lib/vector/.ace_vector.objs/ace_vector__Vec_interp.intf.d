@@ -1,0 +1,1 @@
+lib/vector/vec_interp.mli: Ace_ir

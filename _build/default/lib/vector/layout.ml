@@ -1,0 +1,68 @@
+type t = {
+  channels : int;
+  height : int;
+  width : int;
+  gap : int;
+  phys_h : int;
+  phys_w : int;
+  slots : int;
+}
+
+let block_size t = t.phys_h * t.phys_w
+
+let create ~channels ~height ~width ~slots =
+  let t = { channels; height; width; gap = 1; phys_h = height; phys_w = width; slots } in
+  if channels * block_size t > slots then
+    invalid_arg
+      (Printf.sprintf "Layout.create: %dx%dx%d does not fit %d slots" channels height width slots);
+  t
+
+let scalar_per_channel ~channels ~like =
+  { like with channels; height = 1; width = 1; gap = 1 }
+
+let pos t ~c ~h ~w =
+  if c < 0 || c >= t.channels || h < 0 || h >= t.height || w < 0 || w >= t.width then
+    invalid_arg "Layout.pos: out of range";
+  (c * block_size t) + (h * t.gap * t.phys_w) + (w * t.gap)
+
+let with_stride t s =
+  {
+    t with
+    gap = t.gap * s;
+    height = (t.height + s - 1) / s;
+    width = (t.width + s - 1) / s;
+  }
+
+let with_channels t c =
+  if c * block_size t > t.slots then invalid_arg "Layout.with_channels: does not fit";
+  { t with channels = c }
+
+let blocks t = t.slots / block_size t
+
+let tensor_of_vector t v =
+  let out = Array.make (t.channels * t.height * t.width) 0.0 in
+  for c = 0 to t.channels - 1 do
+    for h = 0 to t.height - 1 do
+      for w = 0 to t.width - 1 do
+        out.((c * t.height * t.width) + (h * t.width) + w) <- v.(pos t ~c ~h ~w)
+      done
+    done
+  done;
+  out
+
+let vector_of_tensor t x =
+  let v = Array.make t.slots 0.0 in
+  for c = 0 to t.channels - 1 do
+    for h = 0 to t.height - 1 do
+      for w = 0 to t.width - 1 do
+        v.(pos t ~c ~h ~w) <- x.((c * t.height * t.width) + (h * t.width) + w)
+      done
+    done
+  done;
+  v
+
+let equal a b = a = b
+
+let pp fmt t =
+  Format.fprintf fmt "layout{c=%d %dx%d gap=%d block=%d slots=%d}" t.channels t.height t.width
+    t.gap (block_size t) t.slots

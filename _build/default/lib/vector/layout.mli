@@ -1,0 +1,56 @@
+(** Data layouts for encrypted tensors (paper Table 2, "Data Layout
+    Selection").
+
+    A CHW tensor is packed into one slot vector: channel [c] occupies the
+    block of [block_size = phys_h * phys_w] consecutive slots starting at
+    [c * block_size], and the spatial grid sits on a strided sub-lattice of
+    that block with spacing [gap]. Fresh inputs have [gap = 1]; every
+    stride-2 stage doubles the gap instead of compacting, which keeps all
+    rotation amounts layer-independent (the multiplexed-packing idea of
+    Lee et al. [35] that the paper's expert baseline also uses). The
+    vector length is the full slot count so that block arithmetic is
+    cyclic in the same group as homomorphic rotations. *)
+
+type t = {
+  channels : int;
+  height : int; (** logical rows = phys_h / gap *)
+  width : int;
+  gap : int;
+  phys_h : int;
+  phys_w : int;
+  slots : int; (** total vector length; a power of two *)
+}
+
+val block_size : t -> int
+
+val create :
+  channels:int -> height:int -> width:int -> slots:int -> t
+(** Gap-1 layout for a fresh [channels x height x width] tensor.
+    @raise Invalid_argument if it does not fit in [slots]. *)
+
+val scalar_per_channel : channels:int -> like:t -> t
+(** Layout of a [channels]-vector (e.g. after GlobalAveragePool): one value
+    per channel, stored at each block's slot 0. *)
+
+val pos : t -> c:int -> h:int -> w:int -> int
+(** Physical slot of logical element (c, h, w). *)
+
+val with_stride : t -> int -> t
+(** The layout after a stride-[s] spatial operator: gap multiplied,
+    logical dims divided. *)
+
+val with_channels : t -> int -> t
+(** Same grid, different channel count (convolution output). *)
+
+val blocks : t -> int
+(** Number of channel blocks the slot vector can hold. *)
+
+val tensor_of_vector : t -> float array -> float array
+(** Extract the logical CHW tensor from a packed vector (testing and the
+    generated decryptor). *)
+
+val vector_of_tensor : t -> float array -> float array
+(** Pack a CHW tensor (the generated encryptor's layout step). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

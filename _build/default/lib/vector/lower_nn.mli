@@ -1,0 +1,34 @@
+(** NN IR -> VECTOR IR lowering (paper Section 4.2).
+
+    Tensors become packed slot vectors (see {!Layout}); convolutions and
+    matrix multiplications become roll / mul / add combinations with
+    plaintext mask-and-diagonal constants materialised into the constant
+    pool; pooling becomes rotate-and-add trees; ReLU stays opaque as
+    [VECTOR.nonlinear] until the SIHE level approximates it.
+
+    Two of the paper's VECTOR-level optimizations are controlled here:
+
+    - [conv_regroup]: factor a convolution's rotations into channel-block
+      rolls plus kernel-offset rolls ([C + K^2] instead of [C * K^2]) —
+      "Convolution Optimization";
+    - [gemm_bsgs]: baby-step/giant-step diagonals for GEMM
+      ([~2 sqrt B] instead of [B] rotations) — "Matrix Multiplication
+      Optimization".
+
+    The expert baseline runs with both disabled. *)
+
+type config = { slots : int; conv_regroup : bool; gemm_bsgs : bool }
+
+exception Unsupported of string
+
+val lower : config -> Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t * Layout.t list
+(** Returns the VECTOR-level function and the layout of each return value
+    (consumed by the generated decryptor). The input image parameter is
+    expected packed with {!Layout.vector_of_tensor} of its gap-1 layout. *)
+
+val input_layout : config -> Ace_ir.Irfunc.t -> Layout.t
+(** The layout the encryptor must use for the (single) input tensor. *)
+
+val rotation_amounts : Ace_ir.Irfunc.t -> int list
+(** Distinct non-zero roll amounts of a VECTOR function — the analysis
+    behind rotation-key pruning (paper Section 4.4). *)

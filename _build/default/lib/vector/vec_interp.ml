@@ -1,0 +1,50 @@
+open Ace_ir
+
+let roll v k =
+  let n = Array.length v in
+  let k = ((k mod n) + n) mod n in
+  Array.init n (fun i -> v.((i + k) mod n))
+
+let run f inputs =
+  if Irfunc.level f <> Level.Vector then invalid_arg "Vec_interp.run: not a VECTOR function";
+  let values = Array.make (Irfunc.num_nodes f) [||] in
+  let inputs = Array.of_list inputs in
+  Irfunc.iter f (fun n ->
+      let arg i = values.(n.Irfunc.args.(i)) in
+      let result =
+        match n.Irfunc.op with
+        | Op.Param i -> inputs.(i)
+        | Op.Weight name -> Irfunc.const f name
+        | Op.Const_scalar v -> [| v |]
+        | Op.V_add -> Array.map2 ( +. ) (arg 0) (arg 1)
+        | Op.V_sub -> Array.map2 ( -. ) (arg 0) (arg 1)
+        | Op.V_mul -> Array.map2 ( *. ) (arg 0) (arg 1)
+        | Op.V_roll k -> roll (arg 0) k
+        | Op.V_broadcast k ->
+          let x = arg 0 in
+          Array.init (Array.length x * k) (fun i -> x.(i mod Array.length x))
+        | Op.V_tile k ->
+          let x = arg 0 in
+          Array.init (Array.length x * k) (fun i -> x.(i / k))
+        | Op.V_pad k ->
+          let x = arg 0 in
+          Array.init (Array.length x + k) (fun i -> if i < Array.length x then x.(i) else 0.0)
+        | Op.V_reshape len ->
+          let x = arg 0 in
+          Array.init len (fun i -> if i < Array.length x then x.(i) else 0.0)
+        | Op.V_slice { Op.start; slice_len; stride } ->
+          let x = arg 0 in
+          Array.init slice_len (fun i -> x.(start + (i * stride)))
+        | Op.V_nonlinear "relu" -> Array.map (fun v -> if v > 0.0 then v else 0.0) (arg 0)
+        | Op.V_nonlinear "sigmoid" -> Array.map (fun v -> 1.0 /. (1.0 +. exp (-.v))) (arg 0)
+        | Op.V_nonlinear "tanh" -> Array.map tanh (arg 0)
+        | Op.V_nonlinear fn -> invalid_arg ("Vec_interp: unknown nonlinear " ^ fn)
+        | op -> invalid_arg ("Vec_interp: unexpected op " ^ Op.name op)
+      in
+      values.(n.Irfunc.id) <- result);
+  List.map (fun r -> values.(r)) (Irfunc.returns f)
+
+let run1 f input =
+  match run f [ input ] with
+  | [ out ] -> out
+  | outs -> invalid_arg (Printf.sprintf "Vec_interp.run1: %d outputs" (List.length outs))

@@ -1,0 +1,11 @@
+(** Cleartext interpreter for the VECTOR IR.
+
+    Semantics mirror what the encrypted pipeline will compute — [roll] is
+    a cyclic left shift over the whole slot vector, [mul] is element-wise —
+    so running this against {!Ace_nn.Nn_interp} validates every layout and
+    mask the lowering produced (the paper's VECTOR-level instrumentation,
+    Section 5). Nonlinear placeholders evaluate exactly (true ReLU); the
+    SIHE level replaces them with polynomial approximations. *)
+
+val run : Ace_ir.Irfunc.t -> float array list -> float array list
+val run1 : Ace_ir.Irfunc.t -> float array -> float array

@@ -1,0 +1,1 @@
+test/test_approx.ml: Ace_approx Alcotest Array Cheby Poly QCheck QCheck_alcotest Remez Sign_approx

@@ -1,0 +1,1 @@
+test/test_bootstrap.ml: Ace_fhe Ace_util Alcotest Array Bootstrap Ciphertext Context Encoder Eval Exact_bootstrap Keys Lazy Security

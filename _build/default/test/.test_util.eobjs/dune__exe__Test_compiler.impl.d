@@ -1,0 +1,1 @@
+test/test_compiler.ml: Ace_ckks_ir Ace_codegen Ace_driver Ace_fhe Ace_ir Ace_models Ace_nn Ace_onnx Ace_poly_ir Ace_sihe Ace_util Ace_vector Alcotest Array Irfunc Level List Op String Types Verify

@@ -1,0 +1,1 @@
+test/test_driver.ml: Ace_ckks_ir Ace_driver Ace_expert Ace_ir Ace_models Ace_nn Ace_onnx Ace_sihe Ace_util Alcotest Array List

@@ -1,0 +1,1 @@
+test/test_fhe.ml: Ace_fhe Ace_rns Ace_util Alcotest Array Ciphertext Context Cplx Encoder Eval Keys Lazy List Option Printf QCheck QCheck_alcotest Security

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Ace_ir Ace_models Ace_nn Ace_onnx Ace_util Alcotest Array Irfunc Level List Op Option Printer Printf QCheck QCheck_alcotest String Verify

@@ -1,0 +1,1 @@
+test/test_ir.ml: Ace_ir Alcotest Array Irfunc Level List Op Pass Printer String Types Verify

@@ -1,0 +1,1 @@
+test/test_poly_ir.ml: Ace_codegen Ace_driver Ace_nn Ace_onnx Ace_poly_ir Alcotest List String

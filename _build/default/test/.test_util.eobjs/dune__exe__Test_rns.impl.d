@@ -1,0 +1,1 @@
+test/test_rns.ml: Ace_rns Ace_util Alcotest Array Crt List Modarith Ntt Primes Printf QCheck QCheck_alcotest Rns_poly

@@ -1,0 +1,1 @@
+test/test_util.ml: Ace_util Alcotest Array Float List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vector.ml: Ace_ir Ace_models Ace_nn Ace_onnx Ace_util Ace_vector Alcotest Array Irfunc Level List Op QCheck QCheck_alcotest Types Verify

@@ -1,0 +1,158 @@
+open Ace_approx
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_poly_eval () =
+  let p = Poly.of_coeffs [| 1.0; -2.0; 3.0 |] in
+  feq "eval" (1.0 -. 4.0 +. 12.0) (Poly.eval p 2.0);
+  Alcotest.(check int) "degree" 2 (Poly.degree p)
+
+let test_poly_algebra () =
+  let p = Poly.of_coeffs [| 1.0; 1.0 |] and q = Poly.of_coeffs [| -1.0; 1.0 |] in
+  (* (x+1)(x-1) = x^2 - 1 *)
+  let r = Poly.mul p q in
+  feq "c0" (-1.0) (Poly.coeffs r).(0);
+  feq "c1" 0.0 (Poly.coeffs r).(1);
+  feq "c2" 1.0 (Poly.coeffs r).(2);
+  let s = Poly.sub (Poly.add p q) p in
+  feq "add/sub" (Poly.eval q 3.7) (Poly.eval s 3.7)
+
+let test_poly_compose () =
+  let p = Poly.of_coeffs [| 0.0; 0.0; 1.0 |] in
+  (* x^2 *)
+  let q = Poly.of_coeffs [| 1.0; 1.0 |] in
+  (* x+1 *)
+  let c = Poly.compose p q in
+  feq "compose" 16.0 (Poly.eval c 3.0)
+
+let test_poly_derivative () =
+  let p = Poly.of_coeffs [| 5.0; 3.0; 0.0; 2.0 |] in
+  let d = Poly.derivative p in
+  feq "derivative" (3.0 +. (6.0 *. 4.0)) (Poly.eval d 2.0)
+
+let test_poly_is_odd () =
+  Alcotest.(check bool) "odd" true (Poly.is_odd (Poly.of_coeffs [| 0.0; 2.0; 0.0; -1.0 |]));
+  Alcotest.(check bool) "not odd" false (Poly.is_odd (Poly.of_coeffs [| 0.1; 2.0 |]))
+
+let test_cheby_exact_on_polynomials () =
+  (* Degree-3 interpolation reproduces a cubic exactly. *)
+  let f x = (2.0 *. x *. x *. x) -. (x *. x) +. 0.5 in
+  let p = Cheby.interpolate f ~degree:3 ~lo:(-2.0) ~hi:3.0 in
+  let err = Poly.max_abs_error p f ~lo:(-2.0) ~hi:3.0 ~samples:500 in
+  if err > 1e-9 then Alcotest.failf "cubic not reproduced: %.3e" err
+
+let test_cheby_sin_accuracy () =
+  let p = Cheby.interpolate sin ~degree:13 ~lo:(-3.14) ~hi:3.14 in
+  let err = Poly.max_abs_error p sin ~lo:(-3.14) ~hi:3.14 ~samples:2000 in
+  if err > 1e-6 then Alcotest.failf "sin error %.3e" err
+
+let test_cheby_clenshaw_matches_interpolate () =
+  let f x = exp x in
+  let c = Cheby.coefficients f ~degree:10 ~lo:(-1.0) ~hi:2.0 in
+  let p = Cheby.interpolate f ~degree:10 ~lo:(-1.0) ~hi:2.0 in
+  for i = 0 to 20 do
+    let x = -1.0 +. (3.0 *. float_of_int i /. 20.0) in
+    feq "clenshaw" (Poly.eval p x) (Cheby.eval_clenshaw c ~lo:(-1.0) ~hi:2.0 x)
+  done
+
+let test_remez_beats_chebyshev_bound () =
+  (* Offset kink so the problem is non-degenerate (an even target makes the
+     full-basis alternation system singular). *)
+  let f x = abs_float (x -. 0.2) in
+  let _, err = Remez.minimax f ~degree:8 ~lo:(-1.0) ~hi:1.0 in
+  let ch = Cheby.interpolate f ~degree:8 ~lo:(-1.0) ~hi:1.0 in
+  let cheb_err = Poly.max_abs_error ch f ~lo:(-1.0) ~hi:1.0 ~samples:4000 in
+  if err > cheb_err +. 1e-9 then Alcotest.failf "remez %.4e worse than chebyshev %.4e" err cheb_err
+
+let test_remez_equioscillation_quality () =
+  (* Known result: minimax degree-1 approx of e^x on [0,1] has error
+     (e - 1 - ln(e-1) - ... ); just check the error is tight and small. *)
+  let p, err = Remez.minimax exp ~degree:5 ~lo:0.0 ~hi:1.0 in
+  let real = Poly.max_abs_error p exp ~lo:0.0 ~hi:1.0 ~samples:8000 in
+  if abs_float (real -. err) > 1e-6 then Alcotest.failf "reported %.3e real %.3e" err real;
+  if err > 1e-5 then Alcotest.failf "degree-5 exp error too big: %.3e" err
+
+let test_remez_odd_sign_stage () =
+  let p, err = Remez.minimax_odd (fun _ -> 1.0) ~half_degree:3 ~lo:0.25 ~hi:1.0 in
+  Alcotest.(check bool) "odd" true (Poly.is_odd p);
+  if err > 0.2 then Alcotest.failf "stage error %.3f too big" err;
+  (* Odd symmetry: p(-x) = -p(x). *)
+  feq "odd symmetry" (-.Poly.eval p 0.7) (Poly.eval p (-0.7))
+
+let test_sign_composition_accuracy () =
+  let t = Sign_approx.make ~alpha:6 in
+  let eps = t.Sign_approx.eps in
+  let worst = ref 0.0 in
+  for i = 0 to 2000 do
+    let x = eps +. ((1.0 -. eps) *. float_of_int i /. 2000.0) in
+    worst := max !worst (abs_float (Sign_approx.sign t x -. 1.0));
+    worst := max !worst (abs_float (Sign_approx.sign t (-.x) +. 1.0))
+  done;
+  if !worst > 2.0 *. eps then Alcotest.failf "sign error %.3e > %.3e" !worst (2.0 *. eps)
+
+let test_sign_bounded_near_zero () =
+  (* Inside (-eps, eps) the output must stay bounded (no blow-up feeding
+     the next layer). *)
+  let t = Sign_approx.make ~alpha:5 in
+  for i = 0 to 200 do
+    let x = t.Sign_approx.eps *. (float_of_int i /. 200.0) in
+    let v = Sign_approx.sign t x in
+    if abs_float v > 1.5 then Alcotest.failf "blow-up at %.4f: %f" x v
+  done
+
+let test_relu_accuracy () =
+  let t = Sign_approx.make ~alpha:7 in
+  let worst = ref 0.0 in
+  for i = -1000 to 1000 do
+    let x = float_of_int i /. 1000.0 in
+    let expect = if x > 0.0 then x else 0.0 in
+    worst := max !worst (abs_float (Sign_approx.relu t x -. expect))
+  done;
+  (* Error is bounded by eps plus the dead-zone width. *)
+  if !worst > 4.0 *. t.Sign_approx.eps then Alcotest.failf "relu error %.3e" !worst
+
+let test_sign_depth_grows_with_alpha () =
+  let d4 = Sign_approx.depth (Sign_approx.make ~alpha:4) in
+  let d8 = Sign_approx.depth (Sign_approx.make ~alpha:8) in
+  if d8 < d4 then Alcotest.fail "depth should not shrink with precision";
+  if d4 <= 0 then Alcotest.fail "depth must be positive"
+
+let prop_remez_error_decreases_with_degree =
+  QCheck.Test.make ~name:"remez error decreases with degree" ~count:5
+    (QCheck.int_range 2 6) (fun d ->
+      let _, e1 = Remez.minimax cos ~degree:d ~lo:(-1.5) ~hi:1.5 in
+      let _, e2 = Remez.minimax cos ~degree:(d + 2) ~lo:(-1.5) ~hi:1.5 in
+      e2 <= e1 +. 1e-12)
+
+let () =
+  Alcotest.run "approx"
+    [
+      ( "poly",
+        [
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "algebra" `Quick test_poly_algebra;
+          Alcotest.test_case "compose" `Quick test_poly_compose;
+          Alcotest.test_case "derivative" `Quick test_poly_derivative;
+          Alcotest.test_case "oddness" `Quick test_poly_is_odd;
+        ] );
+      ( "chebyshev",
+        [
+          Alcotest.test_case "exact on cubics" `Quick test_cheby_exact_on_polynomials;
+          Alcotest.test_case "sin accuracy" `Quick test_cheby_sin_accuracy;
+          Alcotest.test_case "clenshaw consistent" `Quick test_cheby_clenshaw_matches_interpolate;
+        ] );
+      ( "remez",
+        [
+          Alcotest.test_case "beats chebyshev" `Quick test_remez_beats_chebyshev_bound;
+          Alcotest.test_case "equioscillation quality" `Quick test_remez_equioscillation_quality;
+          Alcotest.test_case "odd sign stage" `Quick test_remez_odd_sign_stage;
+          QCheck_alcotest.to_alcotest prop_remez_error_decreases_with_degree;
+        ] );
+      ( "sign",
+        [
+          Alcotest.test_case "composition accuracy" `Quick test_sign_composition_accuracy;
+          Alcotest.test_case "bounded near zero" `Quick test_sign_bounded_near_zero;
+          Alcotest.test_case "relu accuracy" `Quick test_relu_accuracy;
+          Alcotest.test_case "depth grows" `Quick test_sign_depth_grows_with_alpha;
+        ] );
+    ]

@@ -1,0 +1,97 @@
+(* Exact CKKS bootstrapping at toy parameters, plus the refresh oracle. *)
+module Rng = Ace_util.Rng
+open Ace_fhe
+
+let boot_ctx =
+  lazy
+    (Context.make
+       {
+         Context.log2_n = 6;
+         depth = 18;
+         scale_bits = 25;
+         q0_bits = 29;
+         special_bits = 29;
+         security = Security.Toy;
+         error_sigma = 3.2;
+       })
+
+let boot_keys =
+  lazy
+    (let ctx = Lazy.force boot_ctx in
+     Keys.generate ~secret_hamming:4 ctx ~rng:(Rng.create 4242)
+       ~rotations:(Exact_bootstrap.required_rotations ctx))
+
+let msg ctx seed =
+  let rng = Rng.create seed in
+  Array.init (Context.slots ctx) (fun _ -> Rng.float rng 1.0 -. 0.5)
+
+let encrypt_at ctx keys ~level ~seed m =
+  let pt = Encoder.encode ctx ~level ~scale:(Context.scale ctx) m in
+  Eval.encrypt keys ~rng:(Rng.create seed) pt
+
+let max_err a b =
+  let e = ref 0.0 in
+  Array.iteri (fun i x -> e := max !e (abs_float (x -. b.(i)))) a;
+  !e
+
+let test_refresh_oracle () =
+  let ctx = Lazy.force boot_ctx and keys = Lazy.force boot_keys in
+  let m = msg ctx 1 in
+  let ct = encrypt_at ctx keys ~level:0 ~seed:2 m in
+  let out = Bootstrap.refresh keys ~rng:(Rng.create 3) ~target_level:5 ct in
+  Alcotest.(check int) "level" 5 (Ciphertext.level out);
+  let got = Encoder.decode ctx (Eval.decrypt keys out) in
+  if max_err m got > 1e-2 then Alcotest.failf "refresh error %.4f" (max_err m got)
+
+let test_exact_bootstrap_roundtrip () =
+  let ctx = Lazy.force boot_ctx and keys = Lazy.force boot_keys in
+  let m = msg ctx 7 in
+  let ct = encrypt_at ctx keys ~level:0 ~seed:8 m in
+  let out = Exact_bootstrap.bootstrap keys ~target_level:1 ct in
+  Alcotest.(check int) "refreshed level" 1 (Ciphertext.level out);
+  let got = Encoder.decode ctx (Eval.decrypt keys out) in
+  let e = max_err m got in
+  if e > 0.05 then Alcotest.failf "exact bootstrap error %.4f" e
+
+let test_exact_bootstrap_supports_computation () =
+  (* The refreshed ciphertext must be usable: square it afterwards. *)
+  let ctx = Lazy.force boot_ctx and keys = Lazy.force boot_keys in
+  let m = msg ctx 9 in
+  let ct = encrypt_at ctx keys ~level:0 ~seed:10 m in
+  let out = Exact_bootstrap.bootstrap keys ~target_level:2 ct in
+  let sq = Eval.rescale (Eval.mul keys out out) in
+  let got = Encoder.decode ctx (Eval.decrypt keys sq) in
+  let expect = Array.map (fun x -> x *. x) m in
+  let e = max_err expect got in
+  if e > 0.08 then Alcotest.failf "post-bootstrap square error %.4f" e
+
+let test_exact_bootstrap_rejects_shallow_chain () =
+  let ctx = Lazy.force boot_ctx and keys = Lazy.force boot_keys in
+  let m = msg ctx 11 in
+  let ct = encrypt_at ctx keys ~level:0 ~seed:12 m in
+  try
+    ignore (Exact_bootstrap.bootstrap keys ~target_level:10 ct);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_depth_accounting () =
+  let d = Exact_bootstrap.depth_needed Exact_bootstrap.default_config in
+  Alcotest.(check bool) "positive" true (d > 5);
+  let more =
+    Exact_bootstrap.depth_needed
+      { Exact_bootstrap.default_config with Exact_bootstrap.double_angles = 9 }
+  in
+  Alcotest.(check int) "three more squarings" (d + 3) more
+
+let () =
+  Alcotest.run "bootstrap"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "refresh oracle" `Quick test_refresh_oracle;
+          Alcotest.test_case "roundtrip" `Quick test_exact_bootstrap_roundtrip;
+          Alcotest.test_case "usable after refresh" `Quick test_exact_bootstrap_supports_computation;
+          Alcotest.test_case "shallow chain rejected" `Quick test_exact_bootstrap_rejects_shallow_chain;
+          Alcotest.test_case "depth accounting" `Quick test_depth_accounting;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+(* Frontend (lexer/parser/model) and NN-IR import/interpreter tests. *)
+module Model = Ace_onnx.Model
+module Parser = Ace_onnx.Parser
+module Lexer = Ace_onnx.Lexer
+module Builder = Ace_onnx.Builder
+module Import = Ace_nn.Import
+module Nn_interp = Ace_nn.Nn_interp
+module Rng = Ace_util.Rng
+open Ace_ir
+
+let gemv_text =
+  {|
+# The paper's Figure 4 example.
+model "linear_infer" {
+  input image : f32[84,1]
+  init fc.weight : f32[10,84] = normal(seed=7, std=0.1)
+  init fc.bias : f32[10,1] = normal(seed=8, std=0.1)
+  node output = Gemm(image, fc.weight, fc.bias)
+  output output : f32[10,1]
+}
+|}
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "model \"x\" { input a : f32[3,8] } # comment" in
+  let kinds = List.map fst toks in
+  Alcotest.(check int) "token count" 14 (List.length kinds);
+  (match kinds with
+  | Lexer.IDENT "model" :: Lexer.STRING "x" :: Lexer.LBRACE :: _ -> ()
+  | _ -> Alcotest.fail "unexpected prefix");
+  match List.rev kinds with
+  | Lexer.EOF :: Lexer.RBRACE :: _ -> ()
+  | _ -> Alcotest.fail "unexpected suffix"
+
+let test_lexer_numbers () =
+  let toks = Lexer.tokenize "1 -2 3.5 -4.25e2 1e-3" in
+  match List.map fst toks with
+  | [ Lexer.INT 1; Lexer.INT (-2); Lexer.FLOAT 3.5; Lexer.FLOAT -425.0; Lexer.FLOAT 0.001; Lexer.EOF ]
+    ->
+    ()
+  | _ -> Alcotest.fail "number lexing"
+
+let test_lexer_error_position () =
+  try
+    ignore (Lexer.tokenize "model @");
+    Alcotest.fail "expected lex error"
+  with Lexer.Lex_error (_, pos) -> Alcotest.(check int) "column" 7 pos.Lexer.col
+
+let test_parse_gemv () =
+  let g = Parser.parse gemv_text in
+  Alcotest.(check string) "name" "linear_infer" g.Model.g_name;
+  Alcotest.(check int) "nodes" 1 (List.length g.Model.g_nodes);
+  Alcotest.(check int) "inits" 2 (List.length g.Model.g_inits);
+  let w = Option.get (Model.find_init g "fc.weight") in
+  Alcotest.(check int) "weight elems" 840 (Array.length w.Model.i_data)
+
+let test_parse_roundtrip () =
+  let g = Parser.parse gemv_text in
+  let g2 = Parser.parse (Parser.to_text g) in
+  Alcotest.(check string) "name" g.Model.g_name g2.Model.g_name;
+  let w1 = Option.get (Model.find_init g "fc.weight") in
+  let w2 = Option.get (Model.find_init g2 "fc.weight") in
+  Alcotest.(check bool) "weights preserved" true (w1.Model.i_data = w2.Model.i_data)
+
+let test_parse_errors () =
+  let bad = [ "model { }"; "model \"x\" { input a f32[2] }"; "model \"x\" { node y = Foo(a) }" ] in
+  List.iter
+    (fun src ->
+      try
+        ignore (Parser.parse src);
+        Alcotest.failf "should reject %S" src
+      with Parser.Parse_error _ | Model.Invalid_model _ | Lexer.Lex_error _ -> ())
+    bad
+
+let test_model_check_rejects_double_def () =
+  let b = Builder.create "m" in
+  Builder.input b "x" [| 4 |];
+  Builder.init_dense b "x" [| 4 |] [| 1.; 2.; 3.; 4. |];
+  (try
+     ignore (Builder.finish b);
+     Alcotest.fail "expected Invalid_model"
+   with Model.Invalid_model _ -> ())
+
+let test_model_check_rejects_unknown_input () =
+  let b = Builder.create "m" in
+  Builder.input b "x" [| 4 |];
+  Builder.node b ~op:"Relu" ~inputs:[ "ghost" ] "y";
+  Builder.output b "y" [| 4 |];
+  (try
+     ignore (Builder.finish b);
+     Alcotest.fail "expected Invalid_model"
+   with Model.Invalid_model _ -> ())
+
+(* --- import + interpret --- *)
+
+let test_import_gemv () =
+  let f = Import.import (Parser.parse gemv_text) in
+  Verify.verify f;
+  Alcotest.(check string) "level" "NN" (Level.to_string (Irfunc.level f));
+  (* gemv semantics against a direct dot product *)
+  let g = Parser.parse gemv_text in
+  let w = (Option.get (Model.find_init g "fc.weight")).Model.i_data in
+  let b = (Option.get (Model.find_init g "fc.bias")).Model.i_data in
+  let rng = Rng.create 42 in
+  let x = Array.init 84 (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let out = Nn_interp.run1 f x in
+  Array.iteri
+    (fun o v ->
+      let expect = ref b.(o) in
+      for i = 0 to 83 do
+        expect := !expect +. (w.((o * 84) + i) *. x.(i))
+      done;
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "row %d" o) !expect v)
+    out
+
+let test_conv_reference () =
+  (* 1x1 input channel, 3x3 kernel, identity-ish check against hand result. *)
+  let x = [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9. |] in
+  (* kernel that picks the center pixel *)
+  let w = [| 0.; 0.; 0.; 0.; 1.; 0.; 0.; 0.; 0. |] in
+  let b = [| 0.5 |] in
+  let attrs = { Op.out_channels = 1; in_channels = 1; kernel = 3; stride = 1; pad = 1 } in
+  let out = Nn_interp.conv2d ~x ~w ~b ~in_dims:[| 1; 3; 3 |] ~attrs in
+  Array.iteri (fun i v -> Alcotest.(check (float 1e-9)) "center" (x.(i) +. 0.5) v) out
+
+let test_conv_stride_and_pad () =
+  let x = Array.init 16 float_of_int in
+  (* sum kernel, stride 2 *)
+  let w = Array.make 9 1.0 in
+  let b = [| 0.0 |] in
+  let attrs = { Op.out_channels = 1; in_channels = 1; kernel = 3; stride = 2; pad = 1 } in
+  let out = Nn_interp.conv2d ~x ~w ~b ~in_dims:[| 1; 4; 4 |] ~attrs in
+  Alcotest.(check int) "output size" 4 (Array.length out);
+  (* top-left window covers indices {0,1,4,5} (padding elsewhere) *)
+  Alcotest.(check (float 1e-9)) "corner" (0. +. 1. +. 4. +. 5.) out.(0)
+
+let test_batchnorm_folding () =
+  let b = Builder.create "bn" in
+  Builder.input b "x" [| 1; 4; 4 |];
+  Builder.init_normal b "c.weight" [| 2; 1; 3; 3 |] ~seed:1 ~std:0.5;
+  Builder.init_dense b "c.bias" [| 2 |] [| 0.1; -0.2 |];
+  Builder.node b ~op:"Conv"
+    ~attrs:[ ("strides", Model.A_ints [ 1; 1 ]); ("pads", Model.A_ints [ 1; 1; 1; 1 ]) ]
+    ~inputs:[ "x"; "c.weight"; "c.bias" ] "c";
+  Builder.init_dense b "bn.gamma" [| 2 |] [| 1.5; 0.7 |];
+  Builder.init_dense b "bn.beta" [| 2 |] [| 0.3; -0.1 |];
+  Builder.init_dense b "bn.mean" [| 2 |] [| 0.2; 0.4 |];
+  Builder.init_dense b "bn.var" [| 2 |] [| 1.1; 0.9 |];
+  Builder.node b ~op:"BatchNormalization" ~inputs:[ "c"; "bn.gamma"; "bn.beta"; "bn.mean"; "bn.var" ] "y";
+  Builder.output b "y" [| 2; 4; 4 |];
+  let g = Builder.finish b in
+  let f = Import.import g in
+  (* Reference: conv then BN applied manually. *)
+  let rng = Rng.create 5 in
+  let x = Array.init 16 (fun _ -> Rng.float rng 1.0) in
+  let w = (Option.get (Model.find_init g "c.weight")).Model.i_data in
+  let cb = (Option.get (Model.find_init g "c.bias")).Model.i_data in
+  let conv =
+    Nn_interp.conv2d ~x ~w ~b:cb ~in_dims:[| 1; 4; 4 |]
+      ~attrs:{ Op.out_channels = 2; in_channels = 1; kernel = 3; stride = 1; pad = 1 }
+  in
+  let expect =
+    Array.mapi
+      (fun i v ->
+        let c = i / 16 in
+        let gam = [| 1.5; 0.7 |].(c) and bet = [| 0.3; -0.1 |].(c) in
+        let mean = [| 0.2; 0.4 |].(c) and var = [| 1.1; 0.9 |].(c) in
+        (gam *. (v -. mean) /. sqrt (var +. 1e-5)) +. bet)
+      conv
+  in
+  let got = Nn_interp.run1 f x in
+  Array.iteri (fun i v -> Alcotest.(check (float 1e-6)) (string_of_int i) expect.(i) v) got
+
+let test_fusion_dce () =
+  (* BN folding leaves the original conv dead; DCE must remove it. *)
+  let f =
+    Import.import
+      (let b = Builder.create "dce" in
+       Builder.input b "x" [| 1; 4; 4 |];
+       Builder.init_normal b "c.weight" [| 1; 1; 3; 3 |] ~seed:2 ~std:0.5;
+       Builder.init_zeros b "c.bias" [| 1 |];
+       Builder.node b ~op:"Conv"
+         ~attrs:[ ("pads", Model.A_ints [ 1; 1; 1; 1 ]) ]
+         ~inputs:[ "x"; "c.weight"; "c.bias" ] "c";
+       Builder.init_dense b "g" [| 1 |] [| 2.0 |];
+       Builder.init_dense b "be" [| 1 |] [| 0.0 |];
+       Builder.init_dense b "mu" [| 1 |] [| 0.0 |];
+       Builder.init_dense b "va" [| 1 |] [| 1.0 |];
+       Builder.node b ~op:"BatchNormalization" ~inputs:[ "c"; "g"; "be"; "mu"; "va" ] "y";
+       Builder.output b "y" [| 1; 4; 4 |];
+       Builder.finish b)
+  in
+  let before = Irfunc.num_nodes f in
+  let g = Ace_nn.Fusion.dce f in
+  Verify.verify g;
+  if Irfunc.num_nodes g >= before then Alcotest.fail "DCE removed nothing";
+  (* Behaviour preserved. *)
+  let rng = Rng.create 6 in
+  let x = Array.init 16 (fun _ -> Rng.float rng 1.0) in
+  Alcotest.(check bool) "same result" true (Nn_interp.run1 f x = Nn_interp.run1 g x)
+
+let test_resnet_builds_and_runs () =
+  List.iter
+    (fun spec ->
+      let g = Ace_models.Resnet.build spec in
+      Model.check g;
+      let f = Import.import g in
+      Verify.verify f;
+      let rng = Rng.create 9 in
+      let x = Array.init (3 * 8 * 8) (fun _ -> Rng.float rng 1.0) in
+      let out = Nn_interp.run1 f x in
+      Alcotest.(check int) "classes" spec.Ace_models.Resnet.classes (Array.length out))
+    [ Ace_models.Resnet.resnet20; Ace_models.Resnet.resnet32_star ]
+
+let test_resnet_calibration_bounds_activations () =
+  let spec = Ace_models.Resnet.resnet20 in
+  let f = Ace_models.Resnet.build_calibrated spec in
+  (* Every ReLU input on a fresh probe stays within (-1, 1). *)
+  let rng = Rng.create 777 in
+  let x = Array.init (3 * 8 * 8) (fun _ -> Rng.float rng 1.0) in
+  let relu_args =
+    Irfunc.fold f ~init:[] ~f:(fun acc n ->
+        match n.Irfunc.op with
+        | Op.Nn Op.Relu -> n.Irfunc.args.(0) :: acc
+        | _ -> acc)
+  in
+  let saved = Irfunc.returns f in
+  List.iter
+    (fun arg ->
+      Irfunc.set_returns f [ arg ];
+      let out = Nn_interp.run1 f x in
+      Array.iter (fun v -> if abs_float v >= 1.2 then Alcotest.failf "activation %f out of domain" v) out)
+    relu_args;
+  Irfunc.set_returns f saved
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_printer_shows_paper_style () =
+  let f = Import.import (Parser.parse gemv_text) in
+  let s = Printer.to_string f in
+  Alcotest.(check bool) "mentions gemm" true (contains ~needle:"NN.gemm" s);
+  Alcotest.(check bool) "mentions level" true (contains ~needle:"level=NN" s);
+  Alcotest.(check bool) "line count sane" true (Printer.line_count f >= 4)
+
+let prop_parser_roundtrip_random_models =
+  QCheck.Test.make ~name:"parse(to_text(g)) preserves structure" ~count:40
+    QCheck.(pair (int_range 1 6) (int_range 0 999))
+    (fun (n_layers, seed) ->
+      let b = Builder.create "rt" in
+      Builder.input b "x" [| 4 |];
+      let prev = ref "x" in
+      for i = 0 to n_layers - 1 do
+        let w = Printf.sprintf "w%d" i and bs = Printf.sprintf "b%d" i in
+        Builder.init_normal b w [| 4; 4 |] ~seed:(seed + i) ~std:0.3;
+        Builder.init_zeros b bs [| 4 |];
+        let out = Printf.sprintf "h%d" i in
+        Builder.node b ~op:"Gemm" ~inputs:[ !prev; w; bs ] out;
+        prev := out
+      done;
+      Builder.output b !prev [| 4 |];
+      let g = Builder.finish b in
+      let g2 = Parser.parse (Parser.to_text g) in
+      List.length g2.Model.g_nodes = n_layers
+      && (Option.get (Model.find_init g2 "w0")).Model.i_data
+         = (Option.get (Model.find_init g "w0")).Model.i_data)
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "error position" `Quick test_lexer_error_position;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "gemv" `Quick test_parse_gemv;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "rejects bad input" `Quick test_parse_errors;
+          Alcotest.test_case "double definition" `Quick test_model_check_rejects_double_def;
+          QCheck_alcotest.to_alcotest prop_parser_roundtrip_random_models;
+          Alcotest.test_case "unknown input" `Quick test_model_check_rejects_unknown_input;
+        ] );
+      ( "nn-ir",
+        [
+          Alcotest.test_case "import gemv" `Quick test_import_gemv;
+          Alcotest.test_case "conv reference" `Quick test_conv_reference;
+          Alcotest.test_case "conv stride+pad" `Quick test_conv_stride_and_pad;
+          Alcotest.test_case "batchnorm folding" `Quick test_batchnorm_folding;
+          Alcotest.test_case "fusion dce" `Quick test_fusion_dce;
+          Alcotest.test_case "resnet builds" `Quick test_resnet_builds_and_runs;
+          Alcotest.test_case "calibration bounds" `Quick test_resnet_calibration_bounds_activations;
+          Alcotest.test_case "printer" `Quick test_printer_shows_paper_style;
+        ] );
+    ]
