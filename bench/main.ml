@@ -401,6 +401,117 @@ let micro () =
       | _ -> Printf.printf "%-30s (no estimate)\n" name)
     results
 
+(* ---------- --json: machine-readable artifact (BENCH_pr1.json) ---------- *)
+
+(* One JSON blob per run so CI and the growth driver can diff numbers across
+   PRs without scraping the human tables: per-model compile time, per-image
+   inference time, the domain-pool width, NTT/keyswitch ns/op, and a
+   sequential-vs-parallel scaling pair on the same workload. *)
+let json_bench ?(path = "BENCH_pr1.json") () =
+  let module Domain_pool = Ace_util.Domain_pool in
+  let default_domains = Domain_pool.size () in
+  (* On a 1-core host the default pool is 1; still measure a 4-wide pool so
+     the overhead (or speedup, on real hardware) is recorded. *)
+  let par_domains = if default_domains > 1 then default_domains else 4 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let compile_rows =
+    List.map
+      (fun spec ->
+        let _, dt = time (fun () -> compiled Pipeline.ace spec) in
+        Printf.printf "compile %-12s %6.2fs\n%!" spec.Resnet.model_name dt;
+        (spec.Resnet.model_name, dt))
+      models
+  in
+  (* micro: forward NTT at production ring degree *)
+  let ntt_ns =
+    let n = 4096 in
+    let q = Ace_rns.Primes.ntt_prime_near ~bits:28 ~ring_degree:n ~below:max_int in
+    let plan = Ace_rns.Ntt.make ~modulus:q ~ring_degree:n in
+    let r = Rng.create 3 in
+    let a = Array.init n (fun _ -> Rng.int r q) in
+    let iters = 200 in
+    let (), dt =
+      time (fun () ->
+          for _ = 1 to iters do
+            let b = Array.copy a in
+            Ace_rns.Ntt.forward plan b
+          done)
+    in
+    1e9 *. dt /. float_of_int iters
+  in
+  (* micro: gadget keyswitch (rotation), sequential vs parallel pool *)
+  let ctx = Param_select.execution_context ~depth:10 ~slots:1024 () in
+  let mkeys = Ace_fhe.Keys.generate ctx ~rng:(Rng.create 9) ~rotations:[ 1 ] in
+  let msg = Array.init (Ace_fhe.Context.slots ctx) (fun i -> float_of_int (i mod 5) /. 5.0) in
+  let pt = Ace_fhe.Encoder.encode ctx ~level:10 ~scale:(Ace_fhe.Context.scale ctx) msg in
+  let ct = Ace_fhe.Eval.encrypt mkeys ~rng:(Rng.create 10) pt in
+  let keyswitch_ns_at d =
+    Domain_pool.set_num_domains d;
+    let iters = 20 in
+    let (), dt =
+      time (fun () ->
+          for _ = 1 to iters do
+            ignore (Ace_fhe.Eval.rotate mkeys ct 1)
+          done)
+    in
+    1e9 *. dt /. float_of_int iters
+  in
+  let ks_seq = keyswitch_ns_at 1 in
+  let ks_par = keyswitch_ns_at par_domains in
+  (* end-to-end: per-image inference on the quick models, then the same
+     resnet20 image with 1 domain vs par_domains (determinism means the two
+     runs produce identical ciphertexts; only the wall clock may differ) *)
+  let infer_time ~domains spec =
+    Domain_pool.set_num_domains domains;
+    let c = compiled Pipeline.ace spec in
+    let keys = Pipeline.make_keys c ~seed:77 in
+    let rng = Rng.create 1001 in
+    let dims = 3 * spec.Resnet.image_size * spec.Resnet.image_size in
+    let image = Array.init dims (fun _ -> Rng.float rng 1.0) in
+    let _, dt = time (fun () -> Pipeline.infer_encrypted c keys ~seed:55 image) in
+    Printf.printf "infer %-12s domains=%d %7.2fs\n%!" spec.Resnet.model_name domains dt;
+    dt
+  in
+  let infer_rows =
+    List.map
+      (fun s -> (s.Resnet.model_name, infer_time ~domains:default_domains s))
+      [ Resnet.resnet20; Resnet.resnet32 ]
+  in
+  let seq_infer = infer_time ~domains:1 Resnet.resnet20 in
+  let par_infer = infer_time ~domains:par_domains Resnet.resnet20 in
+  Domain_pool.set_num_domains default_domains;
+  let buf = Buffer.create 2048 in
+  let obj rows = String.concat ", " rows in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"pr1-multicore-rns-runtime\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"domains_default\": %d,\n" default_domains);
+  Buffer.add_string buf (Printf.sprintf "  \"domains_parallel\": %d,\n" par_domains);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"compile_seconds\": {%s},\n"
+       (obj (List.map (fun (m, t) -> Printf.sprintf "\"%s\": %.4f" m t) compile_rows)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"inference_seconds\": {%s},\n"
+       (obj (List.map (fun (m, t) -> Printf.sprintf "\"%s\": %.4f" m t) infer_rows)));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scaling\": {\"model\": \"resnet20\", \"sequential_seconds\": %.4f, \
+        \"parallel_seconds\": %.4f, \"parallel_domains\": %d, \"speedup\": %.3f},\n"
+       seq_infer par_infer par_domains (seq_infer /. par_infer));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"micro\": {\"ntt_forward_n4096_ns_per_op\": %.0f, \
+        \"keyswitch_rotate_seq_ns_per_op\": %.0f, \"keyswitch_rotate_par_ns_per_op\": %.0f}\n"
+       ntt_ns ks_seq ks_par);
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* ---------- driver ---------- *)
 
 let () =
@@ -415,6 +526,7 @@ let () =
   in
   let cmds = List.filter (fun a -> a <> "-n" && int_of_string_opt a = None) args in
   let run = function
+    | "--json" | "json" -> json_bench ()
     | "fig5" -> fig5 ()
     | "fig6" -> fig6 ()
     | "fig6-quick" -> fig6 ~specs:[ Resnet.resnet20; Resnet.resnet32 ] ()

@@ -202,6 +202,8 @@ let compile ?context strategy nn_input =
     other_seconds = t_other;
   }
 
+let runtime_domains () = Ace_util.Domain_pool.size ()
+
 let make_keys c ~seed =
   let rng = Ace_util.Rng.create seed in
   Fhe.Keys.generate c.context ~rng ~rotations:c.key_plan.Keygen_plan.rotation_steps

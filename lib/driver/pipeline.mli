@@ -60,6 +60,11 @@ val compile : ?context:Ace_fhe.Context.t -> strategy -> Ace_ir.Irfunc.t -> compi
 val slots_needed : Ace_ir.Irfunc.t -> int
 (** Smallest power-of-two slot vector the NN function's layouts fit in. *)
 
+val runtime_domains : unit -> int
+(** Number of domains the RNS runtime's pool uses for encrypted execution
+    (the [ACE_DOMAINS] knob; see lib/util/domain_pool.mli). Compilation
+    itself is sequential — this only affects [run_encrypted] and friends. *)
+
 (** {1 Client/server protocol helpers (paper Figure 2)} *)
 
 val make_keys : compiled -> seed:int -> Ace_fhe.Keys.t

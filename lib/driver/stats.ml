@@ -13,6 +13,7 @@ type t = {
   ct_mults : int;
   pt_mults : int;
   rescales : int;
+  runtime_domains : int;
 }
 
 let count_op f pred = Irfunc.fold f ~init:0 ~f:(fun acc n -> if pred n.Irfunc.op then acc + 1 else acc)
@@ -50,6 +51,7 @@ let of_compiled (c : Pipeline.compiled) =
       count_op ckks (function Op.C_mul -> true | _ -> false)
       - count_op ckks (function Op.C_relin -> true | _ -> false);
     rescales = count_op ckks (function Op.C_rescale -> true | _ -> false);
+    runtime_domains = Pipeline.runtime_domains ();
   }
 
 let pp fmt s =
@@ -60,5 +62,6 @@ let pp fmt s =
   Format.fprintf fmt "  POLY stmts=%d, C lines=%d, consts=%d floats@," s.poly_stmts s.c_lines
     s.const_floats;
   Format.fprintf fmt
-    "  rotations=%d (distinct steps %d), bootstraps=%d, ct-mults=%d, pt-mults=%d, rescales=%d@,@]"
-    s.rotations s.distinct_rotation_steps s.bootstraps s.ct_mults s.pt_mults s.rescales
+    "  rotations=%d (distinct steps %d), bootstraps=%d, ct-mults=%d, pt-mults=%d, rescales=%d@,"
+    s.rotations s.distinct_rotation_steps s.bootstraps s.ct_mults s.pt_mults s.rescales;
+  Format.fprintf fmt "  runtime domains=%d@,@]" s.runtime_domains

@@ -15,6 +15,8 @@ type t = {
   ct_mults : int;
   pt_mults : int;
   rescales : int;
+  runtime_domains : int;
+      (** domain-pool size the encrypted run will use ([ACE_DOMAINS]) *)
 }
 
 val of_compiled : Pipeline.compiled -> t

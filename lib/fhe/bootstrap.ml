@@ -8,9 +8,11 @@ let refresh keys ~rng ~target_level ct =
   let pt = Encoder.encode_complex ctx ~level:target_level ~scale:(Context.scale ctx) values in
   Eval.encrypt keys ~rng pt
 
-let counter = ref 0
+(* Atomic so concurrent refreshes (e.g. two slot batches bootstrapped from
+   different domains) still draw distinct derived seeds. *)
+let counter = Atomic.make 0
 
 let refresh_impl keys ~seed ~target_level ct =
-  incr counter;
-  let rng = Rng.create (seed + (1_000_003 * !counter)) in
+  let c = Atomic.fetch_and_add counter 1 + 1 in
+  let rng = Rng.create (seed + (1_000_003 * c)) in
   refresh keys ~rng ~target_level ct

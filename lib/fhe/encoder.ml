@@ -39,8 +39,11 @@ let decode_complex ctx (pt : Ciphertext.pt) =
       fun i -> Bignum.centered_to_float (Rns_poly.coeff_bignum poly i) ~modulus
     end
   in
+  (* The per-slot CRT recombination (a bignum per coefficient at depth)
+     dominates decode; slot batches are independent, so it runs on the
+     domain pool. *)
   let vals =
-    Array.init slots (fun i ->
+    Ace_util.Domain_pool.init slots (fun i ->
         Cplx.make (coeff i /. pt.pt_scale) (coeff (i + slots) /. pt.pt_scale))
   in
   Cplx.embed (Context.embed_plan ctx) vals;

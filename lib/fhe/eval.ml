@@ -2,6 +2,8 @@ module Rns_poly = Ace_rns.Rns_poly
 module Modarith = Ace_rns.Modarith
 module Crt = Ace_rns.Crt
 module Ntt = Ace_rns.Ntt
+module Limb_pool = Ace_rns.Limb_pool
+module Domain_pool = Ace_util.Domain_pool
 open Ciphertext
 
 exception Scale_mismatch of string
@@ -29,8 +31,12 @@ let encrypt_at_level keys ~rng ~level (pt : pt) =
   let e0 = Rns_poly.to_ntt (Rns_poly.sample_gaussian crt ~chain_idx:idx ~sigma rng) in
   let e1 = Rns_poly.to_ntt (Rns_poly.sample_gaussian crt ~chain_idx:idx ~sigma rng) in
   let m = Rns_poly.to_ntt (Rns_poly.restrict (Rns_poly.to_coeff pt.poly) ~chain_idx:idx) in
-  let c0 = Rns_poly.add (Rns_poly.add (Rns_poly.mul pb u) e0) m in
-  let c1 = Rns_poly.add (Rns_poly.mul pa u) e1 in
+  (* [mul] returns fresh rows, so the additions can accumulate in place. *)
+  let c0 = Rns_poly.mul pb u in
+  let c0 = Rns_poly.add_into ~dst:c0 c0 e0 in
+  let c0 = Rns_poly.add_into ~dst:c0 c0 m in
+  let c1 = Rns_poly.mul pa u in
+  let c1 = Rns_poly.add_into ~dst:c1 c1 e1 in
   { polys = [| c0; c1 |]; ct_scale = pt.pt_scale }
 
 let encrypt keys ~rng pt = encrypt_at_level keys ~rng ~level:(Ciphertext.pt_level pt) pt
@@ -41,7 +47,8 @@ let decrypt keys (ct : ct) =
   let idx = Array.init (level ct + 1) (fun i -> i) in
   let s = Rns_poly.restrict keys.Keys.secret ~chain_idx:idx in
   let c0 = Rns_poly.to_ntt ct.polys.(0) and c1 = Rns_poly.to_ntt ct.polys.(1) in
-  let m = Rns_poly.add c0 (Rns_poly.mul c1 s) in
+  let m = Rns_poly.mul c1 s in
+  let m = Rns_poly.add_into ~dst:m c0 m in
   { poly = m; pt_scale = ct.ct_scale }
 
 let add (a : ct) (b : ct) =
@@ -89,26 +96,19 @@ let mul_raw (a : ct) (b : ct) =
   let a0 = Rns_poly.to_ntt a.polys.(0) and a1 = Rns_poly.to_ntt a.polys.(1) in
   let b0 = Rns_poly.to_ntt b.polys.(0) and b1 = Rns_poly.to_ntt b.polys.(1) in
   let d0 = Rns_poly.mul a0 b0 in
-  let d1 = Rns_poly.add (Rns_poly.mul a0 b1) (Rns_poly.mul a1 b0) in
+  let d1 = Rns_poly.mul a0 b1 in
+  let d1 = Rns_poly.add_into ~dst:d1 d1 (Rns_poly.mul a1 b0) in
   let d2 = Rns_poly.mul a1 b1 in
   { polys = [| d0; d1; d2 |]; ct_scale = a.ct_scale *. b.ct_scale }
 
-(* Barrett multiply-accumulate over one residue row: dst += a * b mod q. *)
-let mul_acc_row dst a b q =
-  let inv_q = 1.0 /. float_of_int q in
-  for j = 0 to Array.length dst - 1 do
-    let x = Array.unsafe_get a j and y = Array.unsafe_get b j in
-    let quot = int_of_float (float_of_int x *. float_of_int y *. inv_q) in
-    let r = (x * y) - (quot * q) in
-    let r = if r < 0 then r + q else if r >= q then r - q else r in
-    let s = Array.unsafe_get dst j + r in
-    Array.unsafe_set dst j (if s >= q then s - q else s)
-  done
-
 (* Key-switch a single polynomial [d] (any domain) with [key]; returns the
    (c0, c1) correction pair at [d]'s limb set. This is the shared core of
-   relinearisation and rotation; it works on raw residue rows to keep the
-   inner loop allocation-free. *)
+   relinearisation and rotation. The extended-basis accumulators are
+   limb-parallel: position [k] of the basis is owned by one worker, which
+   walks the gadget digits in index order, so the accumulation order (and
+   hence the result, exactly) matches the sequential implementation. All
+   scratch rows come from {!Limb_pool}, keeping the steady-state inner
+   loop free of per-digit allocation. *)
 let key_switch ctx (key : Keys.switching_key) d =
   Cost.timed Cost.Key_switch @@ fun () ->
   let crt = Context.crt ctx in
@@ -123,64 +123,71 @@ let key_switch ctx (key : Keys.switching_key) d =
     let nl = Rns_poly.num_limbs poly in
     if k_ci = special_ci then poly.Rns_poly.data.(nl - 1) else poly.Rns_poly.data.(k_ci)
   in
-  let acc0 = Array.init (limbs + 1) (fun _ -> Array.make n 0) in
-  let acc1 = Array.init (limbs + 1) (fun _ -> Array.make n 0) in
-  let digit_row = Array.make n 0 in
-  for i = 0 to limbs - 1 do
-    let src_q = Crt.modulus crt i in
-    let half = src_q / 2 in
-    let row = d.Rns_poly.data.(i) in
-    let kb, ka = key.Keys.digits.(i) in
-    Array.iteri
-      (fun k t_ci ->
-        let dst_q = Crt.modulus crt t_ci in
-        (* Digit i re-reduced into the target prime (exact: each residue is
-           a genuine small integer; Barrett via float inverse), then NTT'd
-           in place. *)
+  let acc0 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
+  let acc1 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
+  Domain_pool.parallel_for (limbs + 1) (fun k ->
+      let t_ci = basis.(k) in
+      let plan = Crt.plan crt t_ci in
+      Limb_pool.with_row n @@ fun digit_row ->
+      for i = 0 to limbs - 1 do
+        let src_q = Crt.modulus crt i in
+        let half = src_q / 2 in
+        let row = d.Rns_poly.data.(i) in
+        let kb, ka = key.Keys.digits.(i) in
+        (* Digit i re-reduced into the target prime (exact: after the
+           centered lift each residue is a genuine small integer), then
+           NTT'd in place. *)
         if t_ci = i then Array.blit row 0 digit_row 0 n
-        else begin
-          let inv = 1.0 /. float_of_int dst_q in
+        else
           for j = 0 to n - 1 do
             let v = Array.unsafe_get row j in
             let c = if v > half then v - src_q else v in
-            let quot = int_of_float (float_of_int c *. inv) in
-            let r = c - (quot * dst_q) in
-            let r = if r < 0 then r + dst_q else if r >= dst_q then r - dst_q else r in
-            Array.unsafe_set digit_row j r
-          done
-        end;
-        Ntt.forward (Crt.plan crt t_ci) digit_row;
-        mul_acc_row acc0.(k) digit_row (key_row kb t_ci) dst_q;
-        mul_acc_row acc1.(k) digit_row (key_row ka t_ci) dst_q)
-      basis
-  done;
-  let acc0 = ref (Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc0) in
-  let acc1 = ref (Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc1) in
+            Array.unsafe_set digit_row j (Ntt.reduce_scalar plan c)
+          done;
+        Ntt.forward plan digit_row;
+        Ntt.pointwise_mul_acc plan acc0.(k) digit_row (key_row kb t_ci);
+        Ntt.pointwise_mul_acc plan acc1.(k) digit_row (key_row ka t_ci)
+      done);
+  let acc0 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc0 in
+  let acc1 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc1 in
   (* Mod-down: divide by the special prime with rounding (the centered lift
-     of the special limb supplies the correction term). *)
+     of the special limb supplies the correction term). The accumulator is
+     flipped to Coeff in place — its rows are pool scratch owned here —
+     and released once the divided-down output is materialised. *)
   let mod_down acc =
-    let acc = Rns_poly.to_coeff acc in
+    let rows = acc.Rns_poly.data in
+    let acc = Rns_poly.coeff_inplace acc in
     let out = Rns_poly.create crt ~chain_idx:(Array.init limbs (fun i -> i)) Rns_poly.Coeff in
-    for t = 0 to limbs - 1 do
-      let q_t = Crt.modulus crt t in
-      let p_inv = Crt.inv_mod crt ~num:special_ci ~target:t in
-      let lifted = Rns_poly.lift_limb_to acc ~src:limbs ~target_modulus:q_t in
-      let row = acc.Rns_poly.data.(t) and dst = out.Rns_poly.data.(t) in
-      for j = 0 to Array.length row - 1 do
-        let d = Modarith.sub row.(j) lifted.(j) ~modulus:q_t in
-        dst.(j) <- Modarith.mul d p_inv ~modulus:q_t
-      done
-    done;
+    let sp_q = Crt.modulus crt special_ci in
+    let sp_half = sp_q / 2 in
+    let sp_row = acc.Rns_poly.data.(limbs) in
+    let p_invs = Array.init limbs (fun t -> Crt.inv_mod crt ~num:special_ci ~target:t) in
+    Domain_pool.parallel_for limbs (fun t ->
+        let q_t = Crt.modulus crt t in
+        let plan = Crt.plan crt t in
+        let p_inv = p_invs.(t) in
+        let row = acc.Rns_poly.data.(t) and dst = out.Rns_poly.data.(t) in
+        for j = 0 to n - 1 do
+          let v = Array.unsafe_get sp_row j in
+          let c = if v > sp_half then v - sp_q else v in
+          let lifted = Ntt.reduce_scalar plan c in
+          let diff = Modarith.sub (Array.unsafe_get row j) lifted ~modulus:q_t in
+          Array.unsafe_set dst j (Modarith.mul diff p_inv ~modulus:q_t)
+        done);
+    Array.iter Limb_pool.release rows;
     out
   in
-  (mod_down !acc0, mod_down !acc1)
+  (mod_down acc0, mod_down acc1)
 
 let relinearize keys (ct : ct) =
   Cost.timed Cost.Relinearize @@ fun () ->
   if size ct <> 3 then invalid_arg "Eval.relinearize: size-3 ciphertext required";
   let e0, e1 = key_switch keys.Keys.context keys.Keys.relin ct.polys.(2) in
-  let c0 = Rns_poly.add (Rns_poly.to_ntt ct.polys.(0)) (Rns_poly.to_ntt e0) in
-  let c1 = Rns_poly.add (Rns_poly.to_ntt ct.polys.(1)) (Rns_poly.to_ntt e1) in
+  (* The key-switch corrections are freshly allocated, so flip and add in
+     place instead of copying. *)
+  let e0 = Rns_poly.ntt_inplace e0 and e1 = Rns_poly.ntt_inplace e1 in
+  let c0 = Rns_poly.add_into ~dst:e0 (Rns_poly.to_ntt ct.polys.(0)) e0 in
+  let c1 = Rns_poly.add_into ~dst:e1 (Rns_poly.to_ntt ct.polys.(1)) e1 in
   { polys = [| c0; c1 |]; ct_scale = ct.ct_scale }
 
 let mul keys a b = relinearize keys (mul_raw a b)
@@ -207,8 +214,9 @@ let rotate keys (ct : ct) k =
     let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(0)) in
     let r1 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(1)) in
     let e0, e1 = key_switch ctx key r1 in
-    let c0 = Rns_poly.add (Rns_poly.to_ntt r0) (Rns_poly.to_ntt e0) in
-    { polys = [| c0; Rns_poly.to_ntt e1 |]; ct_scale = ct.ct_scale }
+    let e0 = Rns_poly.ntt_inplace e0 in
+    let c0 = Rns_poly.add_into ~dst:e0 (Rns_poly.ntt_inplace r0) e0 in
+    { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
   end
 
 let conjugate keys (ct : ct) =
@@ -220,8 +228,9 @@ let conjugate keys (ct : ct) =
   let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(0)) in
   let r1 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(1)) in
   let e0, e1 = key_switch ctx key r1 in
-  let c0 = Rns_poly.add (Rns_poly.to_ntt r0) (Rns_poly.to_ntt e0) in
-  { polys = [| c0; Rns_poly.to_ntt e1 |]; ct_scale = ct.ct_scale }
+  let e0 = Rns_poly.ntt_inplace e0 in
+  let c0 = Rns_poly.add_into ~dst:e0 (Rns_poly.ntt_inplace r0) e0 in
+  { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
 
 let rescale (ct : ct) =
   Cost.timed Cost.Rescale @@ fun () ->
@@ -234,7 +243,9 @@ let rescale (ct : ct) =
     p0.Rns_poly.chain_idx.(ctx_limb)
   in
   let q_top = Ace_rns.Crt.modulus p0.Rns_poly.ctx crt_prime in
-  let polys = Array.map (fun p -> Rns_poly.to_ntt (Rns_poly.rescale (Rns_poly.to_coeff p))) ct.polys in
+  let polys =
+    Array.map (fun p -> Rns_poly.ntt_inplace (Rns_poly.rescale (Rns_poly.to_coeff p))) ct.polys
+  in
   { polys; ct_scale = ct.ct_scale /. float_of_int q_top }
 
 let mod_switch (ct : ct) =

@@ -51,7 +51,9 @@ let linear_transform keys (m : Cplx.t array array) (ct : Ciphertext.ct) =
   | Some a -> Eval.rescale a
 
 (* Numerically materialise the embedding matrices by probing the slot
-   transforms with unit vectors (n is small at bootstrap-test scale). *)
+   transforms with unit vectors (n is small at bootstrap-test scale).
+   Each probe owns its column, so the O(n^2 log n) sweep runs as parallel
+   slot batches on the domain pool. *)
 let embedding_matrices ctx =
   let n = Context.slots ctx in
   let plan = Context.embed_plan ctx in
@@ -62,8 +64,8 @@ let embedding_matrices ctx =
     v
   in
   let build transform =
-    let cols = Array.init n (fun k -> col transform k) in
-    Array.init n (fun j -> Array.init n (fun k -> cols.(k).(j)))
+    let cols = Ace_util.Domain_pool.init n (fun k -> col transform k) in
+    Ace_util.Domain_pool.init n (fun j -> Array.init n (fun k -> cols.(k).(j)))
   in
   (build (Cplx.embed plan) (* S2C: coefficients -> slots *),
    build (Cplx.embed_inv plan) (* C2S: slots -> coefficients *))

@@ -2,6 +2,7 @@ module Rns_poly = Ace_rns.Rns_poly
 module Modarith = Ace_rns.Modarith
 module Crt = Ace_rns.Crt
 module Rng = Ace_util.Rng
+module Domain_pool = Ace_util.Domain_pool
 
 type switching_key = { digits : (Rns_poly.t * Rns_poly.t) array }
 
@@ -30,6 +31,9 @@ let switching_key_for t ~s_from ~rng =
   let p = Context.special_modulus ctx in
   let num_digits = Context.max_level ctx + 1 in
   let s_from = Rns_poly.to_ntt (Rns_poly.restrict s_from ~chain_idx:key_idx) in
+  (* The digit loop itself stays sequential — each rlwe pair draws from the
+     shared rng, and key bits must not depend on the pool size — but the
+     per-digit bump over the ring coefficients is data-parallel. *)
   let digits =
     Array.init num_digits (fun i ->
         let b, a = rlwe_pair ctx ~chain_idx:key_idx ~secret:t.secret ~rng in
@@ -39,10 +43,9 @@ let switching_key_for t ~s_from ~rng =
         let factor = Modarith.reduce p ~modulus:q_i in
         let bumped = Rns_poly.clone b in
         let row = bumped.Rns_poly.data.(i) in
-        Array.iteri
-          (fun j v ->
-            row.(j) <- Modarith.add row.(j) (Modarith.mul factor v ~modulus:q_i) ~modulus:q_i)
-          s_from.Rns_poly.data.(i);
+        let src = s_from.Rns_poly.data.(i) in
+        Domain_pool.parallel_for (Array.length src) (fun j ->
+            row.(j) <- Modarith.add row.(j) (Modarith.mul factor src.(j) ~modulus:q_i) ~modulus:q_i);
         (bumped, a))
   in
   { digits }

@@ -5,11 +5,26 @@ type t = {
   moduli : int array;
   plans : Ntt.plan array;
   products : Bignum.t array; (* products.(l) = q_0 * ... * q_{l-1}; products.(0) = 1 *)
+  (* The memo tables below are filled on demand from whichever domain first
+     needs an entry, so every lookup-or-compute runs under [lock]. Entries
+     are deterministic functions of the moduli; a duplicated computation
+     would be harmless, a torn Hashtbl would not. *)
+  lock : Mutex.t;
   inv_cache : (int * int, int) Hashtbl.t;
   qhat_inv_cache : (int, int array) Hashtbl.t;
   qhat_mod_cache : (int * int, int array) Hashtbl.t;
   qhat_big_cache : (int, Bignum.t array) Hashtbl.t;
 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 let make ~ring_degree ~moduli =
   let seen = Hashtbl.create 8 in
@@ -29,6 +44,7 @@ let make ~ring_degree ~moduli =
     moduli;
     plans;
     products;
+    lock = Mutex.create ();
     inv_cache = Hashtbl.create 32;
     qhat_inv_cache = Hashtbl.create 8;
     qhat_mod_cache = Hashtbl.create 8;
@@ -44,6 +60,7 @@ let product t ~limbs = t.products.(limbs)
 let log2_product t ~limbs = log (Bignum.to_float t.products.(limbs)) /. log 2.0
 
 let inv_mod t ~num ~target =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.inv_cache (num, target) with
   | Some v -> v
   | None ->
@@ -51,7 +68,7 @@ let inv_mod t ~num ~target =
     Hashtbl.add t.inv_cache (num, target) v;
     v
 
-let qhat_big t ~limbs =
+let qhat_big_unlocked t ~limbs =
   match Hashtbl.find_opt t.qhat_big_cache limbs with
   | Some v -> v
   | None ->
@@ -66,11 +83,14 @@ let qhat_big t ~limbs =
     Hashtbl.add t.qhat_big_cache limbs v;
     v
 
+let qhat_big t ~limbs = locked t @@ fun () -> qhat_big_unlocked t ~limbs
+
 let qhat_invs t ~limbs =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.qhat_inv_cache limbs with
   | Some v -> v
   | None ->
-    let big = qhat_big t ~limbs in
+    let big = qhat_big_unlocked t ~limbs in
     let v =
       Array.init limbs (fun i ->
           let r = Bignum.mod_int big.(i) t.moduli.(i) in
@@ -80,10 +100,11 @@ let qhat_invs t ~limbs =
     v
 
 let qhat_mod t ~limbs ~target =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.qhat_mod_cache (limbs, target) with
   | Some v -> v
   | None ->
-    let big = qhat_big t ~limbs in
+    let big = qhat_big_unlocked t ~limbs in
     let m = t.moduli.(target) in
     let v = Array.map (fun q -> Bignum.mod_int q m) big in
     Hashtbl.add t.qhat_mod_cache (limbs, target) v;

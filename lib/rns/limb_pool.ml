@@ -1,0 +1,50 @@
+(* Per-domain free lists of residue rows ([int array]s of one ring degree),
+   so steady-state kernels reuse scratch instead of allocating a fresh limb
+   per operation. Domain-local storage means acquire/release never takes a
+   lock and is safe inside [Domain_pool] bodies; an array released on a
+   different domain than it was acquired on simply migrates.
+
+   Rows come back with stale contents: callers that need zeros ask for
+   [acquire_zeroed]. Each per-size bucket is capped so a burst of deep
+   ciphertexts cannot pin unbounded memory. *)
+
+let max_per_bucket = 64
+
+type bucket = { mutable free : int array list; mutable depth : int }
+
+let buckets : (int, bucket) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let bucket_for n =
+  let tbl = Domain.DLS.get buckets in
+  match Hashtbl.find_opt tbl n with
+  | Some b -> b
+  | None ->
+    let b = { free = []; depth = 0 } in
+    Hashtbl.add tbl n b;
+    b
+
+let acquire n =
+  let b = bucket_for n in
+  match b.free with
+  | a :: rest ->
+    b.free <- rest;
+    b.depth <- b.depth - 1;
+    a
+  | [] -> Array.make n 0
+
+let acquire_zeroed n =
+  let a = acquire n in
+  Array.fill a 0 n 0;
+  a
+
+let release a =
+  let b = bucket_for (Array.length a) in
+  if b.depth < max_per_bucket then begin
+    b.free <- a :: b.free;
+    b.depth <- b.depth + 1
+  end
+
+let with_row n f =
+  let a = acquire n in
+  Fun.protect ~finally:(fun () -> release a) (fun () -> f a)

@@ -8,6 +8,9 @@ type plan = {
   modulus : int;
   n : int;
   log_n : int;
+  barrett_mu : int;
+  barrett_a : int;
+  barrett_b : int;
   psi_pows : int array;
   psi_pows_shoup : int array;
   psi_inv_pows : int array;
@@ -28,6 +31,32 @@ let log2i n =
 let shoup w q = (w lsl 31) / q
 
 let shoup_of q a = Array.map (fun w -> shoup w q) a
+
+(* Integer Barrett parameters for reducing products x*y < q^2 < 2^62.
+   With k the bit-width of q, mu = floor(2^(2k) / q) and the quotient
+   estimate  quot = ((p >> (k-1)) * mu) >> (k+1)  satisfies the classic
+   bounds 0 <= p - quot*q < 4q with every intermediate below 2^62 for
+   k <= 30. At k = 31 those shifts would overflow, so the widest moduli
+   use mu = floor(2^62 / q) with shifts (32, 30); the looser estimate is
+   still within 7q of the true remainder. The float-quotient variant this
+   replaces lost bits once x*y crossed 2^53, where "off by at most one"
+   no longer holds. *)
+let barrett_params q =
+  let bits =
+    let rec go b n = if n = 0 then b else go (b + 1) (n lsr 1) in
+    go 0 q
+  in
+  if bits <= 30 then ((1 lsl (2 * bits)) / q, bits - 1, bits + 1)
+  else (max_int / q, 32, 30)
+
+let[@inline] barrett_mul p x y =
+  let prod = x * y in
+  let quot = ((prod asr p.barrett_a) * p.barrett_mu) asr p.barrett_b in
+  let r = ref (prod - (quot * p.modulus)) in
+  while !r >= p.modulus do
+    r := !r - p.modulus
+  done;
+  !r
 
 let make ~modulus ~ring_degree =
   if not (is_pow2 ring_degree) then invalid_arg "Ntt.make: degree not a power of two";
@@ -77,10 +106,14 @@ let make ~modulus ~ring_degree =
     done;
     bitrev.(i) <- !r
   done;
+  let barrett_mu, barrett_a, barrett_b = barrett_params modulus in
   {
     modulus;
     n;
     log_n;
+    barrett_mu;
+    barrett_a;
+    barrett_b;
     psi_pows;
     psi_pows_shoup = shoup_of modulus psi_pows;
     psi_inv_pows;
@@ -150,16 +183,25 @@ let inverse p a =
   twist p p.psi_inv_pows p.psi_inv_pows_shoup a
 
 let pointwise_mul p dst a b =
-  let q = p.modulus in
-  let inv_q = 1.0 /. float_of_int q in
   for i = 0 to p.n - 1 do
-    let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
-    (* Barrett via floating-point quotient estimate; off by at most one. *)
-    let quot = int_of_float (float_of_int x *. float_of_int y *. inv_q) in
-    let r = (x * y) - (quot * q) in
-    let r = if r < 0 then r + q else if r >= q then r - q else r in
-    Array.unsafe_set dst i r
+    Array.unsafe_set dst i (barrett_mul p (Array.unsafe_get a i) (Array.unsafe_get b i))
   done
+
+(* dst += a * b mod q, in place; the multiply-accumulate at the heart of
+   gadget keyswitching. *)
+let pointwise_mul_acc p dst a b =
+  let q = p.modulus in
+  for i = 0 to p.n - 1 do
+    let r = barrett_mul p (Array.unsafe_get a i) (Array.unsafe_get b i) in
+    let s = Array.unsafe_get dst i + r in
+    Array.unsafe_set dst i (if s >= q then s - q else s)
+  done
+
+(* Exact scalar reduction of any native int into [0, q): used by kernels
+   that re-reduce centered digits across primes. *)
+let reduce_scalar p v =
+  let r = v mod p.modulus in
+  if r < 0 then r + p.modulus else r
 
 let negacyclic_convolution p a b =
   let fa = Array.copy a and fb = Array.copy b in

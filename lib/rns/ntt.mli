@@ -25,7 +25,16 @@ val inverse : plan -> int array -> unit
 
 val pointwise_mul : plan -> int array -> int array -> int array -> unit
 (** [pointwise_mul p dst a b] writes the element-wise modular product. [dst]
-    may alias [a] or [b]. *)
+    may alias [a] or [b]. Products are reduced with a precomputed integer
+    Barrett constant (exact for every supported modulus width, unlike a
+    53-bit float quotient). *)
+
+val pointwise_mul_acc : plan -> int array -> int array -> int array -> unit
+(** [pointwise_mul_acc p dst a b]: [dst.(i) <- dst.(i) + a.(i)*b.(i) mod q]
+    in place. The multiply-accumulate of gadget key-switching. *)
+
+val reduce_scalar : plan -> int -> int
+(** Exact reduction of any native int (possibly negative) into [0, q). *)
 
 val negacyclic_convolution : plan -> int array -> int array -> int array
 (** Reference entry point: full multiply of two coefficient-domain inputs,

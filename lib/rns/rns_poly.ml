@@ -1,5 +1,6 @@
 module Rng = Ace_util.Rng
 module Bignum = Ace_util.Bignum
+module Domain_pool = Ace_util.Domain_pool
 
 type domain = Coeff | Eval
 
@@ -40,7 +41,7 @@ let of_centered_coeffs ctx ~chain_idx coeffs =
   let n = Crt.ring_degree ctx in
   if Array.length coeffs <> n then invalid_arg "Rns_poly.of_centered_coeffs: length";
   let data =
-    Array.map
+    Domain_pool.map
       (fun ci ->
         let q = Crt.modulus ctx ci in
         Array.map (fun c -> Modarith.reduce c ~modulus:q) coeffs)
@@ -52,17 +53,19 @@ let of_rounded_floats ctx ~chain_idx floats =
   let coeffs = Array.map (fun f -> int_of_float (Float.round f)) floats in
   of_centered_coeffs ctx ~chain_idx coeffs
 
+(* Limbs are independent residue rows, so every per-limb loop below runs
+   through [Domain_pool]: each worker owns a disjoint set of rows and the
+   result is bit-identical for any pool size. *)
+
 let to_ntt t =
   match t.domain with
   | Eval -> t
   | Coeff ->
     let data =
-      Array.mapi
-        (fun k a ->
-          let a = Array.copy a in
+      Domain_pool.init (num_limbs t) (fun k ->
+          let a = Array.copy t.data.(k) in
           Ntt.forward (Crt.plan t.ctx t.chain_idx.(k)) a;
           a)
-        t.data
     in
     { t with data; domain = Eval }
 
@@ -71,21 +74,39 @@ let to_coeff t =
   | Coeff -> t
   | Eval ->
     let data =
-      Array.mapi
-        (fun k a ->
-          let a = Array.copy a in
+      Domain_pool.init (num_limbs t) (fun k ->
+          let a = Array.copy t.data.(k) in
           Ntt.inverse (Crt.plan t.ctx t.chain_idx.(k)) a;
           a)
-        t.data
     in
     { t with data; domain = Coeff }
+
+(* In-place domain flips for polynomials the caller owns outright (freshly
+   allocated, rows shared with nothing). They avoid the per-limb row copy
+   of [to_ntt]/[to_coeff]. *)
+
+let ntt_inplace t =
+  match t.domain with
+  | Eval -> t
+  | Coeff ->
+    Domain_pool.parallel_for (num_limbs t) (fun k ->
+        Ntt.forward (Crt.plan t.ctx t.chain_idx.(k)) t.data.(k));
+    { t with domain = Eval }
+
+let coeff_inplace t =
+  match t.domain with
+  | Coeff -> t
+  | Eval ->
+    Domain_pool.parallel_for (num_limbs t) (fun k ->
+        Ntt.inverse (Crt.plan t.ctx t.chain_idx.(k)) t.data.(k));
+    { t with domain = Coeff }
 
 let in_domain d t = match d with Coeff -> to_coeff t | Eval -> to_ntt t
 
 let map2 f a b =
   check_compatible a b;
   let data =
-    Array.init (num_limbs a) (fun k ->
+    Domain_pool.init (num_limbs a) (fun k ->
         let q = Crt.modulus a.ctx a.chain_idx.(k) in
         let xa = a.data.(k) and xb = b.data.(k) in
         Array.init (Array.length xa) (fun i -> f xa.(i) xb.(i) q))
@@ -95,22 +116,58 @@ let map2 f a b =
 let add a b = map2 (fun x y q -> Modarith.add x y ~modulus:q) a b
 let sub a b = map2 (fun x y q -> Modarith.sub x y ~modulus:q) a b
 
+(* Allocation-free binary variants: write limb rows of [dst] in place.
+   [dst] must have the same shape as the operands and may alias either
+   one; rows are overwritten index by index, never resized. *)
+
+let add_into ~dst a b =
+  check_compatible a b;
+  check_compatible dst a;
+  Domain_pool.parallel_for (num_limbs a) (fun k ->
+      let q = Crt.modulus a.ctx a.chain_idx.(k) in
+      let xa = a.data.(k) and xb = b.data.(k) and d = dst.data.(k) in
+      for i = 0 to Array.length d - 1 do
+        let s = Array.unsafe_get xa i + Array.unsafe_get xb i in
+        Array.unsafe_set d i (if s >= q then s - q else s)
+      done);
+  dst
+
+let sub_into ~dst a b =
+  check_compatible a b;
+  check_compatible dst a;
+  Domain_pool.parallel_for (num_limbs a) (fun k ->
+      let q = Crt.modulus a.ctx a.chain_idx.(k) in
+      let xa = a.data.(k) and xb = b.data.(k) and d = dst.data.(k) in
+      for i = 0 to Array.length d - 1 do
+        let s = Array.unsafe_get xa i - Array.unsafe_get xb i in
+        Array.unsafe_set d i (if s < 0 then s + q else s)
+      done);
+  dst
+
 let neg a =
   let data =
-    Array.mapi
-      (fun k x ->
+    Domain_pool.init (num_limbs a) (fun k ->
         let q = Crt.modulus a.ctx a.chain_idx.(k) in
-        Array.map (fun v -> Modarith.neg v ~modulus:q) x)
-      a.data
+        Array.map (fun v -> Modarith.neg v ~modulus:q) a.data.(k))
   in
   { a with data }
+
+let mul_into ~dst a b =
+  if a.domain <> Eval || b.domain <> Eval then
+    invalid_arg "Rns_poly.mul_into: operands must be in the evaluation domain";
+  check_compatible a b;
+  check_compatible dst a;
+  Domain_pool.parallel_for (num_limbs a) (fun k ->
+      let plan = Crt.plan a.ctx a.chain_idx.(k) in
+      Ntt.pointwise_mul plan dst.data.(k) a.data.(k) b.data.(k));
+  dst
 
 let mul a b =
   if a.domain <> Eval || b.domain <> Eval then
     invalid_arg "Rns_poly.mul: operands must be in the evaluation domain";
   check_compatible a b;
   let data =
-    Array.init (num_limbs a) (fun k ->
+    Domain_pool.init (num_limbs a) (fun k ->
         let plan = Crt.plan a.ctx a.chain_idx.(k) in
         let dst = Array.make (Crt.ring_degree a.ctx) 0 in
         Ntt.pointwise_mul plan dst a.data.(k) b.data.(k);
@@ -120,12 +177,10 @@ let mul a b =
 
 let scalar_mul s a =
   let data =
-    Array.mapi
-      (fun k x ->
+    Domain_pool.init (num_limbs a) (fun k ->
         let q = Crt.modulus a.ctx a.chain_idx.(k) in
         let s = Modarith.reduce s ~modulus:q in
-        Array.map (fun v -> Modarith.mul v s ~modulus:q) x)
-      a.data
+        Array.map (fun v -> Modarith.mul v s ~modulus:q) a.data.(k))
   in
   { a with data }
 
@@ -133,35 +188,41 @@ let scalar_mul_per_limb scalars a =
   if Array.length scalars <> num_limbs a then
     invalid_arg "Rns_poly.scalar_mul_per_limb: arity";
   let data =
-    Array.mapi
-      (fun k x ->
+    Domain_pool.init (num_limbs a) (fun k ->
         let q = Crt.modulus a.ctx a.chain_idx.(k) in
         let s = Modarith.reduce scalars.(k) ~modulus:q in
-        Array.map (fun v -> Modarith.mul v s ~modulus:q) x)
-      a.data
+        Array.map (fun v -> Modarith.mul v s ~modulus:q) a.data.(k))
   in
   { a with data }
 
 (* X^i -> X^(i*g mod 2N); exponents >= N wrap with a sign flip because
-   X^N = -1. The (destination, sign) table is cached per (N, g). *)
+   X^N = -1. The (destination, sign) table is cached per (N, g); the table
+   is shared across domains, so lookup-or-build runs under a lock and the
+   published tables are immutable thereafter. *)
 let automorphism_tables : (int * int, int array * bool array) Hashtbl.t = Hashtbl.create 32
+let automorphism_lock = Mutex.create ()
 
 let automorphism_table ~n ~galois =
-  match Hashtbl.find_opt automorphism_tables (n, galois) with
-  | Some t -> t
-  | None ->
-    let two_n = 2 * n in
-    let dest = Array.make n 0 and flip = Array.make n false in
-    for i = 0 to n - 1 do
-      let e = i * galois mod two_n in
-      if e < n then dest.(i) <- e
-      else begin
-        dest.(i) <- e - n;
-        flip.(i) <- true
-      end
-    done;
-    Hashtbl.add automorphism_tables (n, galois) (dest, flip);
-    (dest, flip)
+  Mutex.lock automorphism_lock;
+  let tbl =
+    match Hashtbl.find_opt automorphism_tables (n, galois) with
+    | Some t -> t
+    | None ->
+      let two_n = 2 * n in
+      let dest = Array.make n 0 and flip = Array.make n false in
+      for i = 0 to n - 1 do
+        let e = i * galois mod two_n in
+        if e < n then dest.(i) <- e
+        else begin
+          dest.(i) <- e - n;
+          flip.(i) <- true
+        end
+      done;
+      Hashtbl.add automorphism_tables (n, galois) (dest, flip);
+      (dest, flip)
+  in
+  Mutex.unlock automorphism_lock;
+  tbl
 
 let automorphism ~galois t =
   if t.domain <> Coeff then invalid_arg "Rns_poly.automorphism: need Coeff domain";
@@ -169,8 +230,8 @@ let automorphism ~galois t =
   if galois land 1 = 0 then invalid_arg "Rns_poly.automorphism: even Galois element";
   let dest, flip = automorphism_table ~n ~galois in
   let data =
-    Array.mapi
-      (fun k x ->
+    Domain_pool.init (num_limbs t) (fun k ->
+        let x = t.data.(k) in
         let q = Crt.modulus t.ctx t.chain_idx.(k) in
         let out = Array.make n 0 in
         for i = 0 to n - 1 do
@@ -179,7 +240,6 @@ let automorphism ~galois t =
           Array.unsafe_set out e (if Array.unsafe_get flip i then (if v = 0 then 0 else q - v) else v)
         done;
         out)
-      t.data
   in
   { t with data }
 
@@ -242,11 +302,16 @@ let rescale t =
   let q_top = Crt.modulus t.ctx top_ci in
   let top = t.data.(l - 1) in
   let n = ring_degree t in
+  (* Pre-resolve the per-limb inverses before the parallel region so the
+     Crt cache lock is never contended inside the hot loop. *)
+  let invs =
+    Array.init (l - 1) (fun k -> Crt.inv_mod t.ctx ~num:top_ci ~target:t.chain_idx.(k))
+  in
   let data =
-    Array.init (l - 1) (fun k ->
+    Domain_pool.init (l - 1) (fun k ->
         let ci = t.chain_idx.(k) in
         let q = Crt.modulus t.ctx ci in
-        let inv = Crt.inv_mod t.ctx ~num:top_ci ~target:ci in
+        let inv = invs.(k) in
         let x = t.data.(k) in
         Array.init n (fun i ->
             (* Centered lift of the top residue gives round-to-nearest

@@ -49,11 +49,24 @@ val to_coeff : t -> t
 val in_domain : domain -> t -> t
 (** Convert if needed. *)
 
+val ntt_inplace : t -> t
+val coeff_inplace : t -> t
+(** Domain flips that transform the existing residue rows instead of
+    copying them. Only sound when the caller owns the polynomial outright
+    (freshly allocated, rows shared with no other value); the returned
+    value shares rows with the argument, which must not be used again. *)
+
 val add : t -> t -> t
 val sub : t -> t -> t
 val neg : t -> t
 val mul : t -> t -> t
 (** Pointwise product; both arguments must be [Eval] with equal limb sets. *)
+
+val add_into : dst:t -> t -> t -> t
+val sub_into : dst:t -> t -> t -> t
+val mul_into : dst:t -> t -> t -> t
+(** Allocation-free variants writing into [dst] (same shape as the
+    operands; may alias either one). Return [dst]. *)
 
 val scalar_mul : int -> t -> t
 (** Multiply by a signed integer scalar (reduced per limb). *)

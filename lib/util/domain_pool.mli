@@ -1,0 +1,40 @@
+(** A reusable pool of worker domains for data-parallel loops over RNS limbs
+    and slot batches.
+
+    The pool is a process-global singleton sized by the [ACE_DOMAINS]
+    environment variable (default: [Domain.recommended_domain_count ()]).
+    With size 1 every primitive degrades to the exact sequential loop, so
+    [ACE_DOMAINS=1] reproduces the single-threaded runtime bit for bit.
+
+    All primitives are {e deterministic}: each index is computed by exactly
+    one domain with no cross-index communication, so results are identical
+    for any pool size and any scheduling. Nested calls (a parallel body
+    that itself invokes a pool primitive) are detected and run sequentially
+    inline, which keeps limb-level parallelism deadlock-free when composed. *)
+
+val size : unit -> int
+(** Current parallelism width (>= 1). *)
+
+val set_num_domains : int -> unit
+(** Resize the pool at runtime (used by scaling benchmarks and tests).
+    Shuts the old workers down; new workers are spawned lazily on the next
+    parallel call. [set_num_domains 1] restores sequential execution. *)
+
+val parallel_for : int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f i] for every [0 <= i < n], each exactly
+    once, split across the pool. [f] must only write to state owned by
+    index [i]. Exceptions raised by [f] are re-raised (first one wins)
+    after all claimed chunks have finished. *)
+
+val init : int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]: same contract as [parallel_for]. *)
+
+val map : ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. *)
+
+val mapi : (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.mapi]. *)
+
+val shutdown : unit -> unit
+(** Join all workers (installed as an [at_exit] handler; also safe to call
+    manually). Subsequent parallel calls respawn the pool. *)

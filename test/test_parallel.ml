@@ -1,0 +1,121 @@
+(* Domain-pool primitives and the determinism contract of the multicore
+   runtime: every parallel loop computes each index exactly once with no
+   cross-index communication, so an encrypted inference must be
+   bit-identical whatever ACE_DOMAINS is set to. *)
+module Domain_pool = Ace_util.Domain_pool
+module Rns_poly = Ace_rns.Rns_poly
+module Pipeline = Ace_driver.Pipeline
+module Import = Ace_nn.Import
+module Builder = Ace_onnx.Builder
+module Rng = Ace_util.Rng
+
+(* Run [f] with the pool resized to [n], restoring sequential mode after
+   (tests in this binary must not leak a pool size into each other). *)
+let with_domains n f =
+  Domain_pool.set_num_domains n;
+  Fun.protect ~finally:(fun () -> Domain_pool.set_num_domains 1) f
+
+let test_parallel_for_covers () =
+  with_domains 4 @@ fun () ->
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  Domain_pool.parallel_for n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "each index exactly once" true (Array.for_all (( = ) 1) hits);
+  (* empty and single-element loops *)
+  Domain_pool.parallel_for 0 (fun _ -> Alcotest.fail "body called for n=0");
+  let one = ref 0 in
+  Domain_pool.parallel_for 1 (fun i -> one := !one + i + 1);
+  Alcotest.(check int) "n=1" 1 !one
+
+let test_init_matches_sequential () =
+  let f i = (i * i) - 7 in
+  let par = with_domains 3 (fun () -> Domain_pool.init 257 f) in
+  Alcotest.(check bool) "init" true (par = Array.init 257 f)
+
+let test_map_mapi () =
+  let src = Array.init 100 (fun i -> i - 50) in
+  let got = with_domains 4 (fun () -> Domain_pool.map abs src) in
+  Alcotest.(check bool) "map" true (got = Array.map abs src);
+  let got = with_domains 4 (fun () -> Domain_pool.mapi (fun i x -> i + x) src) in
+  Alcotest.(check bool) "mapi" true (got = Array.mapi (fun i x -> i + x) src)
+
+let test_exception_propagates () =
+  let raised =
+    with_domains 4 @@ fun () ->
+    try
+      Domain_pool.parallel_for 100 (fun i -> if i = 57 then failwith "boom");
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "exception re-raised" true raised;
+  (* the pool must still be usable afterwards *)
+  let v = with_domains 4 (fun () -> Domain_pool.init 10 (fun i -> i)) in
+  Alcotest.(check bool) "pool survives" true (v = Array.init 10 (fun i -> i))
+
+let test_nested_calls_fall_back () =
+  with_domains 4 @@ fun () ->
+  let acc = Array.make 64 0 in
+  Domain_pool.parallel_for 8 (fun i ->
+      Domain_pool.parallel_for 8 (fun j -> acc.((8 * i) + j) <- (10 * i) + j));
+  Alcotest.(check bool) "nested loops complete" true
+    (acc = Array.init 64 (fun k -> (10 * (k / 8)) + (k mod 8)))
+
+let test_resize_and_size () =
+  Domain_pool.set_num_domains 2;
+  Alcotest.(check int) "resize to 2" 2 (Domain_pool.size ());
+  Domain_pool.set_num_domains 1;
+  Alcotest.(check int) "back to 1" 1 (Domain_pool.size ());
+  Alcotest.(check bool) "pipeline reports it" true (Pipeline.runtime_domains () = 1)
+
+(* ---- bit-identical encrypted inference ---- *)
+
+let gemv () =
+  let b = Builder.create "gemv" in
+  Builder.input b "x" [| 16 |];
+  Builder.init_normal b "w" [| 4; 16 |] ~seed:3 ~std:0.2;
+  Builder.init_normal b "bias" [| 4 |] ~seed:4 ~std:0.05;
+  Builder.node b ~op:"Gemm" ~inputs:[ "x"; "w"; "bias" ] "y";
+  Builder.output b "y" [| 4 |];
+  Builder.finish b
+
+let run_inference () =
+  let c = Pipeline.compile Pipeline.ace (Import.import (gemv ())) in
+  let keys = Pipeline.make_keys c ~seed:5 in
+  let rng = Rng.create 6 in
+  let x = Array.init 16 (fun _ -> Rng.float rng 1.0 -. 0.5) in
+  let ct = Pipeline.encrypt_input c keys ~seed:7 x in
+  Pipeline.run_encrypted c keys ~seed:8 ct
+
+let test_inference_bit_identical () =
+  let seq = with_domains 1 run_inference in
+  let par = with_domains 4 run_inference in
+  Alcotest.(check int) "same size" (Ace_fhe.Ciphertext.size seq) (Ace_fhe.Ciphertext.size par);
+  Alcotest.(check (float 0.0))
+    "same scale"
+    seq.Ace_fhe.Ciphertext.ct_scale par.Ace_fhe.Ciphertext.ct_scale;
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "poly %d bit-identical" i)
+        true
+        (Rns_poly.equal p par.Ace_fhe.Ciphertext.polys.(i)))
+    seq.Ace_fhe.Ciphertext.polys
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for covers" `Quick test_parallel_for_covers;
+          Alcotest.test_case "init matches sequential" `Quick test_init_matches_sequential;
+          Alcotest.test_case "map/mapi" `Quick test_map_mapi;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "nested calls fall back" `Quick test_nested_calls_fall_back;
+          Alcotest.test_case "resize" `Quick test_resize_and_size;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "inference 1 vs 4 domains bit-identical" `Quick
+            test_inference_bit_identical;
+        ] );
+    ]

@@ -95,6 +95,35 @@ let test_ntt_convolution_matches_schoolbook () =
       done)
     [ 4; 8; 32; 128 ]
 
+(* Issue-mandated property sizes: roundtrip and naive-O(n^2) agreement at
+   small, medium and production-adjacent ring degrees. *)
+let test_ntt_roundtrip_sizes () =
+  List.iter
+    (fun n ->
+      let q = Primes.ntt_prime_near ~bits:28 ~ring_degree:n ~below:max_int in
+      let plan = Ntt.make ~modulus:q ~ring_degree:n in
+      let r = Rng.create (100 + n) in
+      let a = Array.init n (fun _ -> Rng.int r q) in
+      let b = Array.copy a in
+      Ntt.forward plan b;
+      Ntt.inverse plan b;
+      Alcotest.(check bool) (Printf.sprintf "roundtrip n=%d" n) true (a = b))
+    [ 8; 64; 1024 ]
+
+let test_ntt_negacyclic_sizes () =
+  List.iter
+    (fun n ->
+      let q = Primes.ntt_prime_near ~bits:26 ~ring_degree:n ~below:max_int in
+      let plan = Ntt.make ~modulus:q ~ring_degree:n in
+      let r = Rng.create (200 + n) in
+      let a = Array.init n (fun _ -> Rng.int r q) in
+      let b = Array.init n (fun _ -> Rng.int r q) in
+      Alcotest.(check bool)
+        (Printf.sprintf "negacyclic n=%d" n)
+        true
+        (Ntt.negacyclic_convolution plan a b = negacyclic_ref q a b))
+    [ 8; 64; 1024 ]
+
 let test_ntt_linear () =
   let n = 32 in
   let q = Primes.ntt_prime_near ~bits:24 ~ring_degree:n ~below:max_int in
@@ -109,6 +138,65 @@ let test_ntt_linear () =
   Ntt.forward plan fs;
   let fsum = Array.init n (fun i -> Modarith.add fa.(i) fb.(i) ~modulus:q) in
   Alcotest.(check bool) "NTT is linear" true (fs = fsum)
+
+(* The Barrett constants are per-width (k <= 30 classic, k = 31 special
+   case); exercise every supported width against a bignum reference,
+   including the worst case (q-1)^2 where the old float quotient lost
+   precision above 2^53. *)
+let test_barrett_pointwise_mul_widths () =
+  let r = Rng.create 97 in
+  List.iter
+    (fun bits ->
+      let n = 64 in
+      let q = Primes.ntt_prime_near ~bits ~ring_degree:n ~below:max_int in
+      let plan = Ntt.make ~modulus:q ~ring_degree:n in
+      for trial = 1 to 10 do
+        let a = Array.init n (fun _ -> Rng.int r q) in
+        let b = Array.init n (fun _ -> Rng.int r q) in
+        if trial = 1 then begin
+          (* force extreme operands *)
+          a.(0) <- q - 1; b.(0) <- q - 1;
+          a.(1) <- q - 1; b.(1) <- 1;
+          a.(2) <- 0; b.(2) <- q - 1
+        end;
+        let dst = Array.make n 0 in
+        Ntt.pointwise_mul plan dst a b;
+        for i = 0 to n - 1 do
+          let expect = Bignum.mod_int (Bignum.mul_int (Bignum.of_int a.(i)) b.(i)) q in
+          if dst.(i) <> expect then
+            Alcotest.failf "bits=%d: %d * %d mod %d: expected %d, got %d" bits a.(i) b.(i) q
+              expect dst.(i)
+        done
+      done)
+    [ 18; 20; 24; 26; 28; 29; 30; 31 ]
+
+let test_barrett_pointwise_mul_acc () =
+  let r = Rng.create 101 in
+  let n = 32 in
+  let q = Primes.ntt_prime_near ~bits:31 ~ring_degree:n ~below:max_int in
+  let plan = Ntt.make ~modulus:q ~ring_degree:n in
+  let a = Array.init n (fun _ -> Rng.int r q) in
+  let b = Array.init n (fun _ -> Rng.int r q) in
+  let dst = Array.init n (fun _ -> Rng.int r q) in
+  let expect =
+    Array.init n (fun i ->
+        Bignum.mod_int (Bignum.add_int (Bignum.mul_int (Bignum.of_int a.(i)) b.(i)) dst.(i)) q)
+  in
+  Ntt.pointwise_mul_acc plan dst a b;
+  Alcotest.(check bool) "acc matches bignum" true (dst = expect)
+
+let test_reduce_scalar () =
+  let n = 32 in
+  let q = Primes.ntt_prime_near ~bits:30 ~ring_degree:n ~below:max_int in
+  let plan = Ntt.make ~modulus:q ~ring_degree:n in
+  List.iter
+    (fun v ->
+      let got = Ntt.reduce_scalar plan v in
+      Alcotest.(check bool) "range" true (got >= 0 && got < q);
+      (* v - got must be a multiple of q; check via symmetric residues *)
+      let naive = ((v mod q) + q) mod q in
+      Alcotest.(check int) (string_of_int v) naive got)
+    [ 0; 1; -1; q; -q; q - 1; (q - 1) * (q - 1); -((q - 1) * (q - 1)); max_int; min_int + 1 ]
 
 let test_crt_recombine () =
   let ctx = small_ctx () in
@@ -189,6 +277,58 @@ let test_poly_automorphism_is_hom () =
   let rhs = mulc (automorphism ~galois:5 a) (automorphism ~galois:5 b) in
   Alcotest.(check bool) "ring homomorphism" true (equal lhs rhs)
 
+(* sigma_g(sigma_h(x)) = sigma_{g*h mod 2N}(x) for odd Galois elements. *)
+let test_poly_automorphism_composition () =
+  let n = 16 in
+  let two_n = 2 * n in
+  let ctx = small_ctx ~n ~limbs:2 () in
+  let idx = Rns_poly.prefix_idx ~limbs:2 in
+  let r = Rng.create 53 in
+  let a = Rns_poly.(to_coeff (sample_uniform ctx ~chain_idx:idx r)) in
+  List.iter
+    (fun (g, h) ->
+      let lhs = Rns_poly.automorphism ~galois:g (Rns_poly.automorphism ~galois:h a) in
+      let rhs = Rns_poly.automorphism ~galois:(g * h mod two_n) a in
+      Alcotest.(check bool)
+        (Printf.sprintf "sigma_%d o sigma_%d" g h)
+        true (Rns_poly.equal lhs rhs))
+    [ (5, 5); (5, 13); (13, 25); (31, 5); (7, 9); (3, 11) ]
+
+(* Rescale must equal round(c / q_top) on the centered lift: verify
+   |c - q_top * c'| <= q_top/2 + 1 coefficient-wise with exact bignum
+   arithmetic (the full modulus is ~2^84 here, far beyond native ints). *)
+let test_poly_rescale_error_bound_bignum () =
+  let n = 16 and limbs = 3 in
+  let ctx = small_ctx ~n ~limbs () in
+  let idx = Rns_poly.prefix_idx ~limbs in
+  let q_top = Crt.modulus ctx (limbs - 1) in
+  let q_full = Crt.product ctx ~limbs in
+  let q' = Crt.product ctx ~limbs:(limbs - 1) in
+  let centered big q =
+    (* residue in [0,q) -> (negative?, magnitude) of the centered lift *)
+    if Bignum.compare (Bignum.add big big) q > 0 then (true, Bignum.sub q big)
+    else (false, big)
+  in
+  let r = Rng.create 59 in
+  for _ = 1 to 5 do
+    let p = Rns_poly.(to_coeff (sample_uniform ctx ~chain_idx:idx r)) in
+    let p' = Rns_poly.rescale p in
+    for i = 0 to n - 1 do
+      let c_neg, c_mag = centered (Rns_poly.coeff_bignum p i) q_full in
+      let c'_neg, c'_mag = centered (Rns_poly.coeff_bignum p' i) q' in
+      let scaled = Bignum.mul_int c'_mag q_top in
+      let err =
+        if c_neg = c'_neg || Bignum.equal c'_mag Bignum.zero then
+          if Bignum.compare c_mag scaled >= 0 then Bignum.sub c_mag scaled
+          else Bignum.sub scaled c_mag
+        else Bignum.add c_mag scaled
+      in
+      if Bignum.compare err (Bignum.of_int ((q_top / 2) + 1)) > 0 then
+        Alcotest.failf "coeff %d: rescale error %s exceeds q_top/2 (q_top=%d)" i
+          (Bignum.to_string err) q_top
+    done
+  done
+
 let test_poly_rescale_divides () =
   let ctx = small_ctx ~n:16 ~limbs:3 () in
   let idx = Rns_poly.prefix_idx ~limbs:3 in
@@ -266,7 +406,12 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_ntt_roundtrip;
           Alcotest.test_case "matches schoolbook" `Quick test_ntt_convolution_matches_schoolbook;
+          Alcotest.test_case "roundtrip sizes 8/64/1024" `Quick test_ntt_roundtrip_sizes;
+          Alcotest.test_case "negacyclic sizes 8/64/1024" `Quick test_ntt_negacyclic_sizes;
           Alcotest.test_case "linearity" `Quick test_ntt_linear;
+          Alcotest.test_case "barrett widths vs bignum" `Quick test_barrett_pointwise_mul_widths;
+          Alcotest.test_case "barrett multiply-accumulate" `Quick test_barrett_pointwise_mul_acc;
+          Alcotest.test_case "reduce scalar" `Quick test_reduce_scalar;
         ] );
       ( "crt",
         [
@@ -279,6 +424,9 @@ let () =
           Alcotest.test_case "mul vs schoolbook" `Quick test_poly_mul_matches_schoolbook;
           Alcotest.test_case "automorphism involution" `Quick test_poly_automorphism_involution;
           Alcotest.test_case "automorphism is ring hom" `Quick test_poly_automorphism_is_hom;
+          Alcotest.test_case "automorphism composition" `Quick test_poly_automorphism_composition;
+          Alcotest.test_case "rescale error bound (bignum)" `Quick
+            test_poly_rescale_error_bound_bignum;
           Alcotest.test_case "rescale divides" `Quick test_poly_rescale_divides;
           Alcotest.test_case "rescale rounds" `Quick test_poly_rescale_rounds;
           Alcotest.test_case "coeff bignum" `Quick test_poly_coeff_bignum;
