@@ -401,13 +401,14 @@ let micro () =
       | _ -> Printf.printf "%-30s (no estimate)\n" name)
     results
 
-(* ---------- --json: machine-readable artifact (BENCH_pr1.json) ---------- *)
+(* ---------- --json: machine-readable artifact (BENCH_pr2.json) ---------- *)
 
 (* One JSON blob per run so CI and the growth driver can diff numbers across
    PRs without scraping the human tables: per-model compile time, per-image
-   inference time, the domain-pool width, NTT/keyswitch ns/op, and a
-   sequential-vs-parallel scaling pair on the same workload. *)
-let json_bench ?(path = "BENCH_pr1.json") () =
+   inference time, the domain-pool width, NTT/keyswitch ns/op, the hoisted
+   vs sequential rotation-batch comparison, and a sequential-vs-parallel
+   scaling pair on the same workload. *)
+let json_bench ?(path = "BENCH_pr2.json") () =
   let module Domain_pool = Ace_util.Domain_pool in
   let default_domains = Domain_pool.size () in
   (* On a 1-core host the default pool is 1; still measure a 4-wide pool so
@@ -445,7 +446,10 @@ let json_bench ?(path = "BENCH_pr1.json") () =
   in
   (* micro: gadget keyswitch (rotation), sequential vs parallel pool *)
   let ctx = Param_select.execution_context ~depth:10 ~slots:1024 () in
-  let mkeys = Ace_fhe.Keys.generate ctx ~rng:(Rng.create 9) ~rotations:[ 1 ] in
+  let batch_steps = Array.init 8 (fun i -> i + 1) in
+  let mkeys =
+    Ace_fhe.Keys.generate ctx ~rng:(Rng.create 9) ~rotations:(Array.to_list batch_steps)
+  in
   let msg = Array.init (Ace_fhe.Context.slots ctx) (fun i -> float_of_int (i mod 5) /. 5.0) in
   let pt = Ace_fhe.Encoder.encode ctx ~level:10 ~scale:(Ace_fhe.Context.scale ctx) msg in
   let ct = Ace_fhe.Eval.encrypt mkeys ~rng:(Rng.create 10) pt in
@@ -462,6 +466,34 @@ let json_bench ?(path = "BENCH_pr1.json") () =
   in
   let ks_seq = keyswitch_ns_at 1 in
   let ks_par = keyswitch_ns_at par_domains in
+  (* micro: the PR2 acceptance pair — a batch of 8 rotations through the
+     hoisted path (one decompose + NTT of c1, then per-step permute +
+     mul-acc + mod-down) vs the same 8 steps as independent [Eval.rotate]
+     calls.  Both numbers are ns per rotation. *)
+  let rotate_pair_ns =
+    Domain_pool.set_num_domains 1;
+    let iters = 10 in
+    let nrot = Array.length batch_steps in
+    let (), dt_seq =
+      time (fun () ->
+          for _ = 1 to iters do
+            Array.iter (fun s -> ignore (Ace_fhe.Eval.rotate mkeys ct s)) batch_steps
+          done)
+    in
+    let (), dt_hoist =
+      time (fun () ->
+          for _ = 1 to iters do
+            ignore (Ace_fhe.Eval.rotate_batch mkeys ct batch_steps)
+          done)
+    in
+    Domain_pool.set_num_domains default_domains;
+    let per x = 1e9 *. x /. float_of_int (iters * nrot) in
+    let seq = per dt_seq and hoist = per dt_hoist in
+    Printf.printf "rotate x%d: sequential %.2f ms/op, hoisted %.2f ms/op (%.2fx)\n%!" nrot
+      (seq /. 1e6) (hoist /. 1e6) (seq /. hoist);
+    (seq, hoist)
+  in
+  let rot_seq_ns, rot_hoist_ns = rotate_pair_ns in
   (* end-to-end: per-image inference on the quick models, then the same
      resnet20 image with 1 domain vs par_domains (determinism means the two
      runs produce identical ciphertexts; only the wall clock may differ) *)
@@ -487,7 +519,7 @@ let json_bench ?(path = "BENCH_pr1.json") () =
   let buf = Buffer.create 2048 in
   let obj rows = String.concat ", " rows in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr1-multicore-rns-runtime\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr2-hoisted-rotations\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"domains_default\": %d,\n" default_domains);
   Buffer.add_string buf (Printf.sprintf "  \"domains_parallel\": %d,\n" par_domains);
   Buffer.add_string buf
@@ -504,8 +536,10 @@ let json_bench ?(path = "BENCH_pr1.json") () =
   Buffer.add_string buf
     (Printf.sprintf
        "  \"micro\": {\"ntt_forward_n4096_ns_per_op\": %.0f, \
-        \"keyswitch_rotate_seq_ns_per_op\": %.0f, \"keyswitch_rotate_par_ns_per_op\": %.0f}\n"
-       ntt_ns ks_seq ks_par);
+        \"keyswitch_rotate_seq_ns_per_op\": %.0f, \"keyswitch_rotate_par_ns_per_op\": %.0f, \
+        \"rotate_ns_per_op\": %.0f, \"rotate_hoisted_ns_per_op\": %.0f, \
+        \"hoisting_speedup\": %.3f}\n"
+       ntt_ns ks_seq ks_par rot_seq_ns rot_hoist_ns (rot_seq_ns /. rot_hoist_ns));
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);

@@ -42,6 +42,62 @@ let fuse_rotations f =
         copy_annot n dst id;
         id)
 
+(* Group direct rotations of one source ciphertext into a single hoisted
+   [C_rotate_batch] (Halevi–Shoup hoisting): the runtime decomposes and
+   NTT-extends the source once and pays only an eval-domain permutation
+   plus the pointwise multiply-accumulate per step. Runs after rotation
+   composition (so chained rotations have already collapsed onto their
+   common source) and after key planning (so the steps are final). *)
+let batch_rotations ?(min_batch = 2) f =
+  (* First-seen order of the distinct steps rotating each source node. *)
+  let groups : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  Irfunc.iter f (fun n ->
+      match n.Irfunc.op with
+      | Op.C_rotate k ->
+        let s = n.Irfunc.args.(0) in
+        let steps = Option.value (Hashtbl.find_opt groups s) ~default:[] in
+        if not (List.mem k steps) then Hashtbl.replace groups s (steps @ [ k ])
+      | _ -> ());
+  let batched = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun s steps ->
+      if List.length steps >= min_batch then Hashtbl.add batched s (Array.of_list steps))
+    groups;
+  if Hashtbl.length batched = 0 then f
+  else begin
+    (* source id (in [f]) -> id of its already-emitted batch node. *)
+    let emitted = Hashtbl.create 32 in
+    rebuild f ~emit:(fun dst lookup n ->
+        match n.Irfunc.op with
+        | Op.Param i ->
+          let id = Irfunc.param dst i in
+          copy_annot n dst id;
+          id
+        | Op.C_rotate k when Hashtbl.mem batched n.Irfunc.args.(0) ->
+          let s = n.Irfunc.args.(0) in
+          let steps = Hashtbl.find batched s in
+          let batch_id =
+            match Hashtbl.find_opt emitted s with
+            | Some id -> id
+            | None ->
+              (* The batch bundle appears at the first rotation's position;
+                 its argument (the shared source) is already emitted. *)
+              let id = Irfunc.add dst (Op.C_rotate_batch steps) [| lookup s |] n.Irfunc.ty in
+              copy_annot n dst id;
+              Hashtbl.add emitted s id;
+              id
+          in
+          let idx = ref (-1) in
+          Array.iteri (fun i st -> if st = k && !idx < 0 then idx := i) steps;
+          let id = Irfunc.add dst (Op.C_batch_get !idx) [| batch_id |] n.Irfunc.ty in
+          copy_annot n dst id;
+          id
+        | _ ->
+          let id = Irfunc.add dst n.Irfunc.op (Array.map lookup n.Irfunc.args) n.Irfunc.ty in
+          copy_annot n dst id;
+          id)
+  end
+
 let dce f =
   let live = Array.make (Irfunc.num_nodes f) false in
   let rec mark i =

@@ -11,5 +11,15 @@
 
 val fuse_rotations : Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
 val dce : Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
+
+val batch_rotations : ?min_batch:int -> Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
+(** Replace [>= min_batch] (default 2) distinct rotations of one source
+    ciphertext with a hoisted [C_rotate_batch] bundle plus per-step
+    [C_batch_get] reads. The runtime then gadget-decomposes the source once
+    per batch instead of once per rotation. Must run {e after} key planning
+    rewrites: the batched steps are executed verbatim against their Galois
+    keys. *)
+
 val run : Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t
-(** The full fusion pipeline. *)
+(** The full fusion pipeline (rotation composition + DCE; batching is
+    applied separately by the driver once rotation steps are final). *)

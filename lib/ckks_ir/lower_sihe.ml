@@ -285,6 +285,8 @@ let rotation_amounts f =
   Irfunc.iter f (fun n ->
       match n.Irfunc.op with
       | Op.C_rotate k when k <> 0 -> Hashtbl.replace seen k ()
+      | Op.C_rotate_batch steps ->
+        Array.iter (fun k -> if k <> 0 then Hashtbl.replace seen k ()) steps
       | _ -> ());
   Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
 

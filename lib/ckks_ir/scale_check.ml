@@ -44,7 +44,10 @@ let check ctx f =
               y.Irfunc.node_level;
           if x.Irfunc.node_level < 1 then fail "node %%%d: mul at level 0" n.Irfunc.id;
           (Some (x.Irfunc.scale *. y.Irfunc.scale), Some x.Irfunc.node_level)
-        | Op.C_relin | Op.C_neg | Op.C_rotate _ ->
+        | Op.C_relin | Op.C_neg | Op.C_rotate _ | Op.C_rotate_batch _ | Op.C_batch_get _ ->
+          (* Rotations (hoisted or not) neither rescale nor change level;
+             a batch bundle and every element read from it inherit the
+             source ciphertext's annotations. *)
           (Some (a 0).Irfunc.scale, Some (a 0).Irfunc.node_level)
         | Op.C_rescale ->
           let x = a 0 in

@@ -12,6 +12,13 @@ type t = {
   keys : Fhe.Keys.t;
   bootstrap : bootstrap_impl;
   func : Irfunc.t;
+  (* Encoded weight plaintexts keyed by node id, filled on first use. A
+     C_encode's input is a pure function of the weight constants (cleartext
+     values never depend on encrypted parameters), so across runs of one VM
+     the encode — embedding, rounding and the forward NTT — can be paid
+     once per node instead of once per inference. [None] disables caching:
+     a single-shot run then frees each plaintext after its last use. *)
+  pt_cache : (int, Ciphertext.pt) Hashtbl.t option;
 }
 
 let phase_of_origin origin =
@@ -25,12 +32,22 @@ let phase_of_origin origin =
     | _ -> "other")
   | None -> "other"
 
-let prepare ~keys ~bootstrap func =
+let prepare ?(cache_plaintexts = false) ~keys ~bootstrap func =
   if Irfunc.level func <> Level.Ckks then invalid_arg "Vm.prepare: not a CKKS function";
   Ace_ckks_ir.Scale_check.check keys.Fhe.Keys.context func;
-  { keys; bootstrap; func }
+  {
+    keys;
+    bootstrap;
+    func;
+    pt_cache = (if cache_plaintexts then Some (Hashtbl.create 256) else None);
+  }
 
-type value = V_ct of Ciphertext.ct | V_pt of Ciphertext.pt | V_clear of float array | V_none
+type value =
+  | V_ct of Ciphertext.ct
+  | V_pt of Ciphertext.pt
+  | V_ct_batch of Ciphertext.ct array (* hoisted rotation bundle *)
+  | V_clear of float array
+  | V_none
 
 let run t inputs =
   let ctx = t.keys.Fhe.Keys.context in
@@ -83,9 +100,19 @@ let run t inputs =
           V_clear (Array.init slice_len (fun i -> v.(start + (i * stride))))
         | Op.V_broadcast _ | Op.V_pad _ | Op.V_reshape _ | Op.V_tile _ | Op.V_nonlinear _ ->
           invalid_arg ("Vm.run: unsupported clear op " ^ Op.name n.Irfunc.op)
-        | Op.C_encode ->
-          V_pt
-            (Encoder.encode ctx ~level:n.Irfunc.node_level ~scale:n.Irfunc.scale (clear 0 n))
+        | Op.C_encode -> (
+          let encode () =
+            Encoder.encode ctx ~level:n.Irfunc.node_level ~scale:n.Irfunc.scale (clear 0 n)
+          in
+          match t.pt_cache with
+          | None -> V_pt (encode ())
+          | Some cache -> (
+            match Hashtbl.find_opt cache n.Irfunc.id with
+            | Some p -> V_pt p
+            | None ->
+              let p = encode () in
+              Hashtbl.add cache n.Irfunc.id p;
+              V_pt p))
         | Op.C_decode -> invalid_arg "Vm.run: CKKS.decode belongs to the decryptor"
         | Op.C_add -> (
           match values.(n.Irfunc.args.(1)) with
@@ -102,6 +129,13 @@ let run t inputs =
         | Op.C_relin -> V_ct (Eval.relinearize t.keys (ct 0 n))
         | Op.C_neg -> V_ct (Eval.neg (ct 0 n))
         | Op.C_rotate k -> V_ct (Eval.rotate t.keys (ct 0 n) k)
+        | Op.C_rotate_batch steps -> V_ct_batch (Eval.rotate_batch t.keys (ct 0 n) steps)
+        | Op.C_batch_get i -> (
+          match values.(n.Irfunc.args.(0)) with
+          | V_ct_batch cts -> V_ct cts.(i)
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Vm.run: node %%%d batch_get argument is not a batch" n.Irfunc.id))
         | Op.C_rescale -> V_ct (Eval.rescale (ct 0 n))
         | Op.C_mod_switch -> V_ct (Eval.mod_switch (ct 0 n))
         | Op.C_upscale r ->

@@ -15,10 +15,16 @@ type bootstrap_impl =
 type t
 
 val prepare :
+  ?cache_plaintexts:bool ->
   keys:Ace_fhe.Keys.t -> bootstrap:bootstrap_impl -> Ace_ir.Irfunc.t -> t
 (** Validates annotations ({!Ace_ckks_ir.Scale_check}) and pre-resolves
     constants. Plaintext masks are encoded on demand during execution
-    (they depend on per-node scale/level) and cached per node. *)
+    (they depend on per-node scale/level). With [cache_plaintexts]
+    (default false) each weight's encoded, NTT-domain plaintext is kept
+    keyed by node id, so repeated {!run} calls on one VM — the
+    {!Ace_driver.Pipeline.runtime} multi-inference path — never re-encode
+    a weight; single-shot runs leave it off to keep peak memory at the
+    live-range minimum. *)
 
 val run : t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
 (** Execute on encrypted inputs (one per function parameter). *)

@@ -16,6 +16,7 @@ type strategy = {
   lazy_rescale : bool;
   min_level_bootstrap : bool;
   pruned_keys : bool;
+  hoist_rotations : bool;
   relu_alpha : int;
   chain_depth : int;
 }
@@ -28,6 +29,7 @@ let ace =
     lazy_rescale = true;
     min_level_bootstrap = true;
     pruned_keys = true;
+    hoist_rotations = true;
     relu_alpha = 5;
     chain_depth = 12;
   }
@@ -42,6 +44,9 @@ let expert =
     (* Lee et al. generate exactly the (large) rotation set their layout
        needs; pruning is not the differentiator, the set's size is. *)
     pruned_keys = true;
+    (* Hoisting is a runtime technique hand-written kernels also use; it
+       does not separate the strategies, so both get it. *)
+    hoist_rotations = true;
     relu_alpha = 5;
     chain_depth = 12;
   }
@@ -162,12 +167,24 @@ let compile ?context strategy nn_input =
   in
   let ckks, t_keys =
     timed (fun () ->
-        if strategy.pruned_keys then ckks
-        else begin
-          let f = Keygen_plan.rewrite_rotations key_plan ckks in
+        let f =
+          if strategy.pruned_keys then ckks
+          else begin
+            let f = Keygen_plan.rewrite_rotations key_plan ckks in
+            Ace_ckks_ir.Scale_check.check context f;
+            f
+          end
+        in
+        (* Hoisting batches run on the FINAL rotation steps, so grouping
+           must follow the hop rewrite above — a bundle is executed
+           verbatim against its Galois keys. *)
+        if strategy.hoist_rotations then begin
+          let f = Ckks_fusion.batch_rotations f in
           Ace_ckks_ir.Scale_check.check context f;
+          Verify.verify f;
           f
-        end)
+        end
+        else f)
   in
   (* POLY level. *)
   let (poly, c_source), t_poly =
@@ -216,12 +233,26 @@ let encrypt_input c keys ~seed image =
   in
   Fhe.Eval.encrypt keys ~rng:(Ace_util.Rng.create seed) pt
 
-let run_encrypted c keys ~seed ct =
-  let bootstrap ~target_level x = Fhe.Bootstrap.refresh_impl keys ~seed ~target_level x in
-  let vm = Ace_codegen.Vm.prepare ~keys ~bootstrap c.ckks in
+(* A missing Galois key at execution time means the compile-time key plan
+   and the runtime key set disagree — a planning bug or keys generated
+   from a different plan — so the error names all three sides. *)
+let run_vm c vm ct =
   match Ace_codegen.Vm.run vm [ ct ] with
   | [ out ] -> out
   | _ -> invalid_arg "Pipeline.run_encrypted: expected a single output"
+  | exception Fhe.Eval.Missing_rotation_key { step; available } ->
+    let show l = String.concat "; " (List.map string_of_int l) in
+    failwith
+      (Printf.sprintf
+         "Pipeline: keygen-plan mismatch: execution needs rotation step %d, keys exist for \
+          steps [%s], plan requested [%s]"
+         step (show available)
+         (show c.key_plan.Keygen_plan.rotation_steps))
+
+let run_encrypted c keys ~seed ct =
+  let bootstrap ~target_level x = Fhe.Bootstrap.refresh_impl keys ~seed ~target_level x in
+  let vm = Ace_codegen.Vm.prepare ~keys ~bootstrap c.ckks in
+  run_vm c vm ct
 
 let decrypt_output c keys ct =
   let decoded = Fhe.Encoder.decode c.context (Fhe.Eval.decrypt keys ct) in
@@ -229,3 +260,20 @@ let decrypt_output c keys ct =
 
 let infer_encrypted c keys ~seed image =
   decrypt_output c keys (run_encrypted c keys ~seed (encrypt_input c keys ~seed image))
+
+(* A resident runtime: the prepared VM lives across inferences, so weight
+   plaintexts are encoded (embed + round + forward NTT) once ever instead
+   of once per image. Single-shot entry points above keep the throwaway
+   VM, whose peak memory stays at the live-range minimum. *)
+type runtime = { rt_compiled : compiled; rt_keys : Fhe.Keys.t; rt_vm : Ace_codegen.Vm.t }
+
+let make_runtime c keys ~seed =
+  let bootstrap ~target_level x = Fhe.Bootstrap.refresh_impl keys ~seed ~target_level x in
+  let rt_vm = Ace_codegen.Vm.prepare ~cache_plaintexts:true ~keys ~bootstrap c.ckks in
+  { rt_compiled = c; rt_keys = keys; rt_vm }
+
+let run_encrypted_rt rt ct = run_vm rt.rt_compiled rt.rt_vm ct
+
+let infer_encrypted_rt rt ~seed image =
+  decrypt_output rt.rt_compiled rt.rt_keys
+    (run_encrypted_rt rt (encrypt_input rt.rt_compiled rt.rt_keys ~seed image))

@@ -22,6 +22,10 @@ type strategy = {
   lazy_rescale : bool;
   min_level_bootstrap : bool;
   pruned_keys : bool;
+  hoist_rotations : bool;
+      (** group same-source rotations into hoisted [C_rotate_batch]
+          bundles after key planning (Halevi–Shoup hoisting); results are
+          bit-identical with it on or off *)
   relu_alpha : int;
   chain_depth : int;
       (** rescale levels of the execution context; both strategies run the
@@ -83,3 +87,18 @@ val decrypt_output : compiled -> Ace_fhe.Keys.t -> Ace_fhe.Ciphertext.ct -> floa
 val infer_encrypted :
   compiled -> Ace_fhe.Keys.t -> seed:int -> float array -> float array
 (** encrypt -> run -> decrypt, one image. *)
+
+(** {1 Resident runtime (multi-inference serving)} *)
+
+type runtime
+(** A prepared VM that lives across inferences: weight plaintexts are
+    encoded once ever (NTT-domain cache keyed by node) instead of once per
+    image. Use for serving loops; the single-shot helpers above rebuild
+    the VM each call and keep peak memory minimal. *)
+
+val make_runtime : compiled -> Ace_fhe.Keys.t -> seed:int -> runtime
+
+val run_encrypted_rt : runtime -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
+
+val infer_encrypted_rt : runtime -> seed:int -> float array -> float array
+(** encrypt -> run -> decrypt through the resident VM. *)

@@ -42,7 +42,14 @@ let of_compiled (c : Pipeline.compiled) =
       List.fold_left
         (fun acc name -> acc + Array.length (Irfunc.const ckks name))
         0 (Irfunc.const_names ckks);
-    rotations = count_op ckks (function Op.C_rotate _ -> true | _ -> false);
+    rotations =
+      (* A hoisted batch performs one key-switch application per step, so
+         each step counts as a rotation. *)
+      Irfunc.fold ckks ~init:0 ~f:(fun acc n ->
+          match n.Irfunc.op with
+          | Op.C_rotate _ -> acc + 1
+          | Op.C_rotate_batch steps -> acc + Array.length steps
+          | _ -> acc);
     distinct_rotation_steps = List.length (Ace_ckks_ir.Lower_sihe.rotation_amounts ckks);
     bootstraps = Ace_ckks_ir.Lower_sihe.bootstrap_count ckks;
     ct_mults =

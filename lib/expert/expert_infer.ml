@@ -9,4 +9,7 @@ let infer = Pipeline.infer_encrypted
 
 let rotation_hops (c : Pipeline.compiled) =
   Irfunc.fold c.Pipeline.ckks ~init:0 ~f:(fun acc n ->
-      match n.Irfunc.op with Op.C_rotate _ -> acc + 1 | _ -> acc)
+      match n.Irfunc.op with
+      | Op.C_rotate _ -> acc + 1
+      | Op.C_rotate_batch steps -> acc + Array.length steps
+      | _ -> acc)

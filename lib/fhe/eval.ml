@@ -9,6 +9,16 @@ open Ciphertext
 exception Scale_mismatch of string
 exception Level_mismatch of string
 
+exception Missing_rotation_key of { step : int; available : int list }
+
+let () =
+  Printexc.register_printer (function
+    | Missing_rotation_key { step; available } ->
+      Some
+        (Printf.sprintf "Missing_rotation_key(step %d; keys exist for steps [%s])" step
+           (String.concat "; " (List.map string_of_int available)))
+    | _ -> None)
+
 let scale_tolerance = 1e-6
 
 let check_scales what a b =
@@ -101,6 +111,48 @@ let mul_raw (a : ct) (b : ct) =
   let d2 = Rns_poly.mul a1 b1 in
   { polys = [| d0; d1; d2 |]; ct_scale = a.ct_scale *. b.ct_scale }
 
+(* The extended key-switching basis for a [limbs]-limb ciphertext: the
+   prefix primes followed by the special prime. *)
+let key_basis ctx ~limbs =
+  Array.append (Array.init limbs (fun i -> i)) [| Context.special_chain_idx ctx |]
+
+(* Key digits live over the full basis [0..L, special]: the row for chain
+   index t <= l sits at position t, the special row last. *)
+let key_row ~special_ci (poly : Rns_poly.t) k_ci =
+  let nl = Rns_poly.num_limbs poly in
+  if k_ci = special_ci then poly.Rns_poly.data.(nl - 1) else poly.Rns_poly.data.(k_ci)
+
+(* Mod-down: divide an extended-basis accumulator by the special prime with
+   rounding (the centered lift of the special limb supplies the correction
+   term). The accumulator is flipped to Coeff in place — its rows are pool
+   scratch owned by the caller — and released once the divided-down output
+   is materialised. *)
+let mod_down ctx ~limbs acc =
+  let crt = Context.crt ctx in
+  let n = Context.ring_degree ctx in
+  let special_ci = Context.special_chain_idx ctx in
+  let rows = acc.Rns_poly.data in
+  let acc = Rns_poly.coeff_inplace acc in
+  let out = Rns_poly.create crt ~chain_idx:(Array.init limbs (fun i -> i)) Rns_poly.Coeff in
+  let sp_q = Crt.modulus crt special_ci in
+  let sp_half = sp_q / 2 in
+  let sp_row = acc.Rns_poly.data.(limbs) in
+  let p_invs = Array.init limbs (fun t -> Crt.inv_mod crt ~num:special_ci ~target:t) in
+  Domain_pool.parallel_for limbs (fun t ->
+      let q_t = Crt.modulus crt t in
+      let plan = Crt.plan crt t in
+      let p_inv = p_invs.(t) in
+      let row = acc.Rns_poly.data.(t) and dst = out.Rns_poly.data.(t) in
+      for j = 0 to n - 1 do
+        let v = Array.unsafe_get sp_row j in
+        let c = if v > sp_half then v - sp_q else v in
+        let lifted = Ntt.reduce_scalar plan c in
+        let diff = Modarith.sub (Array.unsafe_get row j) lifted ~modulus:q_t in
+        Array.unsafe_set dst j (Modarith.mul diff p_inv ~modulus:q_t)
+      done);
+  Array.iter Limb_pool.release rows;
+  out
+
 (* Key-switch a single polynomial [d] (any domain) with [key]; returns the
    (c0, c1) correction pair at [d]'s limb set. This is the shared core of
    relinearisation and rotation. The extended-basis accumulators are
@@ -116,13 +168,7 @@ let key_switch ctx (key : Keys.switching_key) d =
   let d = Rns_poly.to_coeff d in
   let limbs = Rns_poly.num_limbs d in
   let special_ci = Context.special_chain_idx ctx in
-  let basis = Array.append (Array.init limbs (fun i -> i)) [| special_ci |] in
-  (* Key digits live over the full basis [0..L, special]: the row for
-     chain index t <= l sits at position t, the special row last. *)
-  let key_row poly k_ci =
-    let nl = Rns_poly.num_limbs poly in
-    if k_ci = special_ci then poly.Rns_poly.data.(nl - 1) else poly.Rns_poly.data.(k_ci)
-  in
+  let basis = key_basis ctx ~limbs in
   let acc0 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
   let acc1 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
   Domain_pool.parallel_for (limbs + 1) (fun k ->
@@ -145,39 +191,84 @@ let key_switch ctx (key : Keys.switching_key) d =
             Array.unsafe_set digit_row j (Ntt.reduce_scalar plan c)
           done;
         Ntt.forward plan digit_row;
-        Ntt.pointwise_mul_acc plan acc0.(k) digit_row (key_row kb t_ci);
-        Ntt.pointwise_mul_acc plan acc1.(k) digit_row (key_row ka t_ci)
+        Ntt.pointwise_mul_acc plan acc0.(k) digit_row (key_row ~special_ci kb t_ci);
+        Ntt.pointwise_mul_acc plan acc1.(k) digit_row (key_row ~special_ci ka t_ci)
       done);
   let acc0 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc0 in
   let acc1 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc1 in
-  (* Mod-down: divide by the special prime with rounding (the centered lift
-     of the special limb supplies the correction term). The accumulator is
-     flipped to Coeff in place — its rows are pool scratch owned here —
-     and released once the divided-down output is materialised. *)
-  let mod_down acc =
-    let rows = acc.Rns_poly.data in
-    let acc = Rns_poly.coeff_inplace acc in
-    let out = Rns_poly.create crt ~chain_idx:(Array.init limbs (fun i -> i)) Rns_poly.Coeff in
-    let sp_q = Crt.modulus crt special_ci in
-    let sp_half = sp_q / 2 in
-    let sp_row = acc.Rns_poly.data.(limbs) in
-    let p_invs = Array.init limbs (fun t -> Crt.inv_mod crt ~num:special_ci ~target:t) in
-    Domain_pool.parallel_for limbs (fun t ->
-        let q_t = Crt.modulus crt t in
-        let plan = Crt.plan crt t in
-        let p_inv = p_invs.(t) in
-        let row = acc.Rns_poly.data.(t) and dst = out.Rns_poly.data.(t) in
-        for j = 0 to n - 1 do
-          let v = Array.unsafe_get sp_row j in
-          let c = if v > sp_half then v - sp_q else v in
-          let lifted = Ntt.reduce_scalar plan c in
-          let diff = Modarith.sub (Array.unsafe_get row j) lifted ~modulus:q_t in
-          Array.unsafe_set dst j (Modarith.mul diff p_inv ~modulus:q_t)
-        done);
-    Array.iter Limb_pool.release rows;
-    out
-  in
-  (mod_down acc0, mod_down acc1)
+  (mod_down ctx ~limbs acc0, mod_down ctx ~limbs acc1)
+
+(* Hoisted key-switching (Halevi–Shoup). Gadget decomposition acts
+   coefficient-wise modulo each q_i and the Galois automorphism permutes
+   coefficients with sign flips only, so the two commute {e exactly}: the
+   centered lift of [-v mod q] is the negation of the centered lift of [v].
+   Hence decompose + extend + NTT the source polynomial ONCE ([hoist]); a
+   rotation by g then needs only the eval-domain permutation of the shared
+   digits — fused into the multiply-accumulate as a gather — plus one
+   mod-down, instead of limbs^2 fresh lift/NTT passes per step. *)
+
+type hoisted = {
+  h_limbs : int;
+  h_ext : int array array array;
+      (* h_ext.(k).(i): digit i of the source, lifted into basis prime
+         position k, NTT domain. First index matches the worker layout of
+         [key_switch] so the accumulation order is identical. *)
+}
+
+let hoist ctx d =
+  Cost.timed Cost.Key_switch @@ fun () ->
+  let crt = Context.crt ctx in
+  let n = Context.ring_degree ctx in
+  let d = Rns_poly.to_coeff d in
+  let limbs = Rns_poly.num_limbs d in
+  let basis = key_basis ctx ~limbs in
+  let ext = Array.init (limbs + 1) (fun _ -> Array.init limbs (fun _ -> Array.make n 0)) in
+  Domain_pool.parallel_for (limbs + 1) (fun k ->
+      let t_ci = basis.(k) in
+      let plan = Crt.plan crt t_ci in
+      for i = 0 to limbs - 1 do
+        let src_q = Crt.modulus crt i in
+        let half = src_q / 2 in
+        let row = d.Rns_poly.data.(i) in
+        let dst = ext.(k).(i) in
+        if t_ci = i then Array.blit row 0 dst 0 n
+        else
+          for j = 0 to n - 1 do
+            let v = Array.unsafe_get row j in
+            let c = if v > half then v - src_q else v in
+            Array.unsafe_set dst j (Ntt.reduce_scalar plan c)
+          done;
+        Ntt.forward plan dst
+      done);
+  { h_limbs = limbs; h_ext = ext }
+
+(* Apply one switching key to hoisted digits under the eval-domain
+   automorphism permutation [perm]. Per basis position the digit walk, the
+   gather semantics and the Barrett reductions reproduce bit for bit what
+   [key_switch] computes on the automorphed polynomial: the gathered row
+   a.(perm.(j)) IS the NTT of the automorphed digit (same canonical
+   residues), so every partial sum matches. *)
+let key_switch_hoisted ctx (key : Keys.switching_key) h ~perm =
+  Cost.timed Cost.Key_switch @@ fun () ->
+  let crt = Context.crt ctx in
+  let n = Context.ring_degree ctx in
+  let limbs = h.h_limbs in
+  let special_ci = Context.special_chain_idx ctx in
+  let basis = key_basis ctx ~limbs in
+  let acc0 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
+  let acc1 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
+  Domain_pool.parallel_for (limbs + 1) (fun k ->
+      let t_ci = basis.(k) in
+      let plan = Crt.plan crt t_ci in
+      let rows = h.h_ext.(k) in
+      for i = 0 to limbs - 1 do
+        let kb, ka = key.Keys.digits.(i) in
+        Ntt.pointwise_mul_acc_gather plan acc0.(k) rows.(i) perm (key_row ~special_ci kb t_ci);
+        Ntt.pointwise_mul_acc_gather plan acc1.(k) rows.(i) perm (key_row ~special_ci ka t_ci)
+      done);
+  let acc0 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc0 in
+  let acc1 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc1 in
+  (mod_down ctx ~limbs acc0, mod_down ctx ~limbs acc1)
 
 let relinearize keys (ct : ct) =
   Cost.timed Cost.Relinearize @@ fun () ->
@@ -200,6 +291,17 @@ let mul_plain (a : ct) (p : pt) =
   let polys = Array.map (fun c -> Rns_poly.mul (Rns_poly.to_ntt c) pe) a.polys in
   { polys; ct_scale = a.ct_scale *. p.pt_scale }
 
+let rotation_key_exn keys ~step g =
+  match Hashtbl.find_opt keys.Keys.galois g with
+  | Some key -> key
+  | None ->
+    raise (Missing_rotation_key { step; available = Keys.available_rotations keys })
+
+(* Rotations apply the automorphism in whatever domain the operand is in:
+   an Eval input costs a pure index permutation (no transform at all),
+   which is where [rotate] stops paying NTT round trips on c0 — the
+   eval-domain and coeff-domain paths commute exactly with the transforms,
+   so results are bit-identical either way. *)
 let rotate keys (ct : ct) k =
   Cost.timed Cost.Rotate @@ fun () ->
   if size ct <> 2 then invalid_arg "Eval.rotate: relinearize first";
@@ -208,15 +310,44 @@ let rotate keys (ct : ct) k =
   if ((k mod slots) + slots) mod slots = 0 then ct
   else begin
     let g = Keys.galois_of_rotation ctx k in
-    let key = try Hashtbl.find keys.Keys.galois g with Not_found ->
-      failwith (Printf.sprintf "Eval.rotate: no rotation key for step %d" k)
-    in
-    let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(0)) in
-    let r1 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(1)) in
+    let key = rotation_key_exn keys ~step:k g in
+    let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_ntt ct.polys.(0)) in
+    let r1 = Rns_poly.automorphism ~galois:g ct.polys.(1) in
     let e0, e1 = key_switch ctx key r1 in
     let e0 = Rns_poly.ntt_inplace e0 in
-    let c0 = Rns_poly.add_into ~dst:e0 (Rns_poly.ntt_inplace r0) e0 in
+    let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
     { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
+  end
+
+(* Rotate one ciphertext by every step in [steps], decomposing it once:
+   the Halevi–Shoup hoisted path. Bit-identical to mapping {!rotate} over
+   [steps] (same digits, same accumulation order, exact permutation), at
+   roughly 1 + steps/limbs of the cost instead of steps times. *)
+let rotate_batch keys (ct : ct) steps =
+  Cost.timed Cost.Rotate @@ fun () ->
+  if size ct <> 2 then invalid_arg "Eval.rotate_batch: relinearize first";
+  let ctx = keys.Keys.context in
+  let crt = Context.crt ctx in
+  let slots = Context.slots ctx in
+  let trivial k = ((k mod slots) + slots) mod slots = 0 in
+  if Array.for_all trivial steps then Array.map (fun _ -> ct) steps
+  else begin
+    let h = hoist ctx ct.polys.(1) in
+    let c0e = Rns_poly.to_ntt ct.polys.(0) in
+    Array.map
+      (fun k ->
+        if trivial k then ct
+        else begin
+          let g = Keys.galois_of_rotation ctx k in
+          let key = rotation_key_exn keys ~step:k g in
+          let perm = Rns_poly.automorphism_perm crt ~galois:g in
+          let e0, e1 = key_switch_hoisted ctx key h ~perm in
+          let e0 = Rns_poly.ntt_inplace e0 in
+          let r0 = Rns_poly.automorphism ~galois:g c0e in
+          let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
+          { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
+        end)
+      steps
   end
 
 let conjugate keys (ct : ct) =
@@ -225,11 +356,11 @@ let conjugate keys (ct : ct) =
   let ctx = keys.Keys.context in
   let g = Keys.galois_conjugate ctx in
   let key = Hashtbl.find keys.Keys.galois g in
-  let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(0)) in
-  let r1 = Rns_poly.automorphism ~galois:g (Rns_poly.to_coeff ct.polys.(1)) in
+  let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_ntt ct.polys.(0)) in
+  let r1 = Rns_poly.automorphism ~galois:g ct.polys.(1) in
   let e0, e1 = key_switch ctx key r1 in
   let e0 = Rns_poly.ntt_inplace e0 in
-  let c0 = Rns_poly.add_into ~dst:e0 (Rns_poly.ntt_inplace r0) e0 in
+  let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
   { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
 
 let rescale (ct : ct) =

@@ -11,6 +11,11 @@
 exception Scale_mismatch of string
 exception Level_mismatch of string
 
+exception Missing_rotation_key of { step : int; available : int list }
+(** Raised by {!rotate} and {!rotate_batch} when no Galois key exists for
+    [step]; [available] lists the rotation steps that DO have keys, so a
+    keygen-plan mismatch names both sides. *)
+
 val encrypt : Keys.t -> rng:Ace_util.Rng.t -> Ciphertext.pt -> Ciphertext.ct
 (** Public-key encryption at the plaintext's level. *)
 
@@ -40,7 +45,17 @@ val mul_plain : Ciphertext.ct -> Ciphertext.pt -> Ciphertext.ct
 val square : Keys.t -> Ciphertext.ct -> Ciphertext.ct
 
 val rotate : Keys.t -> Ciphertext.ct -> int -> Ciphertext.ct
-(** Left-rotate the slot vector; requires the matching rotation key. *)
+(** Left-rotate the slot vector; requires the matching rotation key.
+    @raise Missing_rotation_key when no key exists for the step. *)
+
+val rotate_batch : Keys.t -> Ciphertext.ct -> int array -> Ciphertext.ct array
+(** Hoisted key-switching (Halevi–Shoup): rotate one ciphertext by every
+    step in the array, gadget-decomposing and NTT-extending its [c1] only
+    once; each step then costs an eval-domain digit permutation (fused into
+    the multiply-accumulate), the pointwise products against that step's
+    key, and one mod-down. Bit-identical to [Array.map (rotate keys ct)];
+    rotation by 0 returns the input unchanged, matching {!rotate}.
+    @raise Missing_rotation_key when any step lacks its key. *)
 
 val conjugate : Keys.t -> Ciphertext.ct -> Ciphertext.ct
 

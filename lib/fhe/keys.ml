@@ -44,7 +44,9 @@ let switching_key_for t ~s_from ~rng =
         let bumped = Rns_poly.clone b in
         let row = bumped.Rns_poly.data.(i) in
         let src = s_from.Rns_poly.data.(i) in
-        Domain_pool.parallel_for (Array.length src) (fun j ->
+        (* Two multiplies per index: inline below 8K coefficients, where
+           pool wake-up would rival the whole loop. *)
+        Domain_pool.parallel_for ~min_chunk:8192 (Array.length src) (fun j ->
             row.(j) <- Modarith.add row.(j) (Modarith.mul factor src.(j) ~modulus:q_i) ~modulus:q_i);
         (bumped, a))
   in
@@ -96,6 +98,20 @@ let add_rotation t k =
   end
 
 let rotation_key t k = Hashtbl.find t.galois (galois_of_rotation t.context k)
+
+(* Walk 5^k mod 2N for k = 1..slots-1 with a running product and report
+   the steps whose Galois element has a key. Used by the evaluator's
+   missing-key diagnostics to name what WOULD have worked. *)
+let available_rotations t =
+  let slots = Context.slots t.context in
+  let two_n = 4 * slots in
+  let out = ref [] in
+  let g = ref 1 in
+  for k = 1 to slots - 1 do
+    g := !g * 5 mod two_n;
+    if Hashtbl.mem t.galois !g then out := k :: !out
+  done;
+  List.rev !out
 
 let switching_key_bytes ctx =
   let n = Context.ring_degree ctx in

@@ -46,6 +46,11 @@ val galois_conjugate : Context.t -> int
 val rotation_key : t -> int -> switching_key
 (** @raise Not_found if the rotation was never generated. *)
 
+val available_rotations : t -> int list
+(** The rotation steps (in [1 .. slots-1], ascending) whose Galois key
+    exists. Diagnostic companion to {!rotation_key}: when a step is
+    missing, this is the set that would have worked. *)
+
 val switching_key_for : t -> s_from:Ace_rns.Rns_poly.t -> rng:Ace_util.Rng.t -> switching_key
 (** Generic switch-to-[secret] key for an arbitrary source secret (used for
     relinearisation, rotations and bootstrapping transitions). *)

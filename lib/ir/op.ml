@@ -46,6 +46,8 @@ type t =
   | S_encode
   | S_decode
   | C_rotate of int
+  | C_rotate_batch of int array
+  | C_batch_get of int
   | C_add
   | C_sub
   | C_mul
@@ -96,6 +98,10 @@ let name = function
   | S_encode -> "SIHE.encode"
   | S_decode -> "SIHE.decode"
   | C_rotate k -> Printf.sprintf "CKKS.rotate[%d]" k
+  | C_rotate_batch steps ->
+    Printf.sprintf "CKKS.rotate_batch[%s]"
+      (String.concat "," (Array.to_list (Array.map string_of_int steps)))
+  | C_batch_get i -> Printf.sprintf "CKKS.batch_get[%d]" i
   | C_add -> "CKKS.add"
   | C_sub -> "CKKS.sub"
   | C_mul -> "CKKS.mul"
@@ -116,8 +122,9 @@ let level = function
   | V_tile _ | V_nonlinear _ ->
     Some Level.Vector
   | S_rotate _ | S_add | S_sub | S_mul | S_neg | S_encode | S_decode -> Some Level.Sihe
-  | C_rotate _ | C_add | C_sub | C_mul | C_neg | C_encode | C_decode | C_relin | C_rescale
-  | C_mod_switch | C_upscale _ | C_downscale _ | C_bootstrap _ ->
+  | C_rotate _ | C_rotate_batch _ | C_batch_get _ | C_add | C_sub | C_mul | C_neg
+  | C_encode | C_decode | C_relin | C_rescale | C_mod_switch | C_upscale _
+  | C_downscale _ | C_bootstrap _ ->
     Some Level.Ckks
 
 let arity = function
@@ -134,6 +141,6 @@ let arity = function
   | S_add | S_sub | S_mul -> Some 2
   | S_rotate _ | S_neg | S_encode | S_decode -> Some 1
   | C_add | C_sub | C_mul -> Some 2
-  | C_rotate _ | C_neg | C_encode | C_decode | C_relin | C_rescale | C_mod_switch
-  | C_upscale _ | C_downscale _ | C_bootstrap _ ->
+  | C_rotate _ | C_rotate_batch _ | C_batch_get _ | C_neg | C_encode | C_decode | C_relin
+  | C_rescale | C_mod_switch | C_upscale _ | C_downscale _ | C_bootstrap _ ->
     Some 1

@@ -61,6 +61,11 @@ type t =
   | S_decode
   (* CKKS (paper Table 6) *)
   | C_rotate of int
+  | C_rotate_batch of int array
+      (** Hoisted rotation batch: decompose the source once, apply every
+          listed rotation step against the shared digits (Halevi–Shoup
+          hoisting). Produces a bundle read back with [C_batch_get]. *)
+  | C_batch_get of int (** select element [i] of a [C_rotate_batch] bundle *)
   | C_add
   | C_sub
   | C_mul

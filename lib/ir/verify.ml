@@ -91,6 +91,17 @@ let check_node f (n : Irfunc.node) =
   | Op.C_rotate _ | Op.C_neg | Op.C_rescale | Op.C_mod_switch | Op.C_upscale _
   | Op.C_downscale _ | Op.C_bootstrap _ ->
     if not (is_cipher (ty 0) && is_cipher n.ty) then fail n.id "CKKS unop needs cipher"
+  | Op.C_rotate_batch steps ->
+    if Array.length steps = 0 then fail n.id "CKKS.rotate_batch: empty step list";
+    if not (is_cipher (ty 0) && is_cipher n.ty) then fail n.id "CKKS.rotate_batch needs cipher"
+  | Op.C_batch_get i -> (
+    match (Irfunc.node f n.args.(0)).op with
+    | Op.C_rotate_batch steps ->
+      if i < 0 || i >= Array.length steps then
+        fail n.id "CKKS.batch_get: index %d out of range for %d-step batch" i
+          (Array.length steps);
+      if not (is_cipher n.ty) then fail n.id "CKKS.batch_get result must be cipher"
+    | op -> fail n.id "CKKS.batch_get argument must be a rotate_batch, got %s" (Op.name op))
   | Op.C_encode -> (
     match (ty 0, n.ty) with
     | Types.Vec _, Types.Plain -> ()

@@ -149,6 +149,38 @@ let lower f =
         push (Call { c_dst = v id ^ ".r1"; c_op = P_automorphism k; c_args = [ limb (v n.Irfunc.args.(0)) 1 ] });
         keyswitch ~dst:(v id) ~src:(v id ^ ".r1") ~tag:(Printf.sprintf "rotate %d" k)
           ~limbs:(limbs_of n.Irfunc.args.(0))
+      | Op.C_rotate_batch steps ->
+        (* Hoisted key-switching: one decompose + mod-up of the shared
+           source; per step only an eval-domain automorphism of the digits
+           plus the pointwise multiply-accumulate and mod-down. *)
+        let src = v n.Irfunc.args.(0) in
+        let limbs = limbs_of n.Irfunc.args.(0) in
+        push
+          (Comment
+             (Printf.sprintf "t%d := hoisted rotation batch [%s]" id
+                (String.concat "," (Array.to_list (Array.map string_of_int steps)))));
+        push (Call { c_dst = v id ^ ".raw"; c_op = P_decomp; c_args = [ limb src 1 ] });
+        push (Call { c_dst = v id ^ ".dig"; c_op = P_mod_up; c_args = [ v id ^ ".raw" ] });
+        Array.iteri
+          (fun j k ->
+            let dst = Printf.sprintf "%s.b%d" (v id) j in
+            push (Call { c_dst = dst ^ ".r0"; c_op = P_automorphism k; c_args = [ limb src 0 ] });
+            push (Call { c_dst = dst ^ ".dig"; c_op = P_automorphism k; c_args = [ v id ^ ".dig" ] });
+            push
+              (For
+                 {
+                   idx = "i";
+                   bound = Num_q (dst ^ ".dig", limbs + 1);
+                   body =
+                     [
+                       Hw { h_dst = dst ^ ".acc0"; h_op = Hw_modmul; h_args = [ dst ^ ".dig"; "ksk.b" ] };
+                       Hw { h_dst = dst ^ ".acc1"; h_op = Hw_modmul; h_args = [ dst ^ ".dig"; "ksk.a" ] };
+                     ];
+                 });
+            push (Call { c_dst = dst; c_op = P_mod_down; c_args = [ dst ^ ".acc0"; dst ^ ".acc1" ] }))
+          steps
+      | Op.C_batch_get i ->
+        push (Call { c_dst = v id; c_op = P_batch_get i; c_args = [ v n.Irfunc.args.(0) ] })
       | Op.C_rescale ->
         push (Call { c_dst = v id; c_op = P_rescale; c_args = [ v n.Irfunc.args.(0) ] })
       | Op.C_mod_switch ->

@@ -16,6 +16,7 @@ type call_op =
   | P_decomp_modup
   | P_rescale
   | P_automorphism of int
+  | P_batch_get of int
   | P_encode
   | P_bootstrap of int
   | P_alloc
@@ -76,6 +77,7 @@ let call_name = function
   | P_decomp_modup -> "decomp_modup"
   | P_rescale -> "rescale"
   | P_automorphism g -> Printf.sprintf "automorphism<%d>" g
+  | P_batch_get i -> Printf.sprintf "batch_get<%d>" i
   | P_encode -> "encode"
   | P_bootstrap l -> Printf.sprintf "bootstrap<L%d>" l
   | P_alloc -> "alloc"

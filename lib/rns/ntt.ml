@@ -197,6 +197,20 @@ let pointwise_mul_acc p dst a b =
     Array.unsafe_set dst i (if s >= q then s - q else s)
   done
 
+(* dst += a[perm[i]] * b[i] mod q: the hoisted-rotation inner loop, where
+   [perm] is the eval-domain automorphism permutation applied on the fly
+   to the shared decomposed digit [a] while accumulating against this
+   rotation step's key digit [b]. Fusing the gather into the mul-acc
+   avoids materialising a permuted copy of every digit per step. *)
+let pointwise_mul_acc_gather p dst a perm b =
+  let q = p.modulus in
+  for i = 0 to p.n - 1 do
+    let x = Array.unsafe_get a (Array.unsafe_get perm i) in
+    let r = barrett_mul p x (Array.unsafe_get b i) in
+    let s = Array.unsafe_get dst i + r in
+    Array.unsafe_set dst i (if s >= q then s - q else s)
+  done
+
 (* Exact scalar reduction of any native int into [0, q): used by kernels
    that re-reduce centered digits across primes. *)
 let reduce_scalar p v =

@@ -33,6 +33,15 @@ val pointwise_mul_acc : plan -> int array -> int array -> int array -> unit
 (** [pointwise_mul_acc p dst a b]: [dst.(i) <- dst.(i) + a.(i)*b.(i) mod q]
     in place. The multiply-accumulate of gadget key-switching. *)
 
+val pointwise_mul_acc_gather : plan -> int array -> int array -> int array -> int array -> unit
+(** [pointwise_mul_acc_gather p dst a perm b]:
+    [dst.(i) <- dst.(i) + a.(perm.(i)) * b.(i) mod q] in place. The hoisted
+    key-switching inner loop: [perm] is an eval-domain automorphism
+    permutation (see {!Rns_poly.automorphism_perm}) applied on the fly to a
+    shared decomposed digit, so no permuted copy is materialised per
+    rotation step. [perm] must be a permutation of [0 .. n-1]; [dst] must
+    not alias [a]. *)
+
 val reduce_scalar : plan -> int -> int
 (** Exact reduction of any native int (possibly negative) into [0, q). *)
 

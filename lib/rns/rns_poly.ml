@@ -120,10 +120,15 @@ let sub a b = map2 (fun x y q -> Modarith.sub x y ~modulus:q) a b
    [dst] must have the same shape as the operands and may alias either
    one; rows are overwritten index by index, never resized. *)
 
+(* A limb row of additions is a few microseconds of work — the same order
+   as waking the pool — so small limb counts run inline (satellite of the
+   PR 1 scaling regression, where 4 domains lost to 1 on exactly these). *)
+let light_limb_grain = 4
+
 let add_into ~dst a b =
   check_compatible a b;
   check_compatible dst a;
-  Domain_pool.parallel_for (num_limbs a) (fun k ->
+  Domain_pool.parallel_for ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
       let q = Crt.modulus a.ctx a.chain_idx.(k) in
       let xa = a.data.(k) and xb = b.data.(k) and d = dst.data.(k) in
       for i = 0 to Array.length d - 1 do
@@ -135,7 +140,7 @@ let add_into ~dst a b =
 let sub_into ~dst a b =
   check_compatible a b;
   check_compatible dst a;
-  Domain_pool.parallel_for (num_limbs a) (fun k ->
+  Domain_pool.parallel_for ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
       let q = Crt.modulus a.ctx a.chain_idx.(k) in
       let xa = a.data.(k) and xb = b.data.(k) and d = dst.data.(k) in
       for i = 0 to Array.length d - 1 do
@@ -224,24 +229,78 @@ let automorphism_table ~n ~galois =
   Mutex.unlock automorphism_lock;
   tbl
 
+(* In the evaluation domain the automorphism is a pure index permutation:
+   the NTT evaluates at the primitive 2N-th roots psi^e_j (one odd exponent
+   e_j per output slot), and X -> X^g maps the value at psi^e_j to the
+   input's value at psi^(e_j * g). The permutation depends only on the
+   NTT's output ordering — structural in (n, stage layout), identical for
+   every limb modulus — so it is discovered once per (n, g) by probing
+   NTT(X) on the chain-0 plan: the probe output IS the point sequence
+   (psi^e_0, psi^e_1, ...), and matching y_j^g against it by value recovers
+   perm without hard-coding the ordering convention. *)
+let eval_perm_tables : (int * int, int array) Hashtbl.t = Hashtbl.create 32
+
+let automorphism_perm ctx ~galois =
+  if galois land 1 = 0 then invalid_arg "Rns_poly.automorphism_perm: even Galois element";
+  let n = Crt.ring_degree ctx in
+  let two_n = 2 * n in
+  let g = ((galois mod two_n) + two_n) mod two_n in
+  Mutex.lock automorphism_lock;
+  let perm =
+    match Hashtbl.find_opt eval_perm_tables (n, g) with
+    | Some p -> p
+    | None ->
+      let p =
+        if n = 1 then [| 0 |]
+        else begin
+          let plan = Crt.plan ctx 0 in
+          let q = Ntt.modulus plan in
+          let probe = Array.make n 0 in
+          probe.(1) <- 1;
+          Ntt.forward plan probe;
+          let index_of = Hashtbl.create (2 * n) in
+          Array.iteri (fun j y -> Hashtbl.replace index_of y j) probe;
+          Array.init n (fun j ->
+              match Hashtbl.find_opt index_of (Modarith.pow probe.(j) g ~modulus:q) with
+              | Some j' -> j'
+              | None -> invalid_arg "Rns_poly.automorphism_perm: probe mismatch")
+        end
+      in
+      Hashtbl.add eval_perm_tables (n, g) p;
+      p
+  in
+  Mutex.unlock automorphism_lock;
+  perm
+
 let automorphism ~galois t =
-  if t.domain <> Coeff then invalid_arg "Rns_poly.automorphism: need Coeff domain";
   let n = ring_degree t in
   if galois land 1 = 0 then invalid_arg "Rns_poly.automorphism: even Galois element";
-  let dest, flip = automorphism_table ~n ~galois in
-  let data =
-    Domain_pool.init (num_limbs t) (fun k ->
-        let x = t.data.(k) in
-        let q = Crt.modulus t.ctx t.chain_idx.(k) in
-        let out = Array.make n 0 in
-        for i = 0 to n - 1 do
-          let v = Array.unsafe_get x i in
-          let e = Array.unsafe_get dest i in
-          Array.unsafe_set out e (if Array.unsafe_get flip i then (if v = 0 then 0 else q - v) else v)
-        done;
-        out)
-  in
-  { t with data }
+  match t.domain with
+  | Coeff ->
+    let dest, flip = automorphism_table ~n ~galois in
+    let data =
+      Domain_pool.init (num_limbs t) (fun k ->
+          let x = t.data.(k) in
+          let q = Crt.modulus t.ctx t.chain_idx.(k) in
+          let out = Array.make n 0 in
+          for i = 0 to n - 1 do
+            let v = Array.unsafe_get x i in
+            let e = Array.unsafe_get dest i in
+            Array.unsafe_set out e (if Array.unsafe_get flip i then (if v = 0 then 0 else q - v) else v)
+          done;
+          out)
+    in
+    { t with data }
+  | Eval ->
+    (* Resolve the table before the parallel region: it takes the same lock
+       the Coeff path uses, and pool bodies must never block on it. *)
+    let perm = automorphism_perm t.ctx ~galois in
+    let data =
+      Domain_pool.init (num_limbs t) (fun k ->
+          let x = t.data.(k) in
+          Array.init n (fun j -> Array.unsafe_get x (Array.unsafe_get perm j)))
+    in
+    { t with data }
 
 let sample_uniform ctx ~chain_idx rng =
   let n = Crt.ring_degree ctx in

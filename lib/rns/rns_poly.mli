@@ -75,8 +75,20 @@ val scalar_mul_per_limb : int array -> t -> t
 (** Limb-dependent scalar, e.g. a CRT-decomposed big-integer constant. *)
 
 val automorphism : galois:int -> t -> t
-(** X ↦ X^galois with [galois] odd; input and output in [Coeff]. This is
-    the slot-rotation primitive. *)
+(** X ↦ X^galois with [galois] odd; the slot-rotation primitive. Works in
+    either domain and preserves it: [Coeff] scatters coefficients with the
+    X^N = -1 sign flips; [Eval] applies a pure index permutation of the NTT
+    slots (see {!automorphism_perm}) — no transform, no sign corrections.
+    The two paths commute exactly with {!to_ntt}/{!to_coeff}. *)
+
+val automorphism_perm : Crt.t -> galois:int -> int array
+(** The eval-domain gather permutation for X ↦ X^galois ([galois] odd):
+    [out.(j) = in.(perm.(j))] realises the automorphism on NTT-domain rows.
+    Structural in the ring degree and NTT stage layout — the same table is
+    valid for every limb modulus — and cached per (degree, galois).
+    Discovered by probing NTT(X) rather than hard-coding the output
+    ordering, so it stays correct if the transform's ordering convention
+    changes. *)
 
 val sample_uniform : Crt.t -> chain_idx:int array -> Ace_util.Rng.t -> t
 val sample_ternary : Crt.t -> chain_idx:int array -> Ace_util.Rng.t -> t

@@ -133,18 +133,25 @@ let run_seq n fn =
 
 (* Work is split into contiguous chunks so neighbouring indices (which
    usually touch neighbouring rows) stay on one domain. Small iteration
-   spaces (limbs) get one chunk per index. *)
-let parallel_for n fn =
+   spaces (limbs) get one chunk per index.
+
+   [min_chunk] is the grain-size floor: iteration spaces of at most
+   [min_chunk] indices run inline in the caller (publishing a job and
+   waking workers costs more than a handful of cheap bodies — the PR 1
+   scaling pair measured a 4-domain inference *slower* than sequential
+   because light per-limb kernels paid that wake-up on every call), and
+   larger spaces never get chunks smaller than it. *)
+let parallel_for ?(min_chunk = 1) n fn =
   if n <= 0 then ()
   else
     let p = target_size () in
-    if p = 1 || n = 1 then run_seq n fn
+    if p = 1 || n = 1 || n <= min_chunk then run_seq n fn
     else if not (Atomic.compare_and_set busy false true) then run_seq n fn
     else
       Fun.protect
         ~finally:(fun () -> Atomic.set busy false)
         (fun () ->
-          let grain = max 1 (n / (4 * p)) in
+          let grain = max (max 1 min_chunk) (n / (4 * p)) in
           let num_chunks = (n + grain - 1) / grain in
           let chunk_fn c =
             let lo = c * grain in
@@ -172,7 +179,7 @@ let parallel_for n fn =
           Mutex.unlock pool.m;
           match err with Some e -> raise e | None -> ())
 
-let init n f =
+let init ?(min_chunk = 1) n f =
   if n = 0 then [||]
   else begin
     (* First element computed inline both to fix the array's representation
@@ -180,7 +187,7 @@ let init n f =
        shaped exactly like Array.init. *)
     let first = f 0 in
     let out = Array.make n first in
-    parallel_for (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    parallel_for ~min_chunk (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
     out
   end
 

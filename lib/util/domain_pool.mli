@@ -20,13 +20,21 @@ val set_num_domains : int -> unit
     Shuts the old workers down; new workers are spawned lazily on the next
     parallel call. [set_num_domains 1] restores sequential execution. *)
 
-val parallel_for : int -> (int -> unit) -> unit
+val parallel_for : ?min_chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for n f] runs [f i] for every [0 <= i < n], each exactly
     once, split across the pool. [f] must only write to state owned by
     index [i]. Exceptions raised by [f] are re-raised (first one wins)
-    after all claimed chunks have finished. *)
+    after all claimed chunks have finished.
 
-val init : int -> (int -> 'a) -> 'a array
+    [min_chunk] (default 1) is a grain-size floor: when [n <= min_chunk]
+    the loop runs inline in the caller with no pool interaction, and
+    larger loops are never split into chunks smaller than [min_chunk]
+    indices. Light-bodied kernels (a few machine ops per index) should
+    pass a floor high enough that publishing a job and waking workers —
+    microseconds — cannot dominate the loop body; results are identical
+    either way. *)
+
+val init : ?min_chunk:int -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]: same contract as [parallel_for]. *)
 
 val map : ('a -> 'b) -> 'a array -> 'b array

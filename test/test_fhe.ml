@@ -259,7 +259,10 @@ let test_rotation_key_pruning () =
   (try
      ignore (Eval.rotate keys ct 7);
      Alcotest.fail "expected missing-key failure"
-   with Failure _ -> ())
+   with Eval.Missing_rotation_key { step; available } ->
+     Alcotest.(check int) "failing step is reported" 7 step;
+     Alcotest.(check bool) "some keys are listed" true (available <> []);
+     Alcotest.(check bool) "missing step not listed" false (List.mem 7 available))
 
 let test_security_rejects_insecure () =
   (* depth*scale_bits far beyond the 128-bit cap for N=2^10. *)

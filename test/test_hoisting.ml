@@ -1,0 +1,232 @@
+(* PR2 hoisting properties: eval-domain automorphism permutation tables,
+   single-decompose multi-rotate key-switching, and the pipeline-level
+   guarantees built on them.  Everything here is a bit-identity check —
+   hoisting is an exact algebraic rewrite, so results must match the
+   unhoisted path limb-for-limb, not just approximately. *)
+module Rng = Ace_util.Rng
+module Crt = Ace_rns.Crt
+module Primes = Ace_rns.Primes
+module Rns_poly = Ace_rns.Rns_poly
+module Pipeline = Ace_driver.Pipeline
+module Import = Ace_nn.Import
+module Builder = Ace_onnx.Builder
+open Ace_fhe
+
+let small_ctx ?(n = 16) ?(limbs = 3) () =
+  Crt.make ~ring_degree:n ~moduli:(Array.of_list (Primes.chain ~count:limbs ~bits:28 ~ring_degree:n))
+
+let rand_poly ctx ~limbs rng =
+  Rns_poly.sample_uniform ctx ~chain_idx:(Rns_poly.prefix_idx ~limbs) rng
+
+(* --- eval-domain automorphism = NTT o coeff-domain automorphism --- *)
+
+(* Odd Galois elements form the automorphism group of the 2n-th cyclotomic;
+   exercise the rotation generator 5, some of its powers, and the
+   conjugation element 2n-1. *)
+let galois_elements n =
+  let two_n = 2 * n in
+  let g5 = 5 mod two_n in
+  [ g5; g5 * g5 mod two_n; g5 * g5 mod two_n * g5 mod two_n; two_n - 1 ]
+  |> List.filter (fun g -> g <> 1)
+  |> List.sort_uniq compare
+
+let test_eval_automorphism_matches_coeff () =
+  List.iter
+    (fun (n, limbs) ->
+      let ctx = small_ctx ~n ~limbs () in
+      let rng = Rng.create (100 + n) in
+      let p = rand_poly ctx ~limbs rng in
+      List.iter
+        (fun g ->
+          let via_eval = Rns_poly.automorphism ~galois:g (Rns_poly.to_ntt p) in
+          let via_coeff = Rns_poly.to_ntt (Rns_poly.automorphism ~galois:g p) in
+          if not (Rns_poly.equal via_eval via_coeff) then
+            Alcotest.failf "n=%d galois=%d: eval-domain automorphism differs" n g)
+        (galois_elements n))
+    [ (8, 2); (64, 3); (1024, 3) ]
+
+let test_eval_automorphism_composes () =
+  let n = 64 in
+  let two_n = 2 * n in
+  let ctx = small_ctx ~n ~limbs:2 () in
+  let p = Rns_poly.to_ntt (rand_poly ctx ~limbs:2 (Rng.create 9)) in
+  let g = 5 and h = two_n - 1 in
+  let lhs = Rns_poly.automorphism ~galois:h (Rns_poly.automorphism ~galois:g p) in
+  let rhs = Rns_poly.automorphism ~galois:(g * h mod two_n) p in
+  Alcotest.(check bool) "sigma_h o sigma_g = sigma_{gh} in eval domain" true
+    (Rns_poly.equal lhs rhs)
+
+let test_automorphism_perm_is_permutation () =
+  List.iter
+    (fun n ->
+      let ctx = small_ctx ~n ~limbs:2 () in
+      List.iter
+        (fun g ->
+          let perm = Rns_poly.automorphism_perm ctx ~galois:g in
+          Alcotest.(check int) "length" n (Array.length perm);
+          let seen = Array.make n false in
+          Array.iter (fun j -> seen.(j) <- true) perm;
+          if not (Array.for_all Fun.id seen) then
+            Alcotest.failf "n=%d galois=%d: table is not a permutation" n g)
+        (galois_elements n))
+    [ 8; 64 ]
+
+(* --- hoisted rotation batches --- *)
+
+let hctx =
+  lazy
+    (Context.make
+       {
+         Context.log2_n = 10;
+         depth = 4;
+         scale_bits = 25;
+         q0_bits = 29;
+         special_bits = 29;
+         security = Security.Toy;
+         error_sigma = 3.2;
+       })
+
+let hkeys =
+  lazy
+    (let ctx = Lazy.force hctx in
+     Keys.generate ctx ~rng:(Rng.create 77) ~rotations:[ 1; 2; 3; 5; -1 ])
+
+let encrypt_random seed =
+  let ctx = Lazy.force hctx and keys = Lazy.force hkeys in
+  let slots = Context.slots ctx in
+  let rng = Rng.create seed in
+  let msg = Array.init slots (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let pt = Encoder.encode ctx ~level:(Context.max_level ctx) ~scale:(Context.scale ctx) msg in
+  Eval.encrypt keys ~rng:(Rng.create (seed + 1)) pt
+
+let check_ct_identical what (a : Ciphertext.ct) (b : Ciphertext.ct) =
+  Alcotest.(check int)
+    (what ^ ": same number of polys")
+    (Array.length a.Ciphertext.polys)
+    (Array.length b.Ciphertext.polys);
+  Array.iteri
+    (fun i pa ->
+      if not (Rns_poly.equal pa b.Ciphertext.polys.(i)) then
+        Alcotest.failf "%s: poly %d differs bit-for-bit" what i)
+    a.Ciphertext.polys;
+  if a.Ciphertext.ct_scale <> b.Ciphertext.ct_scale then
+    Alcotest.failf "%s: scales differ" what
+
+let test_rotate_batch_matches_sequential () =
+  let keys = Lazy.force hkeys in
+  let ct = encrypt_random 31 in
+  let steps = [| 1; 2; 3; 5; -1 |] in
+  let batch = Eval.rotate_batch keys ct steps in
+  Alcotest.(check int) "batch size" (Array.length steps) (Array.length batch);
+  Array.iteri
+    (fun i step ->
+      let seq = Eval.rotate keys ct step in
+      check_ct_identical (Printf.sprintf "step %d" step) batch.(i) seq)
+    steps
+
+let test_rotate_batch_trivial_step () =
+  let keys = Lazy.force hkeys in
+  let ct = encrypt_random 33 in
+  let batch = Eval.rotate_batch keys ct [| 0; 1 |] in
+  check_ct_identical "step 0 is the identity" batch.(0) ct;
+  check_ct_identical "step 1 next to a trivial step" batch.(1) (Eval.rotate keys ct 1)
+
+let test_rotate_batch_missing_key () =
+  let keys = Lazy.force hkeys in
+  let ct = encrypt_random 35 in
+  match Eval.rotate_batch keys ct [| 1; 7 |] with
+  | _ -> Alcotest.fail "expected Missing_rotation_key"
+  | exception Eval.Missing_rotation_key { step; available } ->
+    Alcotest.(check int) "offending step" 7 step;
+    Alcotest.(check bool) "available lists the generated steps" true (List.mem 1 available)
+
+(* --- pipeline-level guarantees --- *)
+
+let gemv_graph () =
+  let b = Builder.create "gemv" in
+  Builder.input b "x" [| 32 |];
+  Builder.init_normal b "w" [| 10; 32 |] ~seed:3 ~std:0.15;
+  Builder.init_normal b "bias" [| 10 |] ~seed:4 ~std:0.05;
+  Builder.node b ~op:"Gemm" ~inputs:[ "x"; "w"; "bias" ] "y";
+  Builder.output b "y" [| 10 |];
+  Builder.finish b
+
+let random_input seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.float rng 1.0 -. 0.5)
+
+let test_pipeline_bit_identical_with_hoisting_off () =
+  let nn = Import.import (gemv_graph ()) in
+  let c_on = Pipeline.compile Pipeline.ace nn in
+  let c_off =
+    Pipeline.compile { Pipeline.ace with Pipeline.hoist_rotations = false } (Import.import (gemv_graph ()))
+  in
+  let keys = Pipeline.make_keys c_on ~seed:51 in
+  let x = random_input 52 32 in
+  let ct = Pipeline.encrypt_input c_on keys ~seed:53 x in
+  let out_on = Pipeline.run_encrypted c_on keys ~seed:54 ct in
+  let out_off = Pipeline.run_encrypted c_off keys ~seed:54 ct in
+  check_ct_identical "hoisting on vs off" out_on out_off
+
+let test_pipeline_reports_keygen_plan_mismatch () =
+  let nn = Import.import (gemv_graph ()) in
+  let c = Pipeline.compile Pipeline.ace nn in
+  (* Client generated no rotation keys at all: execution must fail with the
+     keygen-plan diagnostic, not a bare hashtable miss. *)
+  let bad_keys = Keys.generate c.Pipeline.context ~rng:(Rng.create 61) ~rotations:[] in
+  let x = random_input 62 32 in
+  let ct = Pipeline.encrypt_input c bad_keys ~seed:63 x in
+  match Pipeline.run_encrypted c bad_keys ~seed:64 ct with
+  | _ -> Alcotest.fail "expected a keygen-plan mismatch failure"
+  | exception Failure msg ->
+    let contains sub =
+      let ls = String.length sub and lm = String.length msg in
+      let rec go i = i + ls <= lm && (String.sub msg i ls = sub || go (i + 1)) in
+      go 0
+    in
+    if not (contains "keygen-plan mismatch") then
+      Alcotest.failf "diagnostic missing 'keygen-plan mismatch': %s" msg;
+    if not (contains "plan requested") then
+      Alcotest.failf "diagnostic missing the plan's steps: %s" msg
+
+let test_runtime_matches_single_shot () =
+  let nn = Import.import (gemv_graph ()) in
+  let c = Pipeline.compile Pipeline.ace nn in
+  let keys = Pipeline.make_keys c ~seed:71 in
+  let x = random_input 72 32 in
+  let one_shot = Pipeline.infer_encrypted c keys ~seed:73 x in
+  let rt = Pipeline.make_runtime c keys ~seed:73 in
+  (* Two runs through the resident VM: the second hits the plaintext cache
+     and must still match the cold path exactly. *)
+  let first = Pipeline.infer_encrypted_rt rt ~seed:73 x in
+  let second = Pipeline.infer_encrypted_rt rt ~seed:73 x in
+  Alcotest.(check bool) "resident VM matches single-shot" true (one_shot = first);
+  Alcotest.(check bool) "plaintext cache is transparent" true (first = second)
+
+let () =
+  Alcotest.run "hoisting"
+    [
+      ( "eval-domain automorphism",
+        [
+          Alcotest.test_case "matches coeff-domain + NTT (n=8/64/1024)" `Quick
+            test_eval_automorphism_matches_coeff;
+          Alcotest.test_case "composes in eval domain" `Quick test_eval_automorphism_composes;
+          Alcotest.test_case "tables are permutations" `Quick test_automorphism_perm_is_permutation;
+        ] );
+      ( "hoisted key switching",
+        [
+          Alcotest.test_case "batch bit-identical to sequential rotate" `Quick
+            test_rotate_batch_matches_sequential;
+          Alcotest.test_case "trivial step short-circuits" `Quick test_rotate_batch_trivial_step;
+          Alcotest.test_case "missing key raises typed error" `Quick test_rotate_batch_missing_key;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "hoisting on/off bit-identical" `Quick
+            test_pipeline_bit_identical_with_hoisting_off;
+          Alcotest.test_case "keygen-plan mismatch diagnostic" `Quick
+            test_pipeline_reports_keygen_plan_mismatch;
+          Alcotest.test_case "resident runtime matches single-shot" `Quick
+            test_runtime_matches_single_shot;
+        ] );
+    ]

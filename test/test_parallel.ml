@@ -27,6 +27,23 @@ let test_parallel_for_covers () =
   Domain_pool.parallel_for 1 (fun i -> one := !one + i + 1);
   Alcotest.(check int) "n=1" 1 !one
 
+let test_min_chunk_covers () =
+  with_domains 4 @@ fun () ->
+  (* Grain floor must never change which indices run, only where they run:
+     below the floor the loop is inline, above it chunks are >= min_chunk. *)
+  List.iter
+    (fun n ->
+      let hits = Array.make (max n 1) 0 in
+      Domain_pool.parallel_for ~min_chunk:16 n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d min_chunk=16" n)
+        true
+        (Array.for_all (( = ) 1) (Array.sub hits 0 n)))
+    [ 0; 1; 15; 16; 17; 100; 1000 ];
+  let seq = Array.init 333 (fun i -> (i * 3) + 1) in
+  let par = Domain_pool.init ~min_chunk:64 333 (fun i -> (i * 3) + 1) in
+  Alcotest.(check bool) "init with min_chunk" true (par = seq)
+
 let test_init_matches_sequential () =
   let f i = (i * i) - 7 in
   let par = with_domains 3 (fun () -> Domain_pool.init 257 f) in
@@ -108,6 +125,7 @@ let () =
         [
           Alcotest.test_case "parallel_for covers" `Quick test_parallel_for_covers;
           Alcotest.test_case "init matches sequential" `Quick test_init_matches_sequential;
+          Alcotest.test_case "min_chunk grain floor covers" `Quick test_min_chunk_covers;
           Alcotest.test_case "map/mapi" `Quick test_map_mapi;
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
           Alcotest.test_case "nested calls fall back" `Quick test_nested_calls_fall_back;

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: full build + test suite at both pool widths.  The domain count
+# is an env knob (not a tracked dependency), so the second runtest forces
+# re-execution to actually exercise the 4-wide pool.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tests, ACE_DOMAINS=1 =="
+ACE_DOMAINS=1 dune runtest --force
+
+echo "== tests, ACE_DOMAINS=4 =="
+ACE_DOMAINS=4 dune runtest --force
+
+echo "CI OK"
