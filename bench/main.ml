@@ -27,6 +27,7 @@ module Dataset = Ace_models.Dataset
 module Keygen_plan = Ace_ckks_ir.Keygen_plan
 module Param_select = Ace_ckks_ir.Param_select
 module Cost = Ace_fhe.Cost
+module Telemetry = Ace_telemetry.Telemetry
 module Rng = Ace_util.Rng
 open Ace_ir
 
@@ -81,16 +82,25 @@ type phase_row = {
   avg_target : float;
 }
 
+(* Phase totals come from the telemetry snapshot (merged across domains),
+   not per-run gettimeofday bookkeeping: the same numbers the --json
+   artifact embeds. *)
+let phase_total snap name =
+  match Telemetry.find_stats snap ("phase." ^ name) with
+  | Some s -> s.Telemetry.st_total
+  | None -> 0.0
+
 let run_one strategy spec image =
   let c = compiled strategy spec in
   let keys = keys_for strategy spec in
-  Cost.reset ();
+  Telemetry.reset_metrics ();
   let t0 = Unix.gettimeofday () in
   let _ = Pipeline.infer_encrypted c keys ~seed:55 image in
   let total = Unix.gettimeofday () -. t0 in
-  let conv = Cost.phase_time "conv" +. Cost.phase_time "gemm" in
-  let boot = Cost.phase_time "bootstrap" in
-  let relu = Cost.phase_time "relu" in
+  let snap = Telemetry.snapshot () in
+  let conv = phase_total snap "conv" +. phase_total snap "gemm" in
+  let boot = phase_total snap "bootstrap" in
+  let relu = phase_total snap "relu" in
   let boots = Cost.get_count Cost.Bootstrap in
   let targets =
     Irfunc.fold c.Pipeline.ckks ~init:[] ~f:(fun acc n ->
@@ -401,14 +411,19 @@ let micro () =
       | _ -> Printf.printf "%-30s (no estimate)\n" name)
     results
 
-(* ---------- --json: machine-readable artifact (BENCH_pr2.json) ---------- *)
+(* ---------- --json: machine-readable artifact (BENCH_pr3.json) ---------- *)
 
 (* One JSON blob per run so CI and the growth driver can diff numbers across
    PRs without scraping the human tables: per-model compile time, per-image
    inference time, the domain-pool width, NTT/keyswitch ns/op, the hoisted
-   vs sequential rotation-batch comparison, and a sequential-vs-parallel
-   scaling pair on the same workload. *)
-let json_bench ?(path = "BENCH_pr2.json") () =
+   vs sequential rotation-batch comparison, a sequential-vs-parallel scaling
+   pair on the same workload, and — new in pr3 — a schema_version stamp plus
+   the telemetry snapshot (per-op-category count/total/p50/p99, Table 8
+   style) and the compile-time Stats record, so the artifact is
+   self-describing. *)
+let json_schema_version = 3
+
+let json_bench ?(path = "BENCH_pr3.json") () =
   let module Domain_pool = Ace_util.Domain_pool in
   let default_domains = Domain_pool.size () in
   (* On a 1-core host the default pool is 1; still measure a 4-wide pool so
@@ -508,18 +523,25 @@ let json_bench ?(path = "BENCH_pr2.json") () =
     Printf.printf "infer %-12s domains=%d %7.2fs\n%!" spec.Resnet.model_name domains dt;
     dt
   in
+  (* Scope the telemetry snapshot to the end-to-end inference runs: the
+     per-category table then reads as "one inference workload", not a mix
+     of microbenchmark noise. *)
+  Telemetry.reset_metrics ();
   let infer_rows =
     List.map
       (fun s -> (s.Resnet.model_name, infer_time ~domains:default_domains s))
       [ Resnet.resnet20; Resnet.resnet32 ]
   in
+  let telemetry_json = Telemetry.to_json () in
+  let stats_json = Stats.to_json (Stats.of_compiled (compiled Pipeline.ace Resnet.resnet20)) in
   let seq_infer = infer_time ~domains:1 Resnet.resnet20 in
   let par_infer = infer_time ~domains:par_domains Resnet.resnet20 in
   Domain_pool.set_num_domains default_domains;
   let buf = Buffer.create 2048 in
   let obj rows = String.concat ", " rows in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr2-hoisted-rotations\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr3-observability\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"schema_version\": %d,\n" json_schema_version);
   Buffer.add_string buf (Printf.sprintf "  \"domains_default\": %d,\n" default_domains);
   Buffer.add_string buf (Printf.sprintf "  \"domains_parallel\": %d,\n" par_domains);
   Buffer.add_string buf
@@ -538,9 +560,11 @@ let json_bench ?(path = "BENCH_pr2.json") () =
        "  \"micro\": {\"ntt_forward_n4096_ns_per_op\": %.0f, \
         \"keyswitch_rotate_seq_ns_per_op\": %.0f, \"keyswitch_rotate_par_ns_per_op\": %.0f, \
         \"rotate_ns_per_op\": %.0f, \"rotate_hoisted_ns_per_op\": %.0f, \
-        \"hoisting_speedup\": %.3f}\n"
+        \"hoisting_speedup\": %.3f},\n"
        ntt_ns ks_seq ks_par rot_seq_ns rot_hoist_ns (rot_seq_ns /. rot_hoist_ns));
-  Buffer.add_string buf "}\n";
+  Buffer.add_string buf (Printf.sprintf "  \"stats_resnet20\": %s,\n" stats_json);
+  Buffer.add_string buf (Printf.sprintf "  \"telemetry\": %s" (String.trim telemetry_json));
+  Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -4,6 +4,7 @@ module Eval = Fhe.Eval
 module Encoder = Fhe.Encoder
 module Context = Fhe.Context
 module Cost = Fhe.Cost
+module Telemetry = Ace_telemetry.Telemetry
 open Ace_ir
 
 type bootstrap_impl = target_level:int -> Ciphertext.ct -> Ciphertext.ct
@@ -49,7 +50,7 @@ type value =
   | V_clear of float array
   | V_none
 
-let run t inputs =
+let run_observed ~observe t inputs =
   let ctx = t.keys.Fhe.Keys.context in
   let f = t.func in
   let inputs = Array.of_list inputs in
@@ -76,6 +77,18 @@ let run t inputs =
     let k = ((k mod len) + len) mod len in
     Array.init len (fun i -> v.((i + k) mod len))
   in
+  (* Per-NN-operator trace grouping: consecutive nodes sharing an origin
+     (one conv, one relu block...) become a single enclosing span, so the
+     Chrome view nests per-FHE-op spans (from [Cost.timed]) under the NN
+     operator that issued them. Pure bookkeeping unless tracing is on. *)
+  let cur_origin = ref "" in
+  let cur_start = ref 0.0 in
+  let flush_origin now =
+    if !cur_origin <> "" then
+      Telemetry.emit_span ~cat:"nn" ~name:("nn." ^ !cur_origin) ~t0:!cur_start
+        ~dur:(now -. !cur_start) ();
+    cur_origin := ""
+  in
   Irfunc.iter f (fun n ->
       let phase =
         match n.Irfunc.op with
@@ -83,6 +96,11 @@ let run t inputs =
         | _ -> phase_of_origin n.Irfunc.origin
       in
       let t0 = Unix.gettimeofday () in
+      if Telemetry.tracing () && n.Irfunc.origin <> !cur_origin then begin
+        flush_origin t0;
+        cur_origin := n.Irfunc.origin;
+        cur_start := t0
+      end;
       let result =
         match n.Irfunc.op with
         | Op.Param i ->
@@ -150,14 +168,22 @@ let run t inputs =
           V_ct (t.bootstrap ~target_level:target (ct 0 n))
         | op -> invalid_arg ("Vm.run: unexpected op " ^ Op.name op)
       in
-      Cost.add_phase_time phase (Unix.gettimeofday () -. t0);
+      let t1 = Unix.gettimeofday () in
+      Cost.add_phase_time phase (t1 -. t0);
+      Telemetry.emit_span ~cat:phase
+        ~args:[ ("origin", n.Irfunc.origin) ]
+        ~name:("vm." ^ Op.name n.Irfunc.op) ~t0 ~dur:(t1 -. t0) ();
       values.(n.Irfunc.id) <- result;
+      (match result with V_ct c -> observe n c | _ -> ());
       Array.iter
         (fun a -> if last_use.(a) = n.Irfunc.id then values.(a) <- V_none)
         n.Irfunc.args);
+  flush_origin (Unix.gettimeofday ());
   List.map
     (fun r ->
       match values.(r) with
       | V_ct c -> c
       | _ -> invalid_arg "Vm.run: non-ciphertext return")
     (Irfunc.returns f)
+
+let run t inputs = run_observed ~observe:(fun _ _ -> ()) t inputs

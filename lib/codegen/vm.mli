@@ -29,6 +29,16 @@ val prepare :
 val run : t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
 (** Execute on encrypted inputs (one per function parameter). *)
 
+val run_observed :
+  observe:(Ace_ir.Irfunc.node -> Ace_fhe.Ciphertext.ct -> unit) ->
+  t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
+(** Like {!run}, but calls [observe node ct] on every node that produces a
+    ciphertext, after the node executes. The hook behind
+    {!Ace_driver.Debug_runner}'s per-layer mode: decrypt intermediates,
+    compare against a cleartext shadow, log actual vs estimated error
+    (paper Section 5 instrumentation). The observer runs on the VM's
+    clock; keep it cheap unless you mean to pay for it. *)
+
 val phase_of_origin : string -> string
 (** Bucket a node origin into the Figure 6 categories: "conv", "relu",
     "bootstrap", "gemm", "pool", "other". *)

@@ -19,3 +19,28 @@ val run :
   Pipeline.compiled -> Ace_fhe.Keys.t -> seed:int -> float array -> report
 
 val pp : Format.formatter -> report -> unit
+
+(** {1 Per-layer mode}
+
+    Decrypt every intermediate ciphertext during an encrypted run and
+    compare it against a cleartext shadow evaluation of the CKKS function,
+    so actual error sits next to the structural noise-budget estimate per
+    node. Expensive (one decrypt + decode per node) — a debugging tool,
+    not a serving path. *)
+
+type layer_record = {
+  lr_id : int;  (** CKKS node id *)
+  lr_op : string;
+  lr_origin : string;  (** source NN operator ("conv:3", ...) *)
+  lr_level : int;
+  lr_scale_bits : float;
+  lr_budget_bits : float;  (** modulus headroom over the scale, from the ct *)
+  lr_actual_err : float;  (** max |decrypt(ct) - shadow|, all slots *)
+}
+
+val run_layers :
+  Pipeline.compiled -> Ace_fhe.Keys.t -> seed:int -> float array -> layer_record list
+(** Records appear in execution order; size-3 (pre-relinearisation)
+    ciphertexts are skipped — the following [C_relin] node is recorded. *)
+
+val pp_layer : Format.formatter -> layer_record -> unit

@@ -105,10 +105,9 @@ let slots_needed nn =
     max (next_pow2 chw_channels * input_block) (next_pow2 flat_len)
   | _ -> max input_block (next_pow2 flat_len)
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+(* Each IR level of the lowering is both timed (Figure 5 rows in
+   [level_seconds]) and recorded as a compile-phase span when tracing. *)
+let timed name f = Ace_telemetry.Telemetry.timed ~cat:"compile" ("compile." ^ name) f
 
 let compile ?context strategy nn_input =
   let slots =
@@ -126,7 +125,7 @@ let compile ?context strategy nn_input =
   let slots = Fhe.Context.slots context in
   (* NN level: import-side cleanups. *)
   let nn, t_nn =
-    timed (fun () ->
+    timed "nn" (fun () ->
         let f = Ace_nn.Fusion.collapse_shape_ops nn_input in
         let f = Ace_nn.Fusion.dce f in
         Verify.verify f;
@@ -134,7 +133,7 @@ let compile ?context strategy nn_input =
   in
   (* VECTOR level. *)
   let (vec, out_layouts, in_layout), t_vec =
-    timed (fun () ->
+    timed "vector" (fun () ->
         let cfg =
           { Lower_nn.slots; conv_regroup = strategy.conv_regroup; gemm_bsgs = strategy.gemm_bsgs }
         in
@@ -143,11 +142,11 @@ let compile ?context strategy nn_input =
   in
   (* SIHE level. *)
   let sihe, t_sihe =
-    timed (fun () -> Lower_vec.lower { Lower_vec.relu_alpha = strategy.relu_alpha } vec)
+    timed "sihe" (fun () -> Lower_vec.lower { Lower_vec.relu_alpha = strategy.relu_alpha } vec)
   in
   (* CKKS level. *)
   let ckks, t_ckks =
-    timed (fun () ->
+    timed "ckks" (fun () ->
         let f =
           Lower_sihe.lower
             {
@@ -166,7 +165,7 @@ let compile ?context strategy nn_input =
     else Keygen_plan.power_of_two ~slots
   in
   let ckks, t_keys =
-    timed (fun () ->
+    timed "keys" (fun () ->
         let f =
           if strategy.pruned_keys then ckks
           else begin
@@ -188,14 +187,14 @@ let compile ?context strategy nn_input =
   in
   (* POLY level. *)
   let (poly, c_source), t_poly =
-    timed (fun () ->
+    timed "poly" (fun () ->
         let p = Ace_poly_ir.Lower_ckks.lower ckks in
         let p = Ace_poly_ir.Loop_fusion.fuse p in
         let p = Ace_poly_ir.Op_fusion.fuse p in
         (p, Ace_codegen.C_backend.emit ckks p))
   in
   (* "Others": weight externalisation (the paper writes them to disk). *)
-  let _, t_other = timed (fun () -> Ace_codegen.C_backend.emit_weights_file ckks) in
+  let _, t_other = timed "other" (fun () -> Ace_codegen.C_backend.emit_weights_file ckks) in
   {
     strategy;
     context;
@@ -267,7 +266,10 @@ let infer_encrypted c keys ~seed image =
    VM, whose peak memory stays at the live-range minimum. *)
 type runtime = { rt_compiled : compiled; rt_keys : Fhe.Keys.t; rt_vm : Ace_codegen.Vm.t }
 
-let make_runtime c keys ~seed =
+let make_runtime ?telemetry c keys ~seed =
+  (match telemetry with
+  | Some cfg -> Ace_telemetry.Telemetry.configure cfg
+  | None -> ());
   let bootstrap ~target_level x = Fhe.Bootstrap.refresh_impl keys ~seed ~target_level x in
   let rt_vm = Ace_codegen.Vm.prepare ~cache_plaintexts:true ~keys ~bootstrap c.ckks in
   { rt_compiled = c; rt_keys = keys; rt_vm }

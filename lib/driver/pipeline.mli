@@ -96,7 +96,11 @@ type runtime
     image. Use for serving loops; the single-shot helpers above rebuild
     the VM each call and keep peak memory minimal. *)
 
-val make_runtime : compiled -> Ace_fhe.Keys.t -> seed:int -> runtime
+val make_runtime :
+  ?telemetry:Ace_telemetry.Telemetry.config -> compiled -> Ace_fhe.Keys.t -> seed:int -> runtime
+(** [?telemetry] applies {!Ace_telemetry.Telemetry.configure} before the
+    VM is prepared — the programmatic equivalent of
+    [ACE_TRACE]/[ACE_METRICS]/[ACE_FLIGHT] for serving loops. *)
 
 val run_encrypted_rt : runtime -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
 

@@ -61,6 +61,25 @@ let of_compiled (c : Pipeline.compiled) =
     runtime_domains = Pipeline.runtime_domains ();
   }
 
+let to_json s =
+  let buf = Buffer.create 512 in
+  let level_list l =
+    String.concat ", "
+      (List.map (fun (lv, n) -> Printf.sprintf "\"%s\": %d" (Level.to_string lv) n) l)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"model\": \"%s\", \"nodes_per_level\": {%s}, \"lines_per_level\": {%s}, \
+        \"poly_stmts\": %d, \"c_lines\": %d, \"const_floats\": %d, \"rotations\": %d, \
+        \"distinct_rotation_steps\": %d, \"bootstraps\": %d, \"ct_mults\": %d, \"pt_mults\": %d, \
+        \"rescales\": %d, \"runtime_domains\": %d}"
+       (String.escaped s.model)
+       (level_list s.nodes_per_level)
+       (level_list s.lines_per_level)
+       s.poly_stmts s.c_lines s.const_floats s.rotations s.distinct_rotation_steps s.bootstraps
+       s.ct_mults s.pt_mults s.rescales s.runtime_domains);
+  Buffer.contents buf
+
 let pp fmt s =
   Format.fprintf fmt "@[<v>model %s@," s.model;
   List.iter

@@ -21,3 +21,7 @@ type t = {
 
 val of_compiled : Pipeline.compiled -> t
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One JSON object (no trailing newline), embedded by [bench --json] so
+    BENCH artifacts are self-describing. *)

@@ -1,3 +1,11 @@
+(* Compatibility facade over Ace_telemetry: the categories below map to
+   telemetry metrics named "fhe.<category>" and phases to
+   "phase.<name>", so counters are per-domain (merged on read) instead
+   of the pre-telemetry racy globals, and every timed evaluator op also
+   shows up as a span when tracing is on. *)
+
+module Telemetry = Ace_telemetry.Telemetry
+
 type category =
   | Add
   | Mult
@@ -27,37 +35,29 @@ let category_name = function
   | Encrypt -> "encrypt"
   | Decrypt -> "decrypt"
 
-let index = function
-  | Add -> 0
-  | Mult -> 1
-  | Mult_plain -> 2
-  | Rotate -> 3
-  | Relinearize -> 4
-  | Rescale -> 5
-  | Bootstrap -> 6
-  | Key_switch -> 7
-  | Encode -> 8
-  | Encrypt -> 9
-  | Decrypt -> 10
+let fhe_metric c = Telemetry.metric ("fhe." ^ category_name c)
 
-let counts = Array.make 11 0
-let times = Array.make 11 0.0
-let phases : (string, float) Hashtbl.t = Hashtbl.create 8
+(* Handles are dense and registration is idempotent; pre-register so the
+   hot path is a plain array lookup. *)
+let metrics = List.map (fun c -> (c, fhe_metric c)) all_categories
+let metric_of c = List.assq c metrics
 
-let reset () =
-  Array.fill counts 0 11 0;
-  Array.fill times 0 11 0.0;
-  Hashtbl.reset phases
+let phase_prefix = "phase."
+let phase_metric name = Telemetry.metric (phase_prefix ^ name)
 
-let count c = counts.(index c) <- counts.(index c) + 1
+let reset () = Telemetry.reset_metrics ()
 
-let now () = Unix.gettimeofday ()
+let count c = Telemetry.incr (metric_of c)
 
 let timed c f =
-  let i = index c in
-  counts.(i) <- counts.(i) + 1;
-  let t0 = now () in
-  let finish () = times.(i) <- times.(i) +. (now () -. t0) in
+  let m = metric_of c in
+  Telemetry.incr m;
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    let dt = Unix.gettimeofday () -. t0 in
+    Telemetry.observe m dt;
+    Telemetry.emit_span ~cat:"fhe" ~name:("fhe." ^ category_name c) ~t0 ~dur:dt ()
+  in
   match f () with
   | v ->
     finish ();
@@ -66,21 +66,26 @@ let timed c f =
     finish ();
     raise e
 
-let get_count c = counts.(index c)
-let get_time c = times.(index c)
+let get_count c = Telemetry.count_of (metric_of c)
+let get_time c = Telemetry.sum_of (metric_of c)
 
-let add_phase_time name dt =
-  let cur = Option.value ~default:0.0 (Hashtbl.find_opt phases name) in
-  Hashtbl.replace phases name (cur +. dt)
+let add_phase_time name dt = Telemetry.observe (phase_metric name) dt
+let phase_time name = Telemetry.sum_of (phase_metric name)
 
-let phase_time name = Option.value ~default:0.0 (Hashtbl.find_opt phases name)
-let phase_names () = Hashtbl.fold (fun k _ acc -> k :: acc) phases [] |> List.sort compare
+let phase_names () =
+  List.filter_map
+    (fun n ->
+      let k = String.length phase_prefix in
+      if String.length n > k && String.sub n 0 k = phase_prefix then
+        Some (String.sub n k (String.length n - k))
+      else None)
+    (Telemetry.metric_names ())
 
 let report () =
   List.filter_map
     (fun c ->
-      let i = index c in
-      if counts.(i) = 0 then None else Some (category_name c, counts.(i), times.(i)))
+      let n = get_count c in
+      if n = 0 then None else Some (category_name c, n, get_time c))
     all_categories
 
 let poly_bytes ~ring_degree ~limbs = ring_degree * limbs * 8

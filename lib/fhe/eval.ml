@@ -4,6 +4,7 @@ module Crt = Ace_rns.Crt
 module Ntt = Ace_rns.Ntt
 module Limb_pool = Ace_rns.Limb_pool
 module Domain_pool = Ace_util.Domain_pool
+module Telemetry = Ace_telemetry.Telemetry
 open Ciphertext
 
 exception Scale_mismatch of string
@@ -18,6 +19,27 @@ let () =
         (Printf.sprintf "Missing_rotation_key(step %d; keys exist for steps [%s])" step
            (String.concat "; " (List.map string_of_int available)))
     | _ -> None)
+
+(* Flight recorder: one record per produced ciphertext with a structural
+   noise-budget estimate — log2 of the remaining modulus product minus the
+   scale bits, i.e. headroom between message magnitude and modulus. It is
+   monotone non-increasing along mul/rescale chains (rescale trades one
+   prime of modulus for the same factor of scale), which is what the
+   flight-recorder tests assert. Disabled: one atomic flag read. *)
+let record_flight op (ct : ct) =
+  if Telemetry.flight_on () then begin
+    let p0 = ct.polys.(0) in
+    let crt = p0.Rns_poly.ctx in
+    let modulus_bits =
+      Array.fold_left
+        (fun acc ci -> acc +. Float.log2 (float_of_int (Crt.modulus crt ci)))
+        0.0 p0.Rns_poly.chain_idx
+    in
+    let scale_bits = Float.log2 ct.ct_scale in
+    Telemetry.flight_record ~op ~level:(level ct) ~limbs:(Rns_poly.num_limbs p0) ~scale_bits
+      ~budget_bits:(modulus_bits -. scale_bits)
+  end;
+  ct
 
 let scale_tolerance = 1e-6
 
@@ -47,7 +69,7 @@ let encrypt_at_level keys ~rng ~level (pt : pt) =
   let c0 = Rns_poly.add_into ~dst:c0 c0 m in
   let c1 = Rns_poly.mul pa u in
   let c1 = Rns_poly.add_into ~dst:c1 c1 e1 in
-  { polys = [| c0; c1 |]; ct_scale = pt.pt_scale }
+  record_flight "encrypt" { polys = [| c0; c1 |]; ct_scale = pt.pt_scale }
 
 let encrypt keys ~rng pt = encrypt_at_level keys ~rng ~level:(Ciphertext.pt_level pt) pt
 
@@ -69,7 +91,7 @@ let add (a : ct) (b : ct) =
   let polys =
     Array.init (size a) (fun i -> Rns_poly.add (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
   in
-  { polys; ct_scale = a.ct_scale }
+  record_flight "add" { polys; ct_scale = a.ct_scale }
 
 let sub (a : ct) (b : ct) =
   Cost.timed Cost.Add @@ fun () ->
@@ -79,7 +101,7 @@ let sub (a : ct) (b : ct) =
   let polys =
     Array.init (size a) (fun i -> Rns_poly.sub (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
   in
-  { polys; ct_scale = a.ct_scale }
+  record_flight "sub" { polys; ct_scale = a.ct_scale }
 
 let neg (a : ct) = { a with polys = Array.map Rns_poly.neg a.polys }
 
@@ -89,7 +111,7 @@ let add_plain (a : ct) (p : pt) =
   check_scales "add_plain" a.ct_scale p.pt_scale;
   let polys = Array.copy a.polys in
   polys.(0) <- Rns_poly.add (Rns_poly.to_ntt polys.(0)) (Rns_poly.to_ntt p.poly);
-  { a with polys }
+  record_flight "add_plain" { a with polys }
 
 let sub_plain (a : ct) (p : pt) =
   Cost.timed Cost.Add @@ fun () ->
@@ -97,7 +119,7 @@ let sub_plain (a : ct) (p : pt) =
   check_scales "sub_plain" a.ct_scale p.pt_scale;
   let polys = Array.copy a.polys in
   polys.(0) <- Rns_poly.sub (Rns_poly.to_ntt polys.(0)) (Rns_poly.to_ntt p.poly);
-  { a with polys }
+  record_flight "sub_plain" { a with polys }
 
 let mul_raw (a : ct) (b : ct) =
   Cost.timed Cost.Mult @@ fun () ->
@@ -109,7 +131,7 @@ let mul_raw (a : ct) (b : ct) =
   let d1 = Rns_poly.mul a0 b1 in
   let d1 = Rns_poly.add_into ~dst:d1 d1 (Rns_poly.mul a1 b0) in
   let d2 = Rns_poly.mul a1 b1 in
-  { polys = [| d0; d1; d2 |]; ct_scale = a.ct_scale *. b.ct_scale }
+  record_flight "mul" { polys = [| d0; d1; d2 |]; ct_scale = a.ct_scale *. b.ct_scale }
 
 (* The extended key-switching basis for a [limbs]-limb ciphertext: the
    prefix primes followed by the special prime. *)
@@ -139,6 +161,9 @@ let mod_down ctx ~limbs acc =
   let sp_row = acc.Rns_poly.data.(limbs) in
   let p_invs = Array.init limbs (fun t -> Crt.inv_mod crt ~num:special_ci ~target:t) in
   Domain_pool.parallel_for limbs (fun t ->
+      (* Recorded on the executing worker's shard, so traces show the
+         limb-parallel fan-out across domains. *)
+      Telemetry.span ~cat:"fhe.worker" "mod_down.limb" @@ fun () ->
       let q_t = Crt.modulus crt t in
       let plan = Crt.plan crt t in
       let p_inv = p_invs.(t) in
@@ -172,6 +197,7 @@ let key_switch ctx (key : Keys.switching_key) d =
   let acc0 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
   let acc1 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
   Domain_pool.parallel_for (limbs + 1) (fun k ->
+      Telemetry.span ~cat:"fhe.worker" "key_switch.basis" @@ fun () ->
       let t_ci = basis.(k) in
       let plan = Crt.plan crt t_ci in
       Limb_pool.with_row n @@ fun digit_row ->
@@ -224,6 +250,7 @@ let hoist ctx d =
   let basis = key_basis ctx ~limbs in
   let ext = Array.init (limbs + 1) (fun _ -> Array.init limbs (fun _ -> Array.make n 0)) in
   Domain_pool.parallel_for (limbs + 1) (fun k ->
+      Telemetry.span ~cat:"fhe.worker" "hoist.basis" @@ fun () ->
       let t_ci = basis.(k) in
       let plan = Crt.plan crt t_ci in
       for i = 0 to limbs - 1 do
@@ -258,6 +285,7 @@ let key_switch_hoisted ctx (key : Keys.switching_key) h ~perm =
   let acc0 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
   let acc1 = Array.init (limbs + 1) (fun _ -> Limb_pool.acquire_zeroed n) in
   Domain_pool.parallel_for (limbs + 1) (fun k ->
+      Telemetry.span ~cat:"fhe.worker" "key_switch_hoisted.basis" @@ fun () ->
       let t_ci = basis.(k) in
       let plan = Crt.plan crt t_ci in
       let rows = h.h_ext.(k) in
@@ -279,7 +307,7 @@ let relinearize keys (ct : ct) =
   let e0 = Rns_poly.ntt_inplace e0 and e1 = Rns_poly.ntt_inplace e1 in
   let c0 = Rns_poly.add_into ~dst:e0 (Rns_poly.to_ntt ct.polys.(0)) e0 in
   let c1 = Rns_poly.add_into ~dst:e1 (Rns_poly.to_ntt ct.polys.(1)) e1 in
-  { polys = [| c0; c1 |]; ct_scale = ct.ct_scale }
+  record_flight "relinearize" { polys = [| c0; c1 |]; ct_scale = ct.ct_scale }
 
 let mul keys a b = relinearize keys (mul_raw a b)
 let square keys a = mul keys a a
@@ -289,7 +317,7 @@ let mul_plain (a : ct) (p : pt) =
   check_levels "mul_plain" (level a) (Ciphertext.pt_level p);
   let pe = Rns_poly.to_ntt p.poly in
   let polys = Array.map (fun c -> Rns_poly.mul (Rns_poly.to_ntt c) pe) a.polys in
-  { polys; ct_scale = a.ct_scale *. p.pt_scale }
+  record_flight "mul_plain" { polys; ct_scale = a.ct_scale *. p.pt_scale }
 
 let rotation_key_exn keys ~step g =
   match Hashtbl.find_opt keys.Keys.galois g with
@@ -316,7 +344,7 @@ let rotate keys (ct : ct) k =
     let e0, e1 = key_switch ctx key r1 in
     let e0 = Rns_poly.ntt_inplace e0 in
     let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
-    { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
+    record_flight "rotate" { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
   end
 
 (* Rotate one ciphertext by every step in [steps], decomposing it once:
@@ -345,7 +373,8 @@ let rotate_batch keys (ct : ct) steps =
           let e0 = Rns_poly.ntt_inplace e0 in
           let r0 = Rns_poly.automorphism ~galois:g c0e in
           let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
-          { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
+          record_flight "rotate"
+            { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
         end)
       steps
   end
@@ -361,7 +390,7 @@ let conjugate keys (ct : ct) =
   let e0, e1 = key_switch ctx key r1 in
   let e0 = Rns_poly.ntt_inplace e0 in
   let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
-  { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
+  record_flight "conjugate" { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
 
 let rescale (ct : ct) =
   Cost.timed Cost.Rescale @@ fun () ->
@@ -377,13 +406,13 @@ let rescale (ct : ct) =
   let polys =
     Array.map (fun p -> Rns_poly.ntt_inplace (Rns_poly.rescale (Rns_poly.to_coeff p))) ct.polys
   in
-  { polys; ct_scale = ct.ct_scale /. float_of_int q_top }
+  record_flight "rescale" { polys; ct_scale = ct.ct_scale /. float_of_int q_top }
 
 let mod_switch (ct : ct) =
   let l = level ct in
   if l < 1 then invalid_arg "Eval.mod_switch: bottom level";
   let polys = Array.map (fun p -> Rns_poly.drop_limbs p ~keep:(Rns_poly.num_limbs p - 1)) ct.polys in
-  { ct with polys }
+  record_flight "mod_switch" { ct with polys }
 
 let rec mod_switch_to (ct : ct) ~level:l =
   if level ct < l then invalid_arg "Eval.mod_switch_to: cannot raise level"

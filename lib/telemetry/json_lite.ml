@@ -1,0 +1,184 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail pos msg = raise (Parse_error (Printf.sprintf "at %d: %s" pos msg))
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | Some c' -> fail st.pos (Printf.sprintf "expected %c, got %c" c c')
+  | None -> fail st.pos (Printf.sprintf "expected %c, got end of input" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st.pos (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if st.pos >= String.length st.s then fail st.pos "unterminated string";
+    let c = st.s.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+      if st.pos >= String.length st.s then fail st.pos "unterminated escape";
+      let e = st.s.[st.pos] in
+      st.pos <- st.pos + 1;
+      match e with
+      | '"' | '\\' | '/' ->
+        Buffer.add_char buf e;
+        loop ()
+      | 'n' ->
+        Buffer.add_char buf '\n';
+        loop ()
+      | 't' ->
+        Buffer.add_char buf '\t';
+        loop ()
+      | 'r' ->
+        Buffer.add_char buf '\r';
+        loop ()
+      | 'b' ->
+        Buffer.add_char buf '\b';
+        loop ()
+      | 'f' ->
+        Buffer.add_char buf '\012';
+        loop ()
+      | 'u' ->
+        if st.pos + 4 > String.length st.s then fail st.pos "truncated \\u escape";
+        let hex = String.sub st.s st.pos 4 in
+        st.pos <- st.pos + 4;
+        let code = try int_of_string ("0x" ^ hex) with _ -> fail st.pos "bad \\u escape" in
+        (* UTF-8 encode the BMP code point; surrogate pairs unsupported
+           (the emitter only escapes control characters). *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        loop ()
+      | c -> fail st.pos (Printf.sprintf "bad escape \\%c" c))
+    | c ->
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < String.length st.s && is_num_char st.s.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let tok = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt tok with
+  | Some f -> f
+  | None -> fail start (Printf.sprintf "bad number %S" tok)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some '{' ->
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      expect st '}';
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          expect st ',';
+          members ((k, v) :: acc)
+        | Some '}' ->
+          expect st '}';
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> fail st.pos "expected , or } in object"
+      in
+      members []
+    end
+  | Some '[' ->
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      expect st ']';
+      Arr []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          expect st ',';
+          elems (v :: acc)
+        | Some ']' ->
+          expect st ']';
+          Arr (List.rev (v :: acc))
+        | _ -> fail st.pos "expected , or ] in array"
+      in
+      elems []
+    end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> Num (parse_number st)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st.pos "trailing garbage";
+  v
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None

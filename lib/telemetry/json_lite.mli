@@ -1,0 +1,23 @@
+(** Minimal JSON reader — just enough for the trace checker and the
+    parse-back tests. No external deps; not a validator of everything
+    (rejects malformed input with {!Parse_error}, accepts standard JSON). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse a complete JSON document; raises {!Parse_error} on trailing
+    garbage or syntax errors. *)
+
+val parse_file : string -> t
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up key [k]; [None] on missing key or
+    non-object. *)

@@ -1,0 +1,497 @@
+(* Per-domain shards keyed by Domain.DLS: every recording path touches only
+   the calling domain's buffers, so pool workers never contend or race
+   (PR 1's global Cost arrays dropped increments under ACE_DOMAINS>1).
+   Readers merge the shard registry, which only ever grows — a domain's
+   data outlives the domain, so resizing the pool loses nothing. *)
+
+let schema_version = 1
+
+let epoch_s = Unix.gettimeofday ()
+let to_rel_us t = (t -. epoch_s) *. 1e6
+
+(* ---------- metric registry (global, mutex; registration is rare) ---------- *)
+
+type metric = int
+
+let registry_m = Mutex.create ()
+let ids_by_name : (string, int) Hashtbl.t = Hashtbl.create 64
+let names_by_id : (int, string) Hashtbl.t = Hashtbl.create 64
+let next_metric = ref 0
+
+let metric name =
+  Mutex.lock registry_m;
+  let id =
+    match Hashtbl.find_opt ids_by_name name with
+    | Some id -> id
+    | None ->
+      let id = !next_metric in
+      next_metric := id + 1;
+      Hashtbl.add ids_by_name name id;
+      Hashtbl.add names_by_id id name;
+      id
+  in
+  Mutex.unlock registry_m;
+  id
+
+let metric_name id =
+  Mutex.lock registry_m;
+  let n = Hashtbl.find names_by_id id in
+  Mutex.unlock registry_m;
+  n
+
+let registered_metrics () =
+  Mutex.lock registry_m;
+  let l = Hashtbl.fold (fun name id acc -> (name, id) :: acc) ids_by_name [] in
+  Mutex.unlock registry_m;
+  List.sort compare l
+
+(* ---------- shards ---------- *)
+
+let reservoir_cap = 512
+let event_cap = 262_144
+let flight_cap = 1_048_576
+
+type histo = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_res : float array;
+  mutable h_seen : int;
+  mutable h_rng : int; (* deterministic per-shard LCG for reservoir sampling *)
+}
+
+type event = {
+  ev_tid : int;
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_args : (string * string) list;
+}
+
+type flight_record = {
+  fl_seq : int;
+  fl_op : string;
+  fl_level : int;
+  fl_limbs : int;
+  fl_scale_bits : float;
+  fl_budget_bits : float;
+}
+
+let dummy_event = { ev_tid = 0; ev_name = ""; ev_cat = ""; ev_ts_us = 0.0; ev_dur_us = 0.0; ev_args = [] }
+
+let dummy_flight =
+  { fl_seq = 0; fl_op = ""; fl_level = 0; fl_limbs = 0; fl_scale_bits = 0.0; fl_budget_bits = 0.0 }
+
+type shard = {
+  sh_id : int;
+  mutable sh_counts : int array; (* indexed by metric id *)
+  mutable sh_histos : histo option array;
+  mutable sh_events : event array; (* filled prefix [0, sh_ev_len) *)
+  mutable sh_ev_len : int;
+  mutable sh_ev_dropped : int;
+  mutable sh_flight : flight_record array;
+  mutable sh_fl_len : int;
+}
+
+let shards_m = Mutex.create ()
+let all_shards : shard list ref = ref []
+let next_shard = ref 0
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.lock shards_m;
+      let id = !next_shard in
+      next_shard := id + 1;
+      let s =
+        {
+          sh_id = id;
+          sh_counts = Array.make 32 0;
+          sh_histos = Array.make 32 None;
+          sh_events = [||];
+          sh_ev_len = 0;
+          sh_ev_dropped = 0;
+          sh_flight = [||];
+          sh_fl_len = 0;
+        }
+      in
+      all_shards := s :: !all_shards;
+      Mutex.unlock shards_m;
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let shards () =
+  Mutex.lock shards_m;
+  let l = !all_shards in
+  Mutex.unlock shards_m;
+  l
+
+let ensure_metric sh id =
+  let n = Array.length sh.sh_counts in
+  if id >= n then begin
+    let n' = max 32 (max (id + 1) (2 * n)) in
+    let c = Array.make n' 0 in
+    Array.blit sh.sh_counts 0 c 0 n;
+    sh.sh_counts <- c;
+    let h = Array.make n' None in
+    Array.blit sh.sh_histos 0 h 0 n;
+    sh.sh_histos <- h
+  end
+
+let histo_for sh id =
+  match sh.sh_histos.(id) with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = infinity;
+        h_max = neg_infinity;
+        h_res = Array.make reservoir_cap 0.0;
+        h_seen = 0;
+        h_rng = ((id * 2654435761) lxor ((sh.sh_id + 1) * 40503)) lor 1;
+      }
+    in
+    sh.sh_histos.(id) <- Some h;
+    h
+
+let incr m =
+  let sh = my_shard () in
+  ensure_metric sh m;
+  sh.sh_counts.(m) <- sh.sh_counts.(m) + 1
+
+let observe m v =
+  let sh = my_shard () in
+  ensure_metric sh m;
+  let h = histo_for sh m in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  (* Vitter's algorithm R with a per-shard deterministic LCG, in the spirit
+     of streaming OnlineStats reducers: O(1) per sample, bounded memory. *)
+  if h.h_seen < reservoir_cap then h.h_res.(h.h_seen) <- v
+  else begin
+    h.h_rng <- ((h.h_rng * 0x5DEECE66D) + 0xB) land max_int;
+    let j = h.h_rng mod (h.h_seen + 1) in
+    if j < reservoir_cap then h.h_res.(j) <- v
+  end;
+  h.h_seen <- h.h_seen + 1
+
+let count_of m =
+  List.fold_left
+    (fun acc sh -> if m < Array.length sh.sh_counts then acc + sh.sh_counts.(m) else acc)
+    0 (shards ())
+
+let fold_histos m ~init ~f =
+  List.fold_left
+    (fun acc sh ->
+      if m < Array.length sh.sh_histos then
+        match sh.sh_histos.(m) with Some h -> f acc h | None -> acc
+      else acc)
+    init (shards ())
+
+let sum_of m = fold_histos m ~init:0.0 ~f:(fun acc h -> acc +. h.h_sum)
+
+let metric_names () =
+  List.filter_map
+    (fun (name, id) ->
+      let active = count_of id > 0 || fold_histos id ~init:0 ~f:(fun a h -> a + h.h_count) > 0 in
+      if active then Some name else None)
+    (registered_metrics ())
+
+(* ---------- flags / configuration ---------- *)
+
+let tracing_flag = Atomic.make false
+let flight_flag = Atomic.make false
+let metrics_dump_flag = Atomic.make false
+let trace_path : string option ref = ref None (* written rarely, main domain *)
+
+let tracing () = Atomic.get tracing_flag
+let set_tracing b = Atomic.set tracing_flag b
+let flight_on () = Atomic.get flight_flag
+let set_flight b = Atomic.set flight_flag b
+
+type config = { cfg_trace : string option; cfg_metrics_dump : bool; cfg_flight : bool }
+
+let configure cfg =
+  trace_path := cfg.cfg_trace;
+  Atomic.set tracing_flag (cfg.cfg_trace <> None);
+  Atomic.set metrics_dump_flag cfg.cfg_metrics_dump;
+  Atomic.set flight_flag cfg.cfg_flight
+
+let current_config () =
+  { cfg_trace = !trace_path; cfg_metrics_dump = Atomic.get metrics_dump_flag;
+    cfg_flight = Atomic.get flight_flag }
+
+(* ---------- spans ---------- *)
+
+let push_event sh ev =
+  if sh.sh_ev_len >= event_cap then sh.sh_ev_dropped <- sh.sh_ev_dropped + 1
+  else begin
+    if sh.sh_ev_len >= Array.length sh.sh_events then begin
+      let n' = max 1024 (min event_cap (2 * max 1 (Array.length sh.sh_events))) in
+      let a = Array.make n' dummy_event in
+      Array.blit sh.sh_events 0 a 0 sh.sh_ev_len;
+      sh.sh_events <- a
+    end;
+    sh.sh_events.(sh.sh_ev_len) <- ev;
+    sh.sh_ev_len <- sh.sh_ev_len + 1
+  end
+
+let emit_span ?(cat = "") ?(args = []) ~name ~t0 ~dur () =
+  if Atomic.get tracing_flag then begin
+    let sh = my_shard () in
+    push_event sh
+      {
+        ev_tid = sh.sh_id;
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts_us = to_rel_us t0;
+        ev_dur_us = dur *. 1e6;
+        ev_args = args;
+      }
+  end
+
+let span ?cat ?args name f =
+  if not (Atomic.get tracing_flag) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finish () = emit_span ?cat ?args ~name ~t0 ~dur:(Unix.gettimeofday () -. t0) () in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let timed ?cat ?args name f =
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    let dt = Unix.gettimeofday () -. t0 in
+    emit_span ?cat ?args ~name ~t0 ~dur:dt ();
+    dt
+  in
+  match f () with
+  | v -> (v, finish ())
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+let events () =
+  let evs =
+    List.concat_map (fun sh -> Array.to_list (Array.sub sh.sh_events 0 sh.sh_ev_len)) (shards ())
+  in
+  (* At equal start timestamps (sub-µs spans), the longer span is the
+     enclosing one — ordering it first preserves nesting. *)
+  List.sort
+    (fun a b ->
+      match compare a.ev_ts_us b.ev_ts_us with
+      | 0 -> compare b.ev_dur_us a.ev_dur_us
+      | c -> c)
+    evs
+
+let dropped_events () = List.fold_left (fun acc sh -> acc + sh.sh_ev_dropped) 0 (shards ())
+
+(* ---------- flight recorder ---------- *)
+
+let flight_seq = Atomic.make 0
+
+let push_flight sh fr =
+  if sh.sh_fl_len < flight_cap then begin
+    if sh.sh_fl_len >= Array.length sh.sh_flight then begin
+      let n' = max 1024 (min flight_cap (2 * max 1 (Array.length sh.sh_flight))) in
+      let a = Array.make n' dummy_flight in
+      Array.blit sh.sh_flight 0 a 0 sh.sh_fl_len;
+      sh.sh_flight <- a
+    end;
+    sh.sh_flight.(sh.sh_fl_len) <- fr;
+    sh.sh_fl_len <- sh.sh_fl_len + 1
+  end
+
+let flight_record ~op ~level ~limbs ~scale_bits ~budget_bits =
+  if Atomic.get flight_flag then begin
+    let seq = Atomic.fetch_and_add flight_seq 1 in
+    push_flight (my_shard ())
+      { fl_seq = seq; fl_op = op; fl_level = level; fl_limbs = limbs;
+        fl_scale_bits = scale_bits; fl_budget_bits = budget_bits }
+  end
+
+let flight_records () =
+  let recs =
+    List.concat_map (fun sh -> Array.to_list (Array.sub sh.sh_flight 0 sh.sh_fl_len)) (shards ())
+  in
+  List.sort (fun a b -> compare a.fl_seq b.fl_seq) recs
+
+(* ---------- snapshot ---------- *)
+
+type metric_stats = {
+  st_name : string;
+  st_count : int;
+  st_total : float;
+  st_min : float;
+  st_max : float;
+  st_p50 : float;
+  st_p99 : float;
+}
+
+type snapshot = { snap_domains : int; snap_metrics : metric_stats list; snap_dropped : int }
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let stats_of (name, id) =
+  let count = count_of id in
+  let samples =
+    fold_histos id ~init:[] ~f:(fun acc h ->
+        Array.to_list (Array.sub h.h_res 0 (min h.h_seen reservoir_cap)) @ acc)
+  in
+  let hcount = fold_histos id ~init:0 ~f:(fun a h -> a + h.h_count) in
+  if count = 0 && hcount = 0 then None
+  else begin
+    let sorted = Array.of_list samples in
+    Array.sort compare sorted;
+    Some
+      {
+        st_name = name;
+        st_count = max count hcount;
+        st_total = sum_of id;
+        st_min = (if hcount = 0 then 0.0 else fold_histos id ~init:infinity ~f:(fun a h -> min a h.h_min));
+        st_max = (if hcount = 0 then 0.0 else fold_histos id ~init:neg_infinity ~f:(fun a h -> max a h.h_max));
+        st_p50 = quantile sorted 0.5;
+        st_p99 = quantile sorted 0.99;
+      }
+  end
+
+let snapshot () =
+  {
+    snap_domains = List.length (shards ());
+    snap_metrics = List.filter_map stats_of (registered_metrics ());
+    snap_dropped = dropped_events ();
+  }
+
+let find_stats snap name = List.find_opt (fun s -> s.st_name = name) snap.snap_metrics
+
+(* ---------- JSON emission ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num v =
+  (* JSON has no infinities; clamp sentinel min/max of empty histograms. *)
+  if Float.is_nan v || v = infinity || v = neg_infinity then "0" else Printf.sprintf "%.6g" v
+
+let to_json () =
+  let snap = snapshot () in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"schema_version\": %d,\n" schema_version);
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" snap.snap_domains);
+  Buffer.add_string buf (Printf.sprintf "  \"dropped_events\": %d,\n" snap.snap_dropped);
+  Buffer.add_string buf "  \"metrics\": {";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      if s.st_total = 0.0 && s.st_min = 0.0 && s.st_max = 0.0 && s.st_p50 = 0.0 then
+        Buffer.add_string buf
+          (Printf.sprintf "\n    \"%s\": {\"count\": %d}" (json_escape s.st_name) s.st_count)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n    \"%s\": {\"count\": %d, \"total_s\": %s, \"min_s\": %s, \"max_s\": %s, \
+              \"p50_s\": %s, \"p99_s\": %s}"
+             (json_escape s.st_name) s.st_count (json_num s.st_total) (json_num s.st_min)
+             (json_num s.st_max) (json_num s.st_p50) (json_num s.st_p99)))
+    snap.snap_metrics;
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf
+
+let trace_json () =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"schemaVersion\": ";
+  Buffer.add_string buf (string_of_int schema_version);
+  Buffer.add_string buf ", \"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d"
+           (json_escape ev.ev_name)
+           (json_escape (if ev.ev_cat = "" then "default" else ev.ev_cat))
+           ev.ev_ts_us ev.ev_dur_us ev.ev_tid);
+      if ev.ev_args <> [] then begin
+        Buffer.add_string buf ", \"args\": {";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)))
+          ev.ev_args;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '}')
+    (events ());
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_trace path =
+  let oc = open_out path in
+  output_string oc (trace_json ());
+  close_out oc
+
+(* ---------- reset ---------- *)
+
+let reset_metrics () =
+  List.iter
+    (fun sh ->
+      Array.fill sh.sh_counts 0 (Array.length sh.sh_counts) 0;
+      Array.fill sh.sh_histos 0 (Array.length sh.sh_histos) None)
+    (shards ())
+
+let reset_trace () =
+  List.iter
+    (fun sh ->
+      sh.sh_ev_len <- 0;
+      sh.sh_ev_dropped <- 0)
+    (shards ())
+
+let reset_flight () =
+  List.iter (fun sh -> sh.sh_fl_len <- 0) (shards ());
+  Atomic.set flight_seq 0
+
+let reset_all () =
+  reset_metrics ();
+  reset_trace ();
+  reset_flight ()
+
+(* ---------- environment bootstrap ---------- *)
+
+let () =
+  let truthy = function Some ("1" | "true" | "yes" | "on") -> true | _ -> false in
+  let trace = Sys.getenv_opt "ACE_TRACE" in
+  let metrics = truthy (Sys.getenv_opt "ACE_METRICS") in
+  let flight = truthy (Sys.getenv_opt "ACE_FLIGHT") in
+  if trace <> None || metrics || flight then
+    configure { cfg_trace = trace; cfg_metrics_dump = metrics; cfg_flight = flight };
+  at_exit (fun () ->
+      (match !trace_path with
+      | Some p -> ( try write_trace p with _ -> ())
+      | None -> ());
+      if Atomic.get metrics_dump_flag then prerr_string (to_json ()))

@@ -1,0 +1,173 @@
+(** Structured observability for the runtime and the compiler (paper
+    Section 5 instrumentation; Tables 8-9 / Figures 5-7 attribution).
+
+    Three facilities share one set of per-domain buffers:
+
+    - {b Metrics}: named counters and streaming histograms
+      (count/sum/min/max plus reservoir-sampled p50/p99). Every update
+      writes only to the calling domain's shard — no locks, no racing
+      increments under [ACE_DOMAINS > 1] — and reads merge all shards, so
+      totals are exact whatever the pool width. Always on; an update is a
+      domain-local array write.
+    - {b Spans}: nestable wall-clock intervals with a name, a category and
+      string attributes, recorded per domain and emitted as Chrome
+      [trace_event] JSON ([chrome://tracing] / Perfetto). Off by default:
+      a disabled span costs one atomic flag read. Enabled by
+      [ACE_TRACE=out.json] (written at exit) or {!configure}.
+    - {b Flight recorder}: one record per evaluator operation describing
+      the result ciphertext — op, level, limbs, scale bits and a
+      structural noise-budget estimate (modulus headroom over the scale).
+      Off by default; enabled by [ACE_FLIGHT=1] or {!configure}.
+
+    [ACE_METRICS=1] additionally dumps the {!to_json} snapshot to stderr
+    at exit. Shards are keyed by [Domain.DLS], so any domain — pool
+    workers included — records into its own buffer; {!snapshot},
+    {!events} and {!flight_records} merge them. *)
+
+val schema_version : int
+(** Version stamp of {!to_json} and of the trace file; bumped on layout
+    changes so downstream artifacts (BENCH_pr*.json) are diffable. *)
+
+(** {1 Metrics} *)
+
+type metric
+(** Dense handle for a named counter + histogram; register once, update
+    cheaply. Registering the same name twice returns the same handle. *)
+
+val metric : string -> metric
+val metric_name : metric -> string
+
+val incr : metric -> unit
+(** Add one to the metric's counter (domain-local). *)
+
+val observe : metric -> float -> unit
+(** Feed one sample (seconds, bytes, ...) into the metric's histogram:
+    count, sum, min/max and the quantile reservoir. *)
+
+val count_of : metric -> int
+(** Merged {!incr} total across all domains. *)
+
+val sum_of : metric -> float
+(** Merged {!observe} sum across all domains. *)
+
+val metric_names : unit -> string list
+(** Names with at least one recorded increment or sample, sorted. *)
+
+(** {1 Spans / tracing} *)
+
+val tracing : unit -> bool
+val set_tracing : bool -> unit
+
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], recording a complete-event span around it when
+    tracing is on (one flag read and no allocation when off). Spans nest by
+    wall-clock containment per domain, which is exactly how the Chrome
+    viewer stacks them. Exceptions still close the span. *)
+
+val timed : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a * float
+(** Like {!span} but always measures, returning [(value, seconds)] —
+    the compile-pipeline per-IR-level timer. *)
+
+val emit_span :
+  ?cat:string -> ?args:(string * string) list -> name:string -> t0:float -> dur:float -> unit -> unit
+(** Record an already-measured interval ([t0] absolute
+    [Unix.gettimeofday] seconds, [dur] seconds). No-op when tracing is
+    off. For callers that manage their own clocks (the VM's per-operator
+    grouping). *)
+
+type event = {
+  ev_tid : int;  (** recording domain's shard id (trace "thread") *)
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;  (** microseconds since process start *)
+  ev_dur_us : float;
+  ev_args : (string * string) list;
+}
+
+val events : unit -> event list
+(** All recorded spans, merged across domains, sorted by start time. *)
+
+val dropped_events : unit -> int
+(** Spans discarded because a shard's buffer hit its cap. *)
+
+val trace_json : unit -> string
+(** The merged spans as a Chrome [trace_event] JSON document. *)
+
+val write_trace : string -> unit
+
+(** {1 Ciphertext flight recorder} *)
+
+type flight_record = {
+  fl_seq : int;  (** global order of recording *)
+  fl_op : string;
+  fl_level : int;
+  fl_limbs : int;
+  fl_scale_bits : float;  (** log2 of the result's scale *)
+  fl_budget_bits : float;
+      (** structural noise-budget estimate: log2(prod q_i, i <= level)
+          minus scale bits — the headroom between the message magnitude
+          and the modulus. Monotone non-increasing along mul/rescale
+          chains (rescale trades modulus for scale one-for-one), restored
+          only by bootstrapping. *)
+}
+
+val flight_on : unit -> bool
+val set_flight : bool -> unit
+
+val flight_record :
+  op:string -> level:int -> limbs:int -> scale_bits:float -> budget_bits:float -> unit
+
+val flight_records : unit -> flight_record list
+(** Merged across domains, sorted by [fl_seq]. *)
+
+(** {1 Snapshot} *)
+
+type metric_stats = {
+  st_name : string;
+  st_count : int;
+  st_total : float;
+  st_min : float;
+  st_max : float;
+  st_p50 : float;
+  st_p99 : float;
+}
+
+type snapshot = {
+  snap_domains : int;  (** shards merged (domains that ever recorded) *)
+  snap_metrics : metric_stats list;
+  snap_dropped : int;
+}
+
+val snapshot : unit -> snapshot
+val find_stats : snapshot -> string -> metric_stats option
+
+val to_json : unit -> string
+(** Snapshot as a JSON document with [schema_version], suitable for
+    embedding in bench artifacts (per-category count/total/p50/p99, the
+    paper's Table 8-style per-op breakdown). *)
+
+(** {1 Configuration} *)
+
+type config = {
+  cfg_trace : string option;  (** Chrome trace output path; [None] = off *)
+  cfg_metrics_dump : bool;  (** dump {!to_json} to stderr at exit *)
+  cfg_flight : bool;
+}
+
+val configure : config -> unit
+(** Programmatic equivalent of [ACE_TRACE] / [ACE_METRICS] / [ACE_FLIGHT]
+    (the environment is read once at startup; [configure] overrides it).
+    The trace file is written by an [at_exit] hook and by
+    {!write_trace}. *)
+
+val current_config : unit -> config
+
+(** {1 Reset} *)
+
+val reset_metrics : unit -> unit
+(** Zero every counter and histogram in every shard (between bench runs).
+    Callers must not race this against in-flight parallel work. *)
+
+val reset_trace : unit -> unit
+val reset_flight : unit -> unit
+val reset_all : unit -> unit

@@ -1,0 +1,307 @@
+(* Observability layer: span recording and Chrome-JSON emission, the
+   domain-safe metric merge that fixed Cost's racy counters, histogram
+   quantiles, the ciphertext flight recorder, and the contract that
+   turning tracing on cannot change what the runtime computes. *)
+module Telemetry = Ace_telemetry.Telemetry
+module Json = Ace_telemetry.Json_lite
+module Domain_pool = Ace_util.Domain_pool
+module Pipeline = Ace_driver.Pipeline
+module Param_select = Ace_ckks_ir.Param_select
+module Fhe = Ace_fhe
+module Rns_poly = Ace_rns.Rns_poly
+module Import = Ace_nn.Import
+module Builder = Ace_onnx.Builder
+module Rng = Ace_util.Rng
+
+let with_domains n f =
+  Domain_pool.set_num_domains n;
+  Fun.protect ~finally:(fun () -> Domain_pool.set_num_domains 1) f
+
+let with_tracing f =
+  Telemetry.reset_trace ();
+  Telemetry.set_tracing true;
+  Fun.protect ~finally:(fun () -> Telemetry.set_tracing false) f
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  let v =
+    Telemetry.span ~cat:"outer" "a" (fun () ->
+        Telemetry.span ~cat:"inner" "b" (fun () -> ());
+        Telemetry.span ~cat:"inner" "c" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "span returns value" 42 v;
+  (match Telemetry.events () with
+  | [ a; b; c ] ->
+    (* sorted by start time: the parent opens before its children *)
+    Alcotest.(check string) "parent first" "a" a.Telemetry.ev_name;
+    Alcotest.(check string) "first child" "b" b.Telemetry.ev_name;
+    Alcotest.(check string) "second child" "c" c.Telemetry.ev_name;
+    let contains outer inner =
+      outer.Telemetry.ev_ts_us <= inner.Telemetry.ev_ts_us
+      && inner.Telemetry.ev_ts_us +. inner.Telemetry.ev_dur_us
+         <= outer.Telemetry.ev_ts_us +. outer.Telemetry.ev_dur_us +. 1e-3
+    in
+    Alcotest.(check bool) "a contains b" true (contains a b);
+    Alcotest.(check bool) "a contains c" true (contains a c);
+    Alcotest.(check bool) "b before c" true (b.Telemetry.ev_ts_us <= c.Telemetry.ev_ts_us)
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs));
+  Telemetry.reset_trace ()
+
+let test_span_closes_on_exception () =
+  with_tracing @@ fun () ->
+  (try Telemetry.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1 (List.length (Telemetry.events ()));
+  Telemetry.reset_trace ()
+
+let test_disabled_records_nothing () =
+  Telemetry.reset_trace ();
+  Telemetry.set_tracing false;
+  Telemetry.span "ghost" (fun () -> ());
+  Telemetry.emit_span ~name:"ghost2" ~t0:(Unix.gettimeofday ()) ~dur:0.001 ();
+  Alcotest.(check int) "no events while disabled" 0 (List.length (Telemetry.events ()))
+
+(* ---- Chrome trace JSON: parse it back ---- *)
+
+let test_trace_json_well_formed () =
+  with_tracing @@ fun () ->
+  Telemetry.span ~cat:"fhe" ~args:[ ("k", "v\"quoted\"") ] "x" (fun () ->
+      Telemetry.span "y" (fun () -> ()));
+  let doc = Json.parse (Telemetry.trace_json ()) in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  List.iter
+    (fun ev ->
+      (match Json.member "ph" ev with
+      | Some (Json.Str "X") -> ()
+      | _ -> Alcotest.fail "ph must be X");
+      (match Json.member "name" ev with
+      | Some (Json.Str _) -> ()
+      | _ -> Alcotest.fail "name must be a string");
+      match (Json.member "ts" ev, Json.member "dur" ev, Json.member "tid" ev) with
+      | Some (Json.Num _), Some (Json.Num _), Some (Json.Num _) -> ()
+      | _ -> Alcotest.fail "ts/dur/tid must be numbers")
+    events;
+  (* the escaped attribute round-trips *)
+  let has_arg =
+    List.exists
+      (fun ev ->
+        match Json.member "args" ev with
+        | Some args -> Json.member "k" args = Some (Json.Str "v\"quoted\"")
+        | None -> false)
+      events
+  in
+  Alcotest.(check bool) "args round-trip through escaping" true has_arg;
+  Telemetry.reset_trace ()
+
+(* ---- domain-safe counter merge ---- *)
+
+let counted_work domains =
+  with_domains domains @@ fun () ->
+  Telemetry.reset_metrics ();
+  let m = Telemetry.metric "test.merge" in
+  Domain_pool.parallel_for 1000 (fun _ ->
+      Telemetry.incr m;
+      Telemetry.observe m 1.0);
+  (Telemetry.count_of m, Telemetry.sum_of m)
+
+let test_counter_merge_across_domains () =
+  let c1, s1 = counted_work 1 in
+  let c4, s4 = counted_work 4 in
+  Alcotest.(check int) "count at 1 domain" 1000 c1;
+  Alcotest.(check int) "count identical at 4 domains" c1 c4;
+  (* integer-valued samples: the merged sum is exact in both layouts *)
+  Alcotest.(check (float 0.0)) "sum bit-identical" s1 s4
+
+let test_cost_facade_merge () =
+  with_domains 4 @@ fun () ->
+  Telemetry.reset_metrics ();
+  Domain_pool.parallel_for 500 (fun _ -> Ace_fhe.Cost.count Ace_fhe.Cost.Rotate);
+  Alcotest.(check int) "Cost counters survive multicore" 500
+    (Ace_fhe.Cost.get_count Ace_fhe.Cost.Rotate);
+  Ace_fhe.Cost.add_phase_time "conv" 0.25;
+  Ace_fhe.Cost.add_phase_time "conv" 0.25;
+  Alcotest.(check (float 1e-12)) "phase accumulation" 0.5 (Ace_fhe.Cost.phase_time "conv");
+  Alcotest.(check bool) "phase_names lists conv" true
+    (List.mem "conv" (Ace_fhe.Cost.phase_names ()));
+  Telemetry.reset_metrics ()
+
+(* ---- histogram quantiles ---- *)
+
+let test_histogram_quantiles () =
+  Telemetry.reset_metrics ();
+  let m = Telemetry.metric "test.histo" in
+  for i = 1 to 1000 do
+    Telemetry.observe m (float_of_int i)
+  done;
+  let snap = Telemetry.snapshot () in
+  let st =
+    match Telemetry.find_stats snap "test.histo" with
+    | Some s -> s
+    | None -> Alcotest.fail "metric missing from snapshot"
+  in
+  Alcotest.(check int) "count" 1000 st.Telemetry.st_count;
+  Alcotest.(check (float 0.0)) "sum" 500500.0 st.Telemetry.st_total;
+  Alcotest.(check (float 0.0)) "min" 1.0 st.Telemetry.st_min;
+  Alcotest.(check (float 0.0)) "max" 1000.0 st.Telemetry.st_max;
+  (* reservoir of 512 over a uniform stream: generous sanity bands *)
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 = %.0f in [350, 650]" st.Telemetry.st_p50)
+    true
+    (st.Telemetry.st_p50 >= 350.0 && st.Telemetry.st_p50 <= 650.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 = %.0f in [900, 1000]" st.Telemetry.st_p99)
+    true
+    (st.Telemetry.st_p99 >= 900.0 && st.Telemetry.st_p99 <= 1000.0);
+  Alcotest.(check bool) "p50 <= p99" true (st.Telemetry.st_p50 <= st.Telemetry.st_p99);
+  (* to_json parses back and carries the stats *)
+  let doc = Json.parse (Telemetry.to_json ()) in
+  (match Json.member "metrics" doc with
+  | Some metrics -> (
+    match Json.member "test.histo" metrics with
+    | Some entry ->
+      Alcotest.(check bool) "json count" true (Json.member "count" entry = Some (Json.Num 1000.0))
+    | None -> Alcotest.fail "test.histo missing from to_json")
+  | None -> Alcotest.fail "no metrics object in to_json");
+  Telemetry.reset_metrics ()
+
+(* ---- tracing on/off cannot change results ---- *)
+
+let gemv () =
+  let b = Builder.create "gemv" in
+  Builder.input b "x" [| 16 |];
+  Builder.init_normal b "w" [| 4; 16 |] ~seed:3 ~std:0.2;
+  Builder.init_normal b "bias" [| 4 |] ~seed:4 ~std:0.05;
+  Builder.node b ~op:"Gemm" ~inputs:[ "x"; "w"; "bias" ] "y";
+  Builder.output b "y" [| 4 |];
+  Builder.finish b
+
+let run_inference () =
+  let c = Pipeline.compile Pipeline.ace (Import.import (gemv ())) in
+  let keys = Pipeline.make_keys c ~seed:5 in
+  let rng = Rng.create 6 in
+  let x = Array.init 16 (fun _ -> Rng.float rng 1.0 -. 0.5) in
+  let ct = Pipeline.encrypt_input c keys ~seed:7 x in
+  Pipeline.run_encrypted c keys ~seed:8 ct
+
+let test_tracing_identical_ciphertexts () =
+  let plain = run_inference () in
+  let traced =
+    with_tracing @@ fun () ->
+    Telemetry.set_flight true;
+    Fun.protect ~finally:(fun () -> Telemetry.set_flight false) run_inference
+  in
+  Alcotest.(check int) "size" (Fhe.Ciphertext.size plain) (Fhe.Ciphertext.size traced);
+  Alcotest.(check (float 0.0))
+    "scale" plain.Fhe.Ciphertext.ct_scale traced.Fhe.Ciphertext.ct_scale;
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "poly %d bit-identical" i)
+        true
+        (Rns_poly.equal p traced.Fhe.Ciphertext.polys.(i)))
+    plain.Fhe.Ciphertext.polys;
+  Alcotest.(check bool) "traced run recorded spans" true (Telemetry.events () <> []);
+  Telemetry.reset_trace ();
+  Telemetry.reset_flight ()
+
+(* ---- flight recorder: depth-10 tower ---- *)
+
+let test_flight_recorder_tower () =
+  let depth = 10 in
+  let ctx = Param_select.execution_context ~depth ~slots:64 () in
+  let keys = Fhe.Keys.generate ctx ~rng:(Rng.create 9) ~rotations:[] in
+  let scale = Fhe.Context.scale ctx in
+  let msg = Array.init (Fhe.Context.slots ctx) (fun i -> 0.5 +. (0.001 *. float_of_int i)) in
+  Telemetry.reset_flight ();
+  Telemetry.set_flight true;
+  Fun.protect ~finally:(fun () -> Telemetry.set_flight false) @@ fun () ->
+  let pt = Fhe.Encoder.encode ctx ~level:depth ~scale msg in
+  let ct = ref (Fhe.Eval.encrypt keys ~rng:(Rng.create 10) pt) in
+  for _ = 1 to depth do
+    let l = Fhe.Ciphertext.level !ct in
+    let ones = Array.make (Fhe.Context.slots ctx) 1.0 in
+    let mask = Fhe.Encoder.encode ctx ~level:l ~scale ones in
+    ct := Fhe.Eval.rescale (Fhe.Eval.mul_plain !ct mask)
+  done;
+  let records = Telemetry.flight_records () in
+  (* encrypt + 10 * (mul_plain + rescale) *)
+  Alcotest.(check int) "record count" (1 + (2 * depth)) (List.length records);
+  (* the whole run is one op chain on a single ciphertext: the budget
+     estimate must never increase (rescale trades modulus for scale
+     exactly; mul_plain consumes scale bits) *)
+  let rec check_monotone = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "budget %s(%.1f) >= %s(%.1f)" a.Telemetry.fl_op a.Telemetry.fl_budget_bits
+           b.Telemetry.fl_op b.Telemetry.fl_budget_bits)
+        true
+        (b.Telemetry.fl_budget_bits <= a.Telemetry.fl_budget_bits +. 1e-6);
+      check_monotone rest
+    | _ -> ()
+  in
+  check_monotone records;
+  (* levels fall from depth to 0; limbs = level + 1 throughout *)
+  let first = List.hd records and last = List.nth records (List.length records - 1) in
+  Alcotest.(check int) "starts at the top level" depth first.Telemetry.fl_level;
+  Alcotest.(check int) "ends at level 0" 0 last.Telemetry.fl_level;
+  List.iter
+    (fun r -> Alcotest.(check int) "limbs = level + 1" (r.Telemetry.fl_level + 1) r.Telemetry.fl_limbs)
+    records;
+  (* after each rescale the scale returns to ~ the context scale (primes
+     are only approximately 2^scale_bits, so allow a small drift) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "final scale %.3f bits vs context %.3f" last.Telemetry.fl_scale_bits
+       (Float.log2 scale))
+    true
+    (abs_float (last.Telemetry.fl_scale_bits -. Float.log2 scale) < 1.0);
+  Telemetry.reset_flight ()
+
+(* ---- per-layer debug runner ---- *)
+
+let test_debug_runner_layers () =
+  let c = Pipeline.compile Pipeline.ace (Import.import (gemv ())) in
+  let keys = Pipeline.make_keys c ~seed:5 in
+  let rng = Rng.create 6 in
+  let x = Array.init 16 (fun _ -> Rng.float rng 1.0 -. 0.5) in
+  let records = Ace_driver.Debug_runner.run_layers c keys ~seed:7 x in
+  Alcotest.(check bool) "records produced" true (records <> []);
+  List.iter
+    (fun r ->
+      let open Ace_driver.Debug_runner in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %%%d (%s) error %.3e small" r.lr_id r.lr_op r.lr_actual_err)
+        true (r.lr_actual_err < 1e-2);
+      Alcotest.(check bool) "positive budget" true (r.lr_budget_bits > 0.0))
+    records
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "closes on exception" `Quick test_span_closes_on_exception;
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+          Alcotest.test_case "chrome JSON parses back" `Quick test_trace_json_well_formed;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "merge 1 vs 4 domains" `Quick test_counter_merge_across_domains;
+          Alcotest.test_case "cost facade multicore" `Quick test_cost_facade_merge;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "tracing on/off bit-identical" `Quick
+            test_tracing_identical_ciphertexts;
+          Alcotest.test_case "per-layer debug runner" `Quick test_debug_runner_layers;
+        ] );
+      ( "flight",
+        [ Alcotest.test_case "depth-10 tower monotone budget" `Quick test_flight_recorder_tower ] );
+    ]

@@ -14,4 +14,19 @@ ACE_DOMAINS=1 dune runtest --force
 echo "== tests, ACE_DOMAINS=4 =="
 ACE_DOMAINS=4 dune runtest --force
 
+# Traced smoke: a small end-to-end encrypted inference with ACE_TRACE set
+# must produce a Chrome-loadable trace, at both pool widths.  With 4
+# domains the worker spans land on distinct shards, so the checker can
+# insist on >= 2 trace tids.
+for d in 1 4; do
+  echo "== traced smoke, ACE_DOMAINS=$d =="
+  trace="/tmp/ace_trace_$d.json"
+  rm -f "$trace"
+  ACE_DOMAINS=$d ACE_TRACE="$trace" dune exec examples/quickstart.exe >/dev/null
+  min_tids=1
+  [ "$d" -ge 2 ] && min_tids=2
+  dune exec tools/check_trace.exe -- "$trace" --min-tids "$min_tids" \
+    --require fhe.rotate --require key_switch.basis --require compile.ckks
+done
+
 echo "CI OK"
