@@ -392,7 +392,7 @@ let micro () =
           (Staged.stage (fun () -> ignore (Ace_fhe.Eval.rescale (Ace_fhe.Eval.mul_plain ct pt))));
         Test.make ~name:"fig6.bootstrap-refresh"
           (Staged.stage (fun () ->
-               ignore (Ace_fhe.Bootstrap.refresh_impl keys ~seed:3 ~target_level:4 ct)));
+               ignore (Ace_fhe.Bootstrap.refresh_impl keys ~seed:3 ~ordinal:0 ~target_level:4 ct)));
         Test.make ~name:"table11.encode-decode"
           (Staged.stage (fun () -> ignore (Ace_fhe.Encoder.decode ctx pt)));
       ]
@@ -411,19 +411,19 @@ let micro () =
       | _ -> Printf.printf "%-30s (no estimate)\n" name)
     results
 
-(* ---------- --json: machine-readable artifact (BENCH_pr3.json) ---------- *)
+(* ---------- --json: machine-readable artifact (BENCH_pr4.json) ---------- *)
 
 (* One JSON blob per run so CI and the growth driver can diff numbers across
    PRs without scraping the human tables: per-model compile time, per-image
    inference time, the domain-pool width, NTT/keyswitch ns/op, the hoisted
-   vs sequential rotation-batch comparison, a sequential-vs-parallel scaling
-   pair on the same workload, and — new in pr3 — a schema_version stamp plus
-   the telemetry snapshot (per-op-category count/total/p50/p99, Table 8
-   style) and the compile-time Stats record, so the artifact is
-   self-describing. *)
-let json_schema_version = 3
+   vs sequential rotation-batch comparison, and — new in pr4 — the
+   scheduler sweep: resnet20 inference at 1/2/4/8 domains under both the
+   sequential and the wavefront executor, with per-domain busy-time
+   utilization derived from the per-node telemetry spans, plus host_cores
+   so scaling numbers are read against the hardware that produced them. *)
+let json_schema_version = 4
 
-let json_bench ?(path = "BENCH_pr3.json") () =
+let json_bench ?(path = "BENCH_pr4.json") () =
   let module Domain_pool = Ace_util.Domain_pool in
   let default_domains = Domain_pool.size () in
   (* On a 1-core host the default pool is 1; still measure a 4-wide pool so
@@ -509,9 +509,10 @@ let json_bench ?(path = "BENCH_pr3.json") () =
     (seq, hoist)
   in
   let rot_seq_ns, rot_hoist_ns = rotate_pair_ns in
-  (* end-to-end: per-image inference on the quick models, then the same
-     resnet20 image with 1 domain vs par_domains (determinism means the two
-     runs produce identical ciphertexts; only the wall clock may differ) *)
+  (* end-to-end: per-image inference on the quick models, then the
+     scheduler sweep on the same resnet20 image (determinism means every
+     configuration produces identical ciphertexts; only the wall clock may
+     differ — which the sweep verifies). *)
   let infer_time ~domains spec =
     Domain_pool.set_num_domains domains;
     let c = compiled Pipeline.ace spec in
@@ -534,16 +535,108 @@ let json_bench ?(path = "BENCH_pr3.json") () =
   in
   let telemetry_json = Telemetry.to_json () in
   let stats_json = Stats.to_json (Stats.of_compiled (compiled Pipeline.ace Resnet.resnet20)) in
-  let seq_infer = infer_time ~domains:1 Resnet.resnet20 in
-  let par_infer = infer_time ~domains:par_domains Resnet.resnet20 in
+  (* Scheduler sweep: resnet20, domains x {seq, wavefront}. One encrypted
+     input reused throughout; outputs are checked bit-identical across every
+     configuration (the run aborts loudly if the determinism contract ever
+     broke). Timing runs are untraced; utilization comes from separate
+     traced runs below. *)
+  let sweep_spec = Resnet.resnet20 in
+  let sweep_c = compiled Pipeline.ace sweep_spec in
+  let sweep_keys = Pipeline.make_keys sweep_c ~seed:77 in
+  let sweep_image =
+    let rng = Rng.create 1001 in
+    let dims = 3 * sweep_spec.Resnet.image_size * sweep_spec.Resnet.image_size in
+    Array.init dims (fun _ -> Rng.float rng 1.0)
+  in
+  let sweep_ct = Pipeline.encrypt_input sweep_c sweep_keys ~seed:55 sweep_image in
+  let reference_out = ref None in
+  let sweep_run ~domains ~scheduler =
+    Domain_pool.set_num_domains domains;
+    let out, dt =
+      time (fun () -> Pipeline.run_encrypted ~scheduler sweep_c sweep_keys ~seed:55 sweep_ct)
+    in
+    (match !reference_out with
+    | None -> reference_out := Some out
+    | Some r ->
+      if not (Array.for_all2 Ace_rns.Rns_poly.equal r.Ace_fhe.Ciphertext.polys out.Ace_fhe.Ciphertext.polys)
+      then failwith "scheduler sweep: output not bit-identical to reference");
+    Printf.printf "sweep resnet20 domains=%d sched=%-9s %7.2fs\n%!" domains
+      (Pipeline.scheduler_name scheduler) dt;
+    dt
+  in
+  let sweep_rows =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun s -> (d, s, sweep_run ~domains:d ~scheduler:s))
+          [ Pipeline.Seq; Pipeline.Wavefront ])
+      [ 1; 2; 4; 8 ]
+  in
+  let sweep_seconds ~domains ~scheduler =
+    let _, _, t =
+      List.find (fun (d, s, _) -> d = domains && s = scheduler) sweep_rows
+    in
+    t
+  in
+  (* Per-domain busy time: a traced wavefront run at 4 domains; busy(tid) =
+     sum of that worker's per-node "vm." span durations, utilization =
+     total busy / (domains * wall). On a single-core host utilization still
+     reports how evenly nodes spread over workers; wall-clock speedup
+     additionally needs the cores. *)
+  let busy_profile ~domains ~scheduler =
+    Domain_pool.set_num_domains domains;
+    Telemetry.reset_trace ();
+    Telemetry.set_tracing true;
+    ignore (Pipeline.run_encrypted ~scheduler sweep_c sweep_keys ~seed:55 sweep_ct);
+    Telemetry.set_tracing false;
+    let evs = Telemetry.events () in
+    let busy = Hashtbl.create 8 in
+    let t_min = ref infinity and t_max = ref neg_infinity in
+    List.iter
+      (fun e ->
+        let n = e.Telemetry.ev_name in
+        if String.length n >= 3 && String.sub n 0 3 = "vm." then begin
+          let cur = Option.value ~default:0.0 (Hashtbl.find_opt busy e.Telemetry.ev_tid) in
+          Hashtbl.replace busy e.Telemetry.ev_tid (cur +. (e.Telemetry.ev_dur_us /. 1e6));
+          t_min := min !t_min (e.Telemetry.ev_ts_us /. 1e6);
+          t_max := max !t_max ((e.Telemetry.ev_ts_us +. e.Telemetry.ev_dur_us) /. 1e6)
+        end)
+      evs;
+    Telemetry.reset_trace ();
+    let wall = if !t_max > !t_min then !t_max -. !t_min else 0.0 in
+    let per_tid =
+      List.sort compare (Hashtbl.fold (fun tid b acc -> (tid, b) :: acc) busy [])
+    in
+    let total = List.fold_left (fun acc (_, b) -> acc +. b) 0.0 per_tid in
+    let util = if wall > 0.0 then total /. (float_of_int domains *. wall) else 0.0 in
+    Printf.printf "busy  resnet20 domains=%d sched=%-9s wall=%.2fs tids=%d util=%.2f\n%!"
+      domains (Pipeline.scheduler_name scheduler) wall (List.length per_tid) util;
+    (wall, per_tid, util)
+  in
+  let busy_json ~domains ~scheduler =
+    let wall, per_tid, util = busy_profile ~domains ~scheduler in
+    Printf.sprintf
+      "{\"domains\": %d, \"scheduler\": \"%s\", \"wall_seconds\": %.4f, \
+       \"per_tid_busy_seconds\": {%s}, \"utilization\": %.4f}"
+      domains
+      (Pipeline.scheduler_name scheduler)
+      wall
+      (String.concat ", "
+         (List.map (fun (tid, b) -> Printf.sprintf "\"%d\": %.4f" tid b) per_tid))
+      util
+  in
+  let busy_seq = busy_json ~domains:4 ~scheduler:Pipeline.Seq in
+  let busy_wf = busy_json ~domains:4 ~scheduler:Pipeline.Wavefront in
   Domain_pool.set_num_domains default_domains;
   let buf = Buffer.create 2048 in
   let obj rows = String.concat ", " rows in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr3-observability\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr4-dataflow-parallel\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"schema_version\": %d,\n" json_schema_version);
   Buffer.add_string buf (Printf.sprintf "  \"domains_default\": %d,\n" default_domains);
   Buffer.add_string buf (Printf.sprintf "  \"domains_parallel\": %d,\n" par_domains);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ()));
   Buffer.add_string buf
     (Printf.sprintf "  \"compile_seconds\": {%s},\n"
        (obj (List.map (fun (m, t) -> Printf.sprintf "\"%s\": %.4f" m t) compile_rows)));
@@ -551,10 +644,23 @@ let json_bench ?(path = "BENCH_pr3.json") () =
     (Printf.sprintf "  \"inference_seconds\": {%s},\n"
        (obj (List.map (fun (m, t) -> Printf.sprintf "\"%s\": %.4f" m t) infer_rows)));
   Buffer.add_string buf
-    (Printf.sprintf
-       "  \"scaling\": {\"model\": \"resnet20\", \"sequential_seconds\": %.4f, \
-        \"parallel_seconds\": %.4f, \"parallel_domains\": %d, \"speedup\": %.3f},\n"
-       seq_infer par_infer par_domains (seq_infer /. par_infer));
+    (Printf.sprintf "  \"scheduler_sweep\": [%s],\n"
+       (String.concat ", "
+          (List.map
+             (fun (d, s, t) ->
+               Printf.sprintf "{\"domains\": %d, \"scheduler\": \"%s\", \"seconds\": %.4f}" d
+                 (Pipeline.scheduler_name s) t)
+             sweep_rows)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"busy\": [%s, %s],\n" busy_seq busy_wf);
+  (let seq1 = sweep_seconds ~domains:1 ~scheduler:Pipeline.Seq in
+   let wf4 = sweep_seconds ~domains:4 ~scheduler:Pipeline.Wavefront in
+   Buffer.add_string buf
+     (Printf.sprintf
+        "  \"scaling\": {\"model\": \"resnet20\", \"sequential_seconds\": %.4f, \
+         \"parallel_seconds\": %.4f, \"parallel_domains\": %d, \"parallel_scheduler\": \
+         \"wavefront\", \"speedup\": %.3f},\n"
+        seq1 wf4 4 (seq1 /. wf4)));
   Buffer.add_string buf
     (Printf.sprintf
        "  \"micro\": {\"ntt_forward_n4096_ns_per_op\": %.0f, \

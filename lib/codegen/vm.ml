@@ -4,10 +4,11 @@ module Eval = Fhe.Eval
 module Encoder = Fhe.Encoder
 module Context = Fhe.Context
 module Cost = Fhe.Cost
+module Domain_pool = Ace_util.Domain_pool
 module Telemetry = Ace_telemetry.Telemetry
 open Ace_ir
 
-type bootstrap_impl = target_level:int -> Ciphertext.ct -> Ciphertext.ct
+type bootstrap_impl = node:int -> target_level:int -> Ciphertext.ct -> Ciphertext.ct
 
 type t = {
   keys : Fhe.Keys.t;
@@ -18,8 +19,15 @@ type t = {
      values never depend on encrypted parameters), so across runs of one VM
      the encode — embedding, rounding and the forward NTT — can be paid
      once per node instead of once per inference. [None] disables caching:
-     a single-shot run then frees each plaintext after its last use. *)
+     a single-shot run then frees each plaintext after its last use.
+     [pt_lock] makes lookups domain-safe under the wavefront scheduler;
+     encoding is pure, so a racing double-encode is only wasted work and
+     the first insertion wins. *)
   pt_cache : (int, Ciphertext.pt) Hashtbl.t option;
+  pt_lock : Mutex.t;
+  (* Wavefront schedule, computed on the first [run_parallel]; sequential
+     runs never pay the analysis. *)
+  mutable sched : Sched.t option;
 }
 
 let phase_of_origin origin =
@@ -41,7 +49,17 @@ let prepare ?(cache_plaintexts = false) ~keys ~bootstrap func =
     bootstrap;
     func;
     pt_cache = (if cache_plaintexts then Some (Hashtbl.create 256) else None);
+    pt_lock = Mutex.create ();
+    sched = None;
   }
+
+let schedule t =
+  match t.sched with
+  | Some s -> s
+  | None ->
+    let s = Sched.analyze t.func in
+    t.sched <- Some s;
+    s
 
 type value =
   | V_ct of Ciphertext.ct
@@ -50,8 +68,139 @@ type value =
   | V_clear of float array
   | V_none
 
-let run_observed ~observe t inputs =
+(* Execute one node against [values] and return its result. Pure in the
+   dataflow sense: reads only argument slots (written by strictly earlier
+   nodes), writes nothing — the caller stores the result. Everything it
+   calls is domain-safe (Limb_pool scratch is domain-local, Crt memo
+   tables and automorphism caches take their own locks, telemetry records
+   on the executing domain's shard), so the wavefront scheduler may run it
+   concurrently for independent nodes. *)
+let exec_node t values inputs (n : Irfunc.node) =
   let ctx = t.keys.Fhe.Keys.context in
+  let f = t.func in
+  let ct i =
+    match values.(n.Irfunc.args.(i)) with
+    | V_ct c -> c
+    | _ -> invalid_arg (Printf.sprintf "Vm.run: node %%%d arg %d is not a ciphertext" n.Irfunc.id i)
+  in
+  let clear i =
+    match values.(n.Irfunc.args.(i)) with
+    | V_clear v -> v
+    | _ -> invalid_arg (Printf.sprintf "Vm.run: node %%%d arg %d is not cleartext" n.Irfunc.id i)
+  in
+  let roll v k =
+    let len = Array.length v in
+    let k = ((k mod len) + len) mod len in
+    Array.init len (fun i -> v.((i + k) mod len))
+  in
+  match n.Irfunc.op with
+  | Op.Param i ->
+    if i >= Array.length inputs then invalid_arg "Vm.run: missing encrypted input";
+    V_ct inputs.(i)
+  | Op.Weight name -> V_clear (Irfunc.const f name)
+  | Op.Const_scalar v -> V_clear [| v |]
+  (* cleartext VECTOR ops surviving at CKKS level *)
+  | Op.V_add -> V_clear (Array.map2 ( +. ) (clear 0) (clear 1))
+  | Op.V_sub -> V_clear (Array.map2 ( -. ) (clear 0) (clear 1))
+  | Op.V_mul -> V_clear (Array.map2 ( *. ) (clear 0) (clear 1))
+  | Op.V_roll k -> V_clear (roll (clear 0) k)
+  | Op.V_slice { Op.start; slice_len; stride } ->
+    let v = clear 0 in
+    V_clear (Array.init slice_len (fun i -> v.(start + (i * stride))))
+  | Op.V_broadcast _ | Op.V_pad _ | Op.V_reshape _ | Op.V_tile _ | Op.V_nonlinear _ ->
+    invalid_arg ("Vm.run: unsupported clear op " ^ Op.name n.Irfunc.op)
+  | Op.C_encode -> (
+    let encode () =
+      Encoder.encode ctx ~level:n.Irfunc.node_level ~scale:n.Irfunc.scale (clear 0)
+    in
+    match t.pt_cache with
+    | None -> V_pt (encode ())
+    | Some cache -> (
+      let cached =
+        Mutex.lock t.pt_lock;
+        let r = Hashtbl.find_opt cache n.Irfunc.id in
+        Mutex.unlock t.pt_lock;
+        r
+      in
+      match cached with
+      | Some p -> V_pt p
+      | None ->
+        let p = encode () in
+        Mutex.lock t.pt_lock;
+        let p =
+          match Hashtbl.find_opt cache n.Irfunc.id with
+          | Some winner -> winner
+          | None ->
+            Hashtbl.add cache n.Irfunc.id p;
+            p
+        in
+        Mutex.unlock t.pt_lock;
+        V_pt p))
+  | Op.C_decode -> invalid_arg "Vm.run: CKKS.decode belongs to the decryptor"
+  | Op.C_add -> (
+    match values.(n.Irfunc.args.(1)) with
+    | V_pt p -> V_ct (Eval.add_plain (ct 0) p)
+    | _ -> V_ct (Eval.add (ct 0) (ct 1)))
+  | Op.C_sub -> (
+    match values.(n.Irfunc.args.(1)) with
+    | V_pt p -> V_ct (Eval.sub_plain (ct 0) p)
+    | _ -> V_ct (Eval.sub (ct 0) (ct 1)))
+  | Op.C_mul -> (
+    match values.(n.Irfunc.args.(1)) with
+    | V_pt p -> V_ct (Eval.mul_plain (ct 0) p)
+    | _ -> V_ct (Eval.mul_raw (ct 0) (ct 1)))
+  | Op.C_relin -> V_ct (Eval.relinearize t.keys (ct 0))
+  | Op.C_neg -> V_ct (Eval.neg (ct 0))
+  | Op.C_rotate k -> V_ct (Eval.rotate t.keys (ct 0) k)
+  | Op.C_rotate_batch steps -> V_ct_batch (Eval.rotate_batch t.keys (ct 0) steps)
+  | Op.C_batch_get i -> (
+    match values.(n.Irfunc.args.(0)) with
+    | V_ct_batch cts -> V_ct cts.(i)
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Vm.run: node %%%d batch_get argument is not a batch" n.Irfunc.id))
+  | Op.C_rescale -> V_ct (Eval.rescale (ct 0))
+  | Op.C_mod_switch -> V_ct (Eval.mod_switch (ct 0))
+  | Op.C_upscale r ->
+    let c = ct 0 in
+    V_ct (Eval.upscale ctx c ~target_scale:(Ciphertext.scale_of c *. r))
+  | Op.C_downscale r ->
+    (* Scale re-interpretation: free, bounded error (DESIGN.md). *)
+    let c = ct 0 in
+    V_ct { c with Ciphertext.ct_scale = c.Ciphertext.ct_scale /. r }
+  | Op.C_bootstrap target ->
+    Cost.count Cost.Bootstrap;
+    V_ct (t.bootstrap ~node:n.Irfunc.id ~target_level:target (ct 0))
+  | op -> invalid_arg ("Vm.run: unexpected op " ^ Op.name op)
+
+(* Timed wrapper: phase accounting plus the per-node span, recorded on the
+   executing domain's shard — under the wavefront scheduler that is the
+   worker that claimed the node, so the Chrome trace shows true per-tid
+   occupancy. *)
+let exec_timed t values inputs (n : Irfunc.node) =
+  let phase =
+    match n.Irfunc.op with
+    | Op.C_bootstrap _ -> "bootstrap"
+    | _ -> phase_of_origin n.Irfunc.origin
+  in
+  let t0 = Unix.gettimeofday () in
+  let result = exec_node t values inputs n in
+  let t1 = Unix.gettimeofday () in
+  Cost.add_phase_time phase (t1 -. t0);
+  Telemetry.emit_span ~cat:phase
+    ~args:[ ("origin", n.Irfunc.origin) ]
+    ~name:("vm." ^ Op.name n.Irfunc.op) ~t0 ~dur:(t1 -. t0) ();
+  result
+
+let collect_returns f values =
+  List.map
+    (fun r ->
+      match values.(r) with
+      | V_ct c -> c
+      | _ -> invalid_arg "Vm.run: non-ciphertext return")
+    (Irfunc.returns f)
+
+let run_observed ~observe t inputs =
   let f = t.func in
   let inputs = Array.of_list inputs in
   let values = Array.make (Irfunc.num_nodes f) V_none in
@@ -62,21 +211,6 @@ let run_observed ~observe t inputs =
   Irfunc.iter f (fun n ->
       Array.iter (fun a -> last_use.(a) <- n.Irfunc.id) n.Irfunc.args);
   List.iter (fun r -> last_use.(r) <- max_int) (Irfunc.returns f);
-  let ct i (n : Irfunc.node) =
-    match values.(n.Irfunc.args.(i)) with
-    | V_ct c -> c
-    | _ -> invalid_arg (Printf.sprintf "Vm.run: node %%%d arg %d is not a ciphertext" n.Irfunc.id i)
-  in
-  let clear i (n : Irfunc.node) =
-    match values.(n.Irfunc.args.(i)) with
-    | V_clear v -> v
-    | _ -> invalid_arg (Printf.sprintf "Vm.run: node %%%d arg %d is not cleartext" n.Irfunc.id i)
-  in
-  let roll v k =
-    let len = Array.length v in
-    let k = ((k mod len) + len) mod len in
-    Array.init len (fun i -> v.((i + k) mod len))
-  in
   (* Per-NN-operator trace grouping: consecutive nodes sharing an origin
      (one conv, one relu block...) become a single enclosing span, so the
      Chrome view nests per-FHE-op spans (from [Cost.timed]) under the NN
@@ -90,100 +224,59 @@ let run_observed ~observe t inputs =
     cur_origin := ""
   in
   Irfunc.iter f (fun n ->
-      let phase =
-        match n.Irfunc.op with
-        | Op.C_bootstrap _ -> "bootstrap"
-        | _ -> phase_of_origin n.Irfunc.origin
-      in
-      let t0 = Unix.gettimeofday () in
       if Telemetry.tracing () && n.Irfunc.origin <> !cur_origin then begin
-        flush_origin t0;
+        let now = Unix.gettimeofday () in
+        flush_origin now;
         cur_origin := n.Irfunc.origin;
-        cur_start := t0
+        cur_start := now
       end;
-      let result =
-        match n.Irfunc.op with
-        | Op.Param i ->
-          if i >= Array.length inputs then invalid_arg "Vm.run: missing encrypted input";
-          V_ct inputs.(i)
-        | Op.Weight name -> V_clear (Irfunc.const f name)
-        | Op.Const_scalar v -> V_clear [| v |]
-        (* cleartext VECTOR ops surviving at CKKS level *)
-        | Op.V_add -> V_clear (Array.map2 ( +. ) (clear 0 n) (clear 1 n))
-        | Op.V_sub -> V_clear (Array.map2 ( -. ) (clear 0 n) (clear 1 n))
-        | Op.V_mul -> V_clear (Array.map2 ( *. ) (clear 0 n) (clear 1 n))
-        | Op.V_roll k -> V_clear (roll (clear 0 n) k)
-        | Op.V_slice { Op.start; slice_len; stride } ->
-          let v = clear 0 n in
-          V_clear (Array.init slice_len (fun i -> v.(start + (i * stride))))
-        | Op.V_broadcast _ | Op.V_pad _ | Op.V_reshape _ | Op.V_tile _ | Op.V_nonlinear _ ->
-          invalid_arg ("Vm.run: unsupported clear op " ^ Op.name n.Irfunc.op)
-        | Op.C_encode -> (
-          let encode () =
-            Encoder.encode ctx ~level:n.Irfunc.node_level ~scale:n.Irfunc.scale (clear 0 n)
-          in
-          match t.pt_cache with
-          | None -> V_pt (encode ())
-          | Some cache -> (
-            match Hashtbl.find_opt cache n.Irfunc.id with
-            | Some p -> V_pt p
-            | None ->
-              let p = encode () in
-              Hashtbl.add cache n.Irfunc.id p;
-              V_pt p))
-        | Op.C_decode -> invalid_arg "Vm.run: CKKS.decode belongs to the decryptor"
-        | Op.C_add -> (
-          match values.(n.Irfunc.args.(1)) with
-          | V_pt p -> V_ct (Eval.add_plain (ct 0 n) p)
-          | _ -> V_ct (Eval.add (ct 0 n) (ct 1 n)))
-        | Op.C_sub -> (
-          match values.(n.Irfunc.args.(1)) with
-          | V_pt p -> V_ct (Eval.sub_plain (ct 0 n) p)
-          | _ -> V_ct (Eval.sub (ct 0 n) (ct 1 n)))
-        | Op.C_mul -> (
-          match values.(n.Irfunc.args.(1)) with
-          | V_pt p -> V_ct (Eval.mul_plain (ct 0 n) p)
-          | _ -> V_ct (Eval.mul_raw (ct 0 n) (ct 1 n)))
-        | Op.C_relin -> V_ct (Eval.relinearize t.keys (ct 0 n))
-        | Op.C_neg -> V_ct (Eval.neg (ct 0 n))
-        | Op.C_rotate k -> V_ct (Eval.rotate t.keys (ct 0 n) k)
-        | Op.C_rotate_batch steps -> V_ct_batch (Eval.rotate_batch t.keys (ct 0 n) steps)
-        | Op.C_batch_get i -> (
-          match values.(n.Irfunc.args.(0)) with
-          | V_ct_batch cts -> V_ct cts.(i)
-          | _ ->
-            invalid_arg
-              (Printf.sprintf "Vm.run: node %%%d batch_get argument is not a batch" n.Irfunc.id))
-        | Op.C_rescale -> V_ct (Eval.rescale (ct 0 n))
-        | Op.C_mod_switch -> V_ct (Eval.mod_switch (ct 0 n))
-        | Op.C_upscale r ->
-          let c = ct 0 n in
-          V_ct (Eval.upscale ctx c ~target_scale:(Ciphertext.scale_of c *. r))
-        | Op.C_downscale r ->
-          (* Scale re-interpretation: free, bounded error (DESIGN.md). *)
-          let c = ct 0 n in
-          V_ct { c with Ciphertext.ct_scale = c.Ciphertext.ct_scale /. r }
-        | Op.C_bootstrap target ->
-          Cost.count Cost.Bootstrap;
-          V_ct (t.bootstrap ~target_level:target (ct 0 n))
-        | op -> invalid_arg ("Vm.run: unexpected op " ^ Op.name op)
-      in
-      let t1 = Unix.gettimeofday () in
-      Cost.add_phase_time phase (t1 -. t0);
-      Telemetry.emit_span ~cat:phase
-        ~args:[ ("origin", n.Irfunc.origin) ]
-        ~name:("vm." ^ Op.name n.Irfunc.op) ~t0 ~dur:(t1 -. t0) ();
+      let result = exec_timed t values inputs n in
       values.(n.Irfunc.id) <- result;
       (match result with V_ct c -> observe n c | _ -> ());
       Array.iter
         (fun a -> if last_use.(a) = n.Irfunc.id then values.(a) <- V_none)
         n.Irfunc.args);
   flush_origin (Unix.gettimeofday ());
-  List.map
-    (fun r ->
-      match values.(r) with
-      | V_ct c -> c
-      | _ -> invalid_arg "Vm.run: non-ciphertext return")
-    (Irfunc.returns f)
+  collect_returns f values
 
 let run t inputs = run_observed ~observe:(fun _ _ -> ()) t inputs
+
+(* Dataflow-parallel execution: one barrier per wavefront, node-level
+   work queue inside a wavefront when the cost model votes for it.
+
+   Determinism: nodes of one wavefront are pairwise independent, each
+   writes only its own [values] slot, and each node's computation is the
+   same code the sequential path runs (inner Domain_pool calls degrade to
+   the exact sequential loops while the node queue holds the pool). The
+   inter-wavefront barrier is the pool join, whose mutex hand-off also
+   publishes every slot written by the previous wavefront to all workers.
+   Hence [run_parallel] is bit-identical to [run] for any ACE_DOMAINS.
+
+   Values are released at wavefront granularity ([Sched.free_after]), on
+   the main domain, after the barrier: no worker can still be reading
+   them, and peak memory stays within one wavefront of the sequential
+   executor's live range. *)
+let run_parallel t inputs =
+  let f = t.func in
+  let sched = schedule t in
+  let inputs = Array.of_list inputs in
+  let values = Array.make (Irfunc.num_nodes f) V_none in
+  let waves = Sched.wavefronts sched in
+  let free = Sched.free_after sched in
+  let domains = Domain_pool.size () in
+  Array.iteri
+    (fun w nodes ->
+      (match Sched.decide sched w ~domains with
+      | Sched.Sequential ->
+        Array.iter (fun id -> values.(id) <- exec_timed t values inputs (Irfunc.node f id)) nodes
+      | Sched.Node_parallel ->
+        Telemetry.span ~cat:"sched"
+          ~args:[ ("nodes", string_of_int (Array.length nodes)) ]
+          "sched.wavefront"
+        @@ fun () ->
+        Domain_pool.parallel_each (Array.length nodes) (fun i ->
+            let id = nodes.(i) in
+            values.(id) <- exec_timed t values inputs (Irfunc.node f id)));
+      Array.iter (fun id -> values.(id) <- V_none) free.(w))
+    waves;
+  collect_returns f values

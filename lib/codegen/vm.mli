@@ -10,7 +10,10 @@
     chosen by the caller (see DESIGN.md on the Exact/Refresh substitution). *)
 
 type bootstrap_impl =
-  target_level:int -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
+  node:int -> target_level:int -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
+(** [node] is the IR node id of the bootstrap being executed. Implementations
+    must derive any randomness from it (not from call order) so that
+    sequential and wavefront execution produce bit-identical ciphertexts. *)
 
 type t
 
@@ -27,7 +30,22 @@ val prepare :
     live-range minimum. *)
 
 val run : t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
-(** Execute on encrypted inputs (one per function parameter). *)
+(** Execute on encrypted inputs (one per function parameter), one node at a
+    time in program order. *)
+
+val run_parallel : t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
+(** Dataflow-parallel execution: partition the function into wavefronts
+    ({!Sched.analyze}, cached on the VM) and execute each wavefront's nodes
+    concurrently across the domain pool when the cost model prefers
+    node-level over limb-level parallelism ({!Sched.decide}). Bit-identical
+    to {!run} for any [ACE_DOMAINS]; with a pool of 1 it {e is} the
+    sequential loop. Per-node telemetry spans land on the worker domain
+    that executed the node. *)
+
+val schedule : t -> Sched.t
+(** The wavefront schedule {!run_parallel} uses (computed on first demand
+    and cached). Exposed for tests and for the benchmark's occupancy
+    reports. *)
 
 val run_observed :
   observe:(Ace_ir.Irfunc.node -> Ace_fhe.Ciphertext.ct -> unit) ->

@@ -220,6 +220,22 @@ let compile ?context strategy nn_input =
 
 let runtime_domains () = Ace_util.Domain_pool.size ()
 
+type scheduler = Seq | Wavefront
+
+let scheduler_name = function Seq -> "seq" | Wavefront -> "wavefront"
+
+(* [ACE_SCHED] mirrors [ACE_DOMAINS]: an environment default that explicit
+   [?scheduler] arguments override. Sequential remains the default — the
+   wavefront executor is bit-identical but opt-in, like the pool itself. *)
+let default_scheduler () =
+  match Sys.getenv_opt "ACE_SCHED" with
+  | None -> Seq
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "" | "seq" | "sequential" -> Seq
+    | "wavefront" | "parallel" -> Wavefront
+    | other -> invalid_arg ("ACE_SCHED must be seq or wavefront, got " ^ other))
+
 let make_keys c ~seed =
   let rng = Ace_util.Rng.create seed in
   Fhe.Keys.generate c.context ~rng ~rotations:c.key_plan.Keygen_plan.rotation_steps
@@ -235,8 +251,13 @@ let encrypt_input c keys ~seed image =
 (* A missing Galois key at execution time means the compile-time key plan
    and the runtime key set disagree — a planning bug or keys generated
    from a different plan — so the error names all three sides. *)
-let run_vm c vm ct =
-  match Ace_codegen.Vm.run vm [ ct ] with
+let run_vm ~scheduler c vm ct =
+  let exec =
+    match scheduler with
+    | Seq -> Ace_codegen.Vm.run
+    | Wavefront -> Ace_codegen.Vm.run_parallel
+  in
+  match exec vm [ ct ] with
   | [ out ] -> out
   | _ -> invalid_arg "Pipeline.run_encrypted: expected a single output"
   | exception Fhe.Eval.Missing_rotation_key { step; available } ->
@@ -248,10 +269,13 @@ let run_vm c vm ct =
          step (show available)
          (show c.key_plan.Keygen_plan.rotation_steps))
 
-let run_encrypted c keys ~seed ct =
-  let bootstrap ~target_level x = Fhe.Bootstrap.refresh_impl keys ~seed ~target_level x in
-  let vm = Ace_codegen.Vm.prepare ~keys ~bootstrap c.ckks in
-  run_vm c vm ct
+let make_bootstrap keys ~seed ~node ~target_level x =
+  Fhe.Bootstrap.refresh_impl keys ~seed ~ordinal:node ~target_level x
+
+let run_encrypted ?scheduler c keys ~seed ct =
+  let scheduler = match scheduler with Some s -> s | None -> default_scheduler () in
+  let vm = Ace_codegen.Vm.prepare ~keys ~bootstrap:(make_bootstrap keys ~seed) c.ckks in
+  run_vm ~scheduler c vm ct
 
 let decrypt_output c keys ct =
   let decoded = Fhe.Encoder.decode c.context (Fhe.Eval.decrypt keys ct) in
@@ -264,17 +288,28 @@ let infer_encrypted c keys ~seed image =
    plaintexts are encoded (embed + round + forward NTT) once ever instead
    of once per image. Single-shot entry points above keep the throwaway
    VM, whose peak memory stays at the live-range minimum. *)
-type runtime = { rt_compiled : compiled; rt_keys : Fhe.Keys.t; rt_vm : Ace_codegen.Vm.t }
+type runtime = {
+  rt_compiled : compiled;
+  rt_keys : Fhe.Keys.t;
+  rt_vm : Ace_codegen.Vm.t;
+  rt_scheduler : scheduler;
+}
 
-let make_runtime ?telemetry c keys ~seed =
+let make_runtime ?telemetry ?scheduler c keys ~seed =
   (match telemetry with
   | Some cfg -> Ace_telemetry.Telemetry.configure cfg
   | None -> ());
-  let bootstrap ~target_level x = Fhe.Bootstrap.refresh_impl keys ~seed ~target_level x in
-  let rt_vm = Ace_codegen.Vm.prepare ~cache_plaintexts:true ~keys ~bootstrap c.ckks in
-  { rt_compiled = c; rt_keys = keys; rt_vm }
+  let scheduler = match scheduler with Some s -> s | None -> default_scheduler () in
+  let rt_vm =
+    Ace_codegen.Vm.prepare ~cache_plaintexts:true ~keys ~bootstrap:(make_bootstrap keys ~seed)
+      c.ckks
+  in
+  { rt_compiled = c; rt_keys = keys; rt_vm; rt_scheduler = scheduler }
 
-let run_encrypted_rt rt ct = run_vm rt.rt_compiled rt.rt_vm ct
+let runtime_scheduler rt = rt.rt_scheduler
+let runtime_vm rt = rt.rt_vm
+
+let run_encrypted_rt rt ct = run_vm ~scheduler:rt.rt_scheduler rt.rt_compiled rt.rt_vm ct
 
 let infer_encrypted_rt rt ~seed image =
   decrypt_output rt.rt_compiled rt.rt_keys

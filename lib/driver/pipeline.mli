@@ -69,6 +69,21 @@ val runtime_domains : unit -> int
     (the [ACE_DOMAINS] knob; see lib/util/domain_pool.mli). Compilation
     itself is sequential — this only affects [run_encrypted] and friends. *)
 
+type scheduler =
+  | Seq  (** program order, one node at a time (the baseline executor) *)
+  | Wavefront
+      (** dataflow-parallel: {!Ace_codegen.Vm.run_parallel} over the
+          {!Ace_codegen.Sched} wavefront partition. Bit-identical to [Seq]
+          for any pool size. *)
+
+val scheduler_name : scheduler -> string
+(** ["seq"] / ["wavefront"] — the [ACE_SCHED] spellings. *)
+
+val default_scheduler : unit -> scheduler
+(** The [ACE_SCHED] environment knob ([seq] (default) | [wavefront]),
+    mirroring [ACE_DOMAINS]: an ambient default that explicit [?scheduler]
+    arguments override. *)
+
 (** {1 Client/server protocol helpers (paper Figure 2)} *)
 
 val make_keys : compiled -> seed:int -> Ace_fhe.Keys.t
@@ -78,7 +93,9 @@ val encrypt_input :
 (** The generated encryptor: pack with the input layout, encode, encrypt. *)
 
 val run_encrypted :
+  ?scheduler:scheduler ->
   compiled -> Ace_fhe.Keys.t -> seed:int -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
+(** [?scheduler] defaults to {!default_scheduler}[ ()]. *)
 
 val decrypt_output : compiled -> Ace_fhe.Keys.t -> Ace_fhe.Ciphertext.ct -> float array
 (** The generated decryptor: decrypt, decode, unpack to the NN output
@@ -97,10 +114,18 @@ type runtime
     the VM each call and keep peak memory minimal. *)
 
 val make_runtime :
-  ?telemetry:Ace_telemetry.Telemetry.config -> compiled -> Ace_fhe.Keys.t -> seed:int -> runtime
+  ?telemetry:Ace_telemetry.Telemetry.config ->
+  ?scheduler:scheduler -> compiled -> Ace_fhe.Keys.t -> seed:int -> runtime
 (** [?telemetry] applies {!Ace_telemetry.Telemetry.configure} before the
     VM is prepared — the programmatic equivalent of
-    [ACE_TRACE]/[ACE_METRICS]/[ACE_FLIGHT] for serving loops. *)
+    [ACE_TRACE]/[ACE_METRICS]/[ACE_FLIGHT] for serving loops.
+    [?scheduler] (default {!default_scheduler}[ ()]) fixes the executor
+    every [run_encrypted_rt] call uses. *)
+
+val runtime_scheduler : runtime -> scheduler
+
+val runtime_vm : runtime -> Ace_codegen.Vm.t
+(** The resident VM (for {!Ace_codegen.Vm.schedule} occupancy reports). *)
 
 val run_encrypted_rt : runtime -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
 

@@ -8,11 +8,11 @@ let refresh keys ~rng ~target_level ct =
   let pt = Encoder.encode_complex ctx ~level:target_level ~scale:(Context.scale ctx) values in
   Eval.encrypt keys ~rng pt
 
-(* Atomic so concurrent refreshes (e.g. two slot batches bootstrapped from
-   different domains) still draw distinct derived seeds. *)
-let counter = Atomic.make 0
-
-let refresh_impl keys ~seed ~target_level ct =
-  let c = Atomic.fetch_and_add counter 1 + 1 in
-  let rng = Rng.create (seed + (1_000_003 * c)) in
+(* Randomness is derived from the caller-supplied ordinal (the VM passes
+   the bootstrap's IR node id), not from an invocation counter: the same
+   program bootstrapping the same node then draws the same rng whatever
+   the execution order or how many runs preceded it, which is what makes
+   sequential and wavefront execution bit-identical. *)
+let refresh_impl keys ~seed ~ordinal ~target_level ct =
+  let rng = Rng.create (seed + (1_000_003 * (ordinal + 1))) in
   refresh keys ~rng ~target_level ct

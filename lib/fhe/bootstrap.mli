@@ -18,5 +18,8 @@ val refresh :
     the context's nominal Delta. *)
 
 val refresh_impl :
-  Keys.t -> seed:int -> target_level:int -> Ciphertext.ct -> Ciphertext.ct
-(** Stateless wrapper for the VM: derives a deterministic rng per call. *)
+  Keys.t -> seed:int -> ordinal:int -> target_level:int -> Ciphertext.ct -> Ciphertext.ct
+(** Stateless wrapper for the VM: derives a deterministic rng from
+    [(seed, ordinal)]. Callers pass a stable ordinal (the VM uses the IR
+    node id) so results do not depend on invocation order — required for
+    the wavefront scheduler's bit-identity guarantee. *)

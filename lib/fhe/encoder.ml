@@ -41,9 +41,10 @@ let decode_complex ctx (pt : Ciphertext.pt) =
   in
   (* The per-slot CRT recombination (a bignum per coefficient at depth)
      dominates decode; slot batches are independent, so it runs on the
-     domain pool. *)
+     domain pool. Tiny slot vectors (toy contexts, tests) stay inline —
+     below ~32 slots the pool wake-up rivals the recombination itself. *)
   let vals =
-    Ace_util.Domain_pool.init slots (fun i ->
+    Ace_util.Domain_pool.init ~min_chunk:32 slots (fun i ->
         Cplx.make (coeff i /. pt.pt_scale) (coeff (i + slots) /. pt.pt_scale))
   in
   Cplx.embed (Context.embed_plan ctx) vals;

@@ -350,9 +350,14 @@ let rotate keys (ct : ct) k =
 (* Rotate one ciphertext by every step in [steps], decomposing it once:
    the Halevi–Shoup hoisted path. Bit-identical to mapping {!rotate} over
    [steps] (same digits, same accumulation order, exact permutation), at
-   roughly 1 + steps/limbs of the cost instead of steps times. *)
+   roughly 1 + steps/limbs of the cost instead of steps times.
+
+   Each step is its own [Cost.Rotate] sample. Timing the whole batch as
+   one observation made a 38-step bundle read as a single 170ms rotation —
+   the fhe.rotate p99 "outlier" of the PR 3 benchmark was this accounting
+   artifact, not a slow rotation. The shared hoist is attributed to
+   [Cost.Key_switch] (inside {!hoist}), where its cost actually sits. *)
 let rotate_batch keys (ct : ct) steps =
-  Cost.timed Cost.Rotate @@ fun () ->
   if size ct <> 2 then invalid_arg "Eval.rotate_batch: relinearize first";
   let ctx = keys.Keys.context in
   let crt = Context.crt ctx in
@@ -365,7 +370,8 @@ let rotate_batch keys (ct : ct) steps =
     Array.map
       (fun k ->
         if trivial k then ct
-        else begin
+        else
+          Cost.timed Cost.Rotate @@ fun () ->
           let g = Keys.galois_of_rotation ctx k in
           let key = rotation_key_exn keys ~step:k g in
           let perm = Rns_poly.automorphism_perm crt ~galois:g in
@@ -374,8 +380,7 @@ let rotate_batch keys (ct : ct) steps =
           let r0 = Rns_poly.automorphism ~galois:g c0e in
           let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
           record_flight "rotate"
-            { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
-        end)
+            { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale })
       steps
   end
 

@@ -64,6 +64,10 @@ let secret_automorphism t ~galois =
   Rns_poly.automorphism ~galois (Rns_poly.to_coeff t.secret)
 
 let make_galois_key t ~galois ~rng =
+  (* Warm the per-(degree, galois) automorphism caches — in particular the
+     eval-domain permutation, whose lazy NTT-probe construction would
+     otherwise stall the first rotation that uses this key. *)
+  Rns_poly.warm_automorphism (Context.crt t.context) ~galois;
   switching_key_for t ~s_from:(secret_automorphism t ~galois) ~rng
 
 let generate ?secret_hamming ctx ~rng ~rotations =
@@ -88,6 +92,21 @@ let generate ?secret_hamming ctx ~rng ~rotations =
       if not (Hashtbl.mem t.galois g) then
         Hashtbl.replace t.galois g (make_galois_key t ~galois:g ~rng))
     rotations;
+  (* Prefill the Crt inverse-modulus memo tables every rescale and
+     key-switch mod-down will hit. Like the automorphism caches these are
+     built lazily on first use; unlike them they are per (num, target)
+     pair, so a cold entry lands inside some mid-inference rotation and
+     smears its latency. All of them are cheap to enumerate at keygen. *)
+  let special_ci = Context.special_chain_idx ctx in
+  let max_l = Context.max_level ctx in
+  for target = 0 to max_l do
+    ignore (Crt.inv_mod crt ~num:special_ci ~target)
+  done;
+  for num = 1 to max_l do
+    for target = 0 to num - 1 do
+      ignore (Crt.inv_mod crt ~num ~target)
+    done
+  done;
   t
 
 let add_rotation t k =

@@ -37,11 +37,19 @@ let check_compatible a b =
   if a.domain <> b.domain then invalid_arg "Rns_poly: domain mismatch";
   if a.chain_idx <> b.chain_idx then invalid_arg "Rns_poly: limb-set mismatch"
 
+(* A limb row of pointwise adds/permutes is a few microseconds of work —
+   the same order as waking the pool — so loops over few limbs run inline
+   (the PR 1 scaling pair measured a 4-domain inference slower than
+   sequential on exactly these light kernels). NTT flips and pointwise
+   products are one to two orders heavier per row and keep the default
+   grain. *)
+let light_limb_grain = 4
+
 let of_centered_coeffs ctx ~chain_idx coeffs =
   let n = Crt.ring_degree ctx in
   if Array.length coeffs <> n then invalid_arg "Rns_poly.of_centered_coeffs: length";
   let data =
-    Domain_pool.map
+    Domain_pool.map ~min_chunk:light_limb_grain
       (fun ci ->
         let q = Crt.modulus ctx ci in
         Array.map (fun c -> Modarith.reduce c ~modulus:q) coeffs)
@@ -106,7 +114,7 @@ let in_domain d t = match d with Coeff -> to_coeff t | Eval -> to_ntt t
 let map2 f a b =
   check_compatible a b;
   let data =
-    Domain_pool.init (num_limbs a) (fun k ->
+    Domain_pool.init ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
         let q = Crt.modulus a.ctx a.chain_idx.(k) in
         let xa = a.data.(k) and xb = b.data.(k) in
         Array.init (Array.length xa) (fun i -> f xa.(i) xb.(i) q))
@@ -119,11 +127,6 @@ let sub a b = map2 (fun x y q -> Modarith.sub x y ~modulus:q) a b
 (* Allocation-free binary variants: write limb rows of [dst] in place.
    [dst] must have the same shape as the operands and may alias either
    one; rows are overwritten index by index, never resized. *)
-
-(* A limb row of additions is a few microseconds of work — the same order
-   as waking the pool — so small limb counts run inline (satellite of the
-   PR 1 scaling regression, where 4 domains lost to 1 on exactly these). *)
-let light_limb_grain = 4
 
 let add_into ~dst a b =
   check_compatible a b;
@@ -151,7 +154,7 @@ let sub_into ~dst a b =
 
 let neg a =
   let data =
-    Domain_pool.init (num_limbs a) (fun k ->
+    Domain_pool.init ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
         let q = Crt.modulus a.ctx a.chain_idx.(k) in
         Array.map (fun v -> Modarith.neg v ~modulus:q) a.data.(k))
   in
@@ -182,7 +185,7 @@ let mul a b =
 
 let scalar_mul s a =
   let data =
-    Domain_pool.init (num_limbs a) (fun k ->
+    Domain_pool.init ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
         let q = Crt.modulus a.ctx a.chain_idx.(k) in
         let s = Modarith.reduce s ~modulus:q in
         Array.map (fun v -> Modarith.mul v s ~modulus:q) a.data.(k))
@@ -193,7 +196,7 @@ let scalar_mul_per_limb scalars a =
   if Array.length scalars <> num_limbs a then
     invalid_arg "Rns_poly.scalar_mul_per_limb: arity";
   let data =
-    Domain_pool.init (num_limbs a) (fun k ->
+    Domain_pool.init ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
         let q = Crt.modulus a.ctx a.chain_idx.(k) in
         let s = Modarith.reduce scalars.(k) ~modulus:q in
         Array.map (fun v -> Modarith.mul v s ~modulus:q) a.data.(k))
@@ -272,6 +275,17 @@ let automorphism_perm ctx ~galois =
   Mutex.unlock automorphism_lock;
   perm
 
+(* Keygen-time cache warming: the automorphism tables are built lazily on
+   first rotation, which used to land a one-off tens-of-milliseconds probe
+   (eval-domain perm discovery is an NTT plus n modular pows) inside the
+   first inference's first rotate — the fhe.rotate p99 outlier. Building
+   them when the Galois key is generated moves that cost to keygen, where
+   it belongs. *)
+let warm_automorphism ctx ~galois =
+  let n = Crt.ring_degree ctx in
+  ignore (automorphism_table ~n ~galois);
+  ignore (automorphism_perm ctx ~galois)
+
 let automorphism ~galois t =
   let n = ring_degree t in
   if galois land 1 = 0 then invalid_arg "Rns_poly.automorphism: even Galois element";
@@ -279,7 +293,7 @@ let automorphism ~galois t =
   | Coeff ->
     let dest, flip = automorphism_table ~n ~galois in
     let data =
-      Domain_pool.init (num_limbs t) (fun k ->
+      Domain_pool.init ~min_chunk:light_limb_grain (num_limbs t) (fun k ->
           let x = t.data.(k) in
           let q = Crt.modulus t.ctx t.chain_idx.(k) in
           let out = Array.make n 0 in
@@ -296,7 +310,7 @@ let automorphism ~galois t =
        the Coeff path uses, and pool bodies must never block on it. *)
     let perm = automorphism_perm t.ctx ~galois in
     let data =
-      Domain_pool.init (num_limbs t) (fun k ->
+      Domain_pool.init ~min_chunk:light_limb_grain (num_limbs t) (fun k ->
           let x = t.data.(k) in
           Array.init n (fun j -> Array.unsafe_get x (Array.unsafe_get perm j)))
     in

@@ -90,6 +90,14 @@ val automorphism_perm : Crt.t -> galois:int -> int array
     ordering, so it stays correct if the transform's ordering convention
     changes. *)
 
+val warm_automorphism : Crt.t -> galois:int -> unit
+(** Build (and cache) both automorphism tables for a Galois element ahead
+    of time. The eval-domain permutation is otherwise discovered lazily by
+    an NTT probe on the first rotation using it — a one-off
+    tens-of-milliseconds stall that used to surface as the first
+    inference's rotation p99 outlier. Keygen calls this for every Galois
+    element it makes a key for. *)
+
 val sample_uniform : Crt.t -> chain_idx:int array -> Ace_util.Rng.t -> t
 val sample_ternary : Crt.t -> chain_idx:int array -> Ace_util.Rng.t -> t
 

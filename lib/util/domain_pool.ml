@@ -131,6 +131,28 @@ let run_seq n fn =
     fn i
   done
 
+(* Publish [num_chunks] claims of [chunk_fn] to the pool, join, re-raise the
+   first error. The caller has already won the [busy] flag. *)
+let run_job ~num_chunks chunk_fn =
+  let pool = get_pool () in
+  Mutex.lock pool.m;
+  pool.chunk_fn <- chunk_fn;
+  pool.num_chunks <- num_chunks;
+  pool.next <- 0;
+  pool.remaining <- num_chunks;
+  pool.error <- None;
+  pool.generation <- pool.generation + 1;
+  Condition.broadcast pool.cv_work;
+  Mutex.unlock pool.m;
+  drain pool;
+  Mutex.lock pool.m;
+  while pool.remaining > 0 do
+    Condition.wait pool.cv_done pool.m
+  done;
+  let err = pool.error in
+  Mutex.unlock pool.m;
+  match err with Some e -> raise e | None -> ()
+
 (* Work is split into contiguous chunks so neighbouring indices (which
    usually touch neighbouring rows) stay on one domain. Small iteration
    spaces (limbs) get one chunk per index.
@@ -160,24 +182,24 @@ let parallel_for ?(min_chunk = 1) n fn =
               fn i
             done
           in
-          let pool = get_pool () in
-          Mutex.lock pool.m;
-          pool.chunk_fn <- chunk_fn;
-          pool.num_chunks <- num_chunks;
-          pool.next <- 0;
-          pool.remaining <- num_chunks;
-          pool.error <- None;
-          pool.generation <- pool.generation + 1;
-          Condition.broadcast pool.cv_work;
-          Mutex.unlock pool.m;
-          drain pool;
-          Mutex.lock pool.m;
-          while pool.remaining > 0 do
-            Condition.wait pool.cv_done pool.m
-          done;
-          let err = pool.error in
-          Mutex.unlock pool.m;
-          match err with Some e -> raise e | None -> ())
+          run_job ~num_chunks chunk_fn)
+
+(* One claim per index: a pure work queue. Contiguous chunking assumes
+   neighbouring indices cost about the same, which is false for the VM
+   scheduler's wavefronts (a key-switch next to a free batch-get); unit
+   claims let a worker that drew a heavy node keep working on it while the
+   others drain the cheap tail, so the makespan tracks the LPT bound the
+   cost model assumes instead of the worst chunk sum. *)
+let parallel_each n fn =
+  if n <= 0 then ()
+  else if target_size () = 1 || n = 1 then run_seq n fn
+  else if not (Atomic.compare_and_set busy false true) then run_seq n fn
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set busy false)
+      (fun () -> run_job ~num_chunks:n fn)
+
+let in_parallel_region () = Atomic.get busy
 
 let init ?(min_chunk = 1) n f =
   if n = 0 then [||]
@@ -191,5 +213,5 @@ let init ?(min_chunk = 1) n f =
     out
   end
 
-let map f a = init (Array.length a) (fun i -> f a.(i))
-let mapi f a = init (Array.length a) (fun i -> f i a.(i))
+let map ?min_chunk f a = init ?min_chunk (Array.length a) (fun i -> f a.(i))
+let mapi ?min_chunk f a = init ?min_chunk (Array.length a) (fun i -> f i a.(i))

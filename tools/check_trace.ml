@@ -4,7 +4,12 @@
    array of complete events with numeric ts/dur/tid, and (with --min-tids)
    spans from at least that many distinct domains.
 
-     check_trace TRACE.json [--min-tids N] [--require NAME] *)
+   --min-tids-for PREFIX N applies the same distinct-tid floor to the
+   subset of spans whose name starts with PREFIX. CI uses it to prove the
+   wavefront scheduler really spread per-node "vm." spans over more than
+   one worker domain, independently of the limb-level "fhe.worker" spans.
+
+     check_trace TRACE.json [--min-tids N] [--min-tids-for PREFIX N] [--require NAME] *)
 
 module Json = Ace_telemetry.Json_lite
 
@@ -13,11 +18,15 @@ let die fmt = Printf.ksprintf (fun m -> prerr_endline ("check_trace: " ^ m); exi
 let () =
   let path = ref None in
   let min_tids = ref 1 in
+  let min_tids_for = ref [] in
   let required = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "--min-tids" :: v :: rest ->
       min_tids := int_of_string v;
+      parse_args rest
+    | "--min-tids-for" :: prefix :: v :: rest ->
+      min_tids_for := (prefix, int_of_string v) :: !min_tids_for;
       parse_args rest
     | "--require" :: name :: rest ->
       required := name :: !required;
@@ -39,6 +48,13 @@ let () =
   if events = [] then die "%s: empty traceEvents" path;
   let tids = Hashtbl.create 8 in
   let names = Hashtbl.create 64 in
+  let prefix_tids =
+    List.map (fun (prefix, n) -> (prefix, n, Hashtbl.create 8)) !min_tids_for
+  in
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
   List.iteri
     (fun i ev ->
       let str k =
@@ -56,11 +72,20 @@ let () =
       ignore (str "cat");
       if num "ts" < 0.0 then die "%s: event %d: negative ts" path i;
       if num "dur" < 0.0 then die "%s: event %d: negative dur" path i;
-      Hashtbl.replace tids (num "tid") ())
+      Hashtbl.replace tids (num "tid") ();
+      List.iter
+        (fun (prefix, _, tbl) ->
+          if starts_with ~prefix (str "name") then Hashtbl.replace tbl (num "tid") ())
+        prefix_tids)
     events;
   let distinct_tids = Hashtbl.length tids in
   if distinct_tids < !min_tids then
     die "%s: %d distinct tids, need >= %d" path distinct_tids !min_tids;
+  List.iter
+    (fun (prefix, n, tbl) ->
+      if Hashtbl.length tbl < n then
+        die "%s: %d distinct tids on %s* spans, need >= %d" path (Hashtbl.length tbl) prefix n)
+    prefix_tids;
   List.iter
     (fun name -> if not (Hashtbl.mem names name) then die "%s: no span named %s" path name)
     !required;

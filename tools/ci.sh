@@ -29,4 +29,18 @@ for d in 1 4; do
     --require fhe.rotate --require key_switch.basis --require compile.ckks
 done
 
+# Scheduler smoke: the same inference under the wavefront executor must
+# still pass the trace checks AND prove actual node-level fan-out — per-
+# node "vm." spans on more than one worker tid, plus the scheduler's own
+# wavefront spans.  (Bit-identity of the outputs is covered by
+# test_sched; this guards the telemetry/scheduling integration.)
+echo "== wavefront scheduler smoke, ACE_SCHED=wavefront ACE_DOMAINS=2 =="
+trace="/tmp/ace_trace_wavefront.json"
+rm -f "$trace"
+ACE_SCHED=wavefront ACE_DOMAINS=2 ACE_TRACE="$trace" \
+  dune exec examples/quickstart.exe >/dev/null
+dune exec tools/check_trace.exe -- "$trace" --min-tids 2 \
+  --min-tids-for vm. 2 \
+  --require sched.wavefront --require fhe.rotate --require compile.ckks
+
 echo "CI OK"
