@@ -144,6 +144,48 @@ let analyze f =
     sc_heaviest = heaviest;
   }
 
+(* The degenerate schedule of the sequential executor: every node is its
+   own wavefront, in program order, and a value is released right after
+   its last consumer runs. [check] accepts it for exactly the programs
+   whose wavefront schedule it accepts, so the verifier can hold both
+   executors to the same dataflow and liveness rules. *)
+let sequential f =
+  let num = Irfunc.num_nodes f in
+  let waves = Array.init (max num 1) (fun i -> if num = 0 then [||] else [| i |]) in
+  let weight = Array.make (max num 1) 0.0 in
+  let width = Array.make (max num 1) 1 in
+  let barrier = Array.make (max num 1) false in
+  Irfunc.iter f (fun n ->
+      weight.(n.Irfunc.id) <- node_cost n;
+      width.(n.Irfunc.id) <- node_width n;
+      match n.Irfunc.op with
+      | Op.C_bootstrap _ -> barrier.(n.Irfunc.id) <- true
+      | _ -> ());
+  let last_use = Array.make (max num 1) (-1) in
+  Irfunc.iter f (fun n ->
+      Array.iter (fun a -> last_use.(a) <- max last_use.(a) n.Irfunc.id) n.Irfunc.args);
+  List.iter (fun r -> last_use.(r) <- -1) (Irfunc.returns f);
+  let free_sizes = Array.make (max num 1) 0 in
+  Array.iter (fun w -> if w >= 0 then free_sizes.(w) <- free_sizes.(w) + 1) last_use;
+  let free = Array.init (max num 1) (fun w -> Array.make free_sizes.(w) 0) in
+  let ffill = Array.make (max num 1) 0 in
+  for id = 0 to num - 1 do
+    let w = last_use.(id) in
+    if w >= 0 then begin
+      free.(w).(ffill.(w)) <- id;
+      ffill.(w) <- ffill.(w) + 1
+    end
+  done;
+  {
+    sc_waves = waves;
+    sc_free = free;
+    sc_barrier = barrier;
+    sc_weight = weight;
+    sc_width = width;
+    sc_total = Array.map (fun w -> Array.fold_left (fun acc id -> acc +. weight.(id)) 0.0 w) waves;
+    sc_heaviest = Array.map (fun w -> Array.fold_left (fun acc id -> max acc weight.(id)) 0.0 w) waves;
+  }
+
 let decide t w ~domains =
   let nodes = t.sc_waves.(w) in
   if domains <= 1 || t.sc_barrier.(w) || Array.length nodes < 2 then Sequential

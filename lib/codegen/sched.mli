@@ -30,6 +30,14 @@ val analyze : Ace_ir.Irfunc.t -> t
     wavefront release sets. O(nodes + edges); safe on any level's function
     (only CKKS ops get meaningful weights). *)
 
+val sequential : Ace_ir.Irfunc.t -> t
+(** The sequential executor's order expressed as a degenerate schedule:
+    one singleton wavefront per node in program order, values released
+    after their last consumer. {!check} accepts it for exactly the
+    programs whose {!analyze} schedule it accepts, which lets the
+    verifier hold {!Vm.run} and {!Vm.run_parallel} to identical dataflow
+    and liveness rules. *)
+
 val wavefronts : t -> int array array
 (** Node ids per wavefront, ascending within each wavefront; wavefronts in
     execution order. Every node id appears exactly once. *)

@@ -53,11 +53,24 @@ let prepare ?(cache_plaintexts = false) ~keys ~bootstrap func =
     sched = None;
   }
 
+(* Mirrors Ace_verify.Verifier.enabled — the verifier library sits above
+   this one, so the executor reads the knob itself rather than importing
+   it. Cost is one O(nodes + edges) validation per prepared VM. *)
+let runtime_checks =
+  lazy
+    (match Sys.getenv_opt "ACE_VERIFY" with
+    | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "0" | "off" | "false" | "no" -> false
+      | _ -> true)
+    | None -> true)
+
 let schedule t =
   match t.sched with
   | Some s -> s
   | None ->
     let s = Sched.analyze t.func in
+    if Lazy.force runtime_checks then Sched.check t.func s;
     t.sched <- Some s;
     s
 

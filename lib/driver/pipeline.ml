@@ -6,8 +6,16 @@ module Ckks_fusion = Ace_ckks_ir.Ckks_fusion
 module Keygen_plan = Ace_ckks_ir.Keygen_plan
 module Param_select = Ace_ckks_ir.Param_select
 module Poly_ir = Ace_poly_ir.Poly_ir
+module Verifier = Ace_verify.Verifier
 module Fhe = Ace_fhe
 open Ace_ir
+
+(* The cross-level verifier runs after every lowering stage (ACE_VERIFY,
+   on by default; see lib/verify). A diagnostic here means the stage just
+   executed miscompiled the function — [Verifier.Rejected] carries the
+   typed findings and names the offending IR nodes. *)
+let verify_stage ~pass ?plan ?context f =
+  if Verifier.enabled () then Verifier.check_exn ~pass ?plan ?context f
 
 type strategy = {
   strategy_name : string;
@@ -131,6 +139,7 @@ let compile ?context strategy nn_input =
         Verify.verify f;
         f)
   in
+  verify_stage ~pass:"nn" nn;
   (* VECTOR level. *)
   let (vec, out_layouts, in_layout), t_vec =
     timed "vector" (fun () ->
@@ -140,10 +149,12 @@ let compile ?context strategy nn_input =
         let vf, outs = Lower_nn.lower cfg nn in
         (vf, outs, Lower_nn.input_layout cfg nn))
   in
+  verify_stage ~pass:"vector" vec;
   (* SIHE level. *)
   let sihe, t_sihe =
     timed "sihe" (fun () -> Lower_vec.lower { Lower_vec.relu_alpha = strategy.relu_alpha } vec)
   in
+  verify_stage ~pass:"sihe" sihe;
   (* CKKS level. *)
   let ckks, t_ckks =
     timed "ckks" (fun () ->
@@ -160,6 +171,10 @@ let compile ?context strategy nn_input =
         Ace_ckks_ir.Scale_check.check context f;
         f)
   in
+  (* No keygen plan yet: the plan is derived from this function below, so
+     this stage checks well-formedness and the abstract (scale, level,
+     limbs) interpretation plus both execution schedules. *)
+  verify_stage ~pass:"ckks" ~context ckks;
   let key_plan =
     if strategy.pruned_keys then Keygen_plan.pruned ckks
     else Keygen_plan.power_of_two ~slots
@@ -185,6 +200,10 @@ let compile ?context strategy nn_input =
         end
         else f)
   in
+  (* The execution-ready function: every rotation step must now have a
+     planned Galois key, and hoisted bundles must be accessed only through
+     batch_get — the checks that subsume a runtime Missing_rotation_key. *)
+  verify_stage ~pass:"keys" ~plan:key_plan ~context ckks;
   (* POLY level. *)
   let (poly, c_source), t_poly =
     timed "poly" (fun () ->
@@ -193,6 +212,7 @@ let compile ?context strategy nn_input =
         let p = Ace_poly_ir.Op_fusion.fuse p in
         (p, Ace_codegen.C_backend.emit ckks p))
   in
+  if Verifier.enabled () then Verifier.poly_exn ~pass:"poly" poly;
   (* "Others": weight externalisation (the paper writes them to disk). *)
   let _, t_other = timed "other" (fun () -> Ace_codegen.C_backend.emit_weights_file ckks) in
   {

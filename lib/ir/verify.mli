@@ -10,6 +10,13 @@
 
 exception Ill_formed of string
 
+val check_node : Irfunc.t -> Irfunc.node -> unit
+(** Per-opcode typing rules for one node (operand/result types, attribute
+    consistency). Structural properties (argument ordering, arity, level
+    discipline) are {!verify}'s job. Exposed so {!Ace_verify.Verifier} can
+    reuse the rules while collecting diagnostics instead of failing fast.
+    @raise Ill_formed on the first violation. *)
+
 val verify : Irfunc.t -> unit
 (** @raise Ill_formed with a diagnostic naming the offending node. *)
 

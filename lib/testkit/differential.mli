@@ -1,0 +1,61 @@
+(** Differential testing: encrypted inference against the cleartext
+    reference, under every executor.
+
+    A {!case} is one seeded random graph ({!Graph_gen}) compiled
+    end-to-end (with the verifier on), its keys, one random input and two
+    cleartext references: the exact NN output ({!Ace_nn.Nn_interp}) and
+    the SIHE-level output ({!Ace_sihe.Sihe_interp}), which already
+    contains the polynomial activation approximations but no encryption.
+    {!run_case} executes the case encrypted under a chosen scheduler and
+    domain-pool width with the ciphertext flight recorder on. {!check}
+    holds the run to two bounds: a tight one against the SIHE reference
+    (pure crypto error, scaled from the flight recorder's observed
+    noise-budget floor [2^-min_budget_bits]) and a loose gross-wrongness
+    bound against the exact reference (absorbing per-activation
+    approximation error, which compounds through layers) — and requires
+    that the noise budget never ran dry.
+
+    Different (scheduler, domains) runs of one case must also be
+    bit-identical ({!ct_equal}); the differential suite checks both. *)
+
+type case = {
+  case_seed : int;
+  graph : Ace_onnx.Model.graph;
+  nn : Ace_ir.Irfunc.t;
+  compiled : Ace_driver.Pipeline.compiled;
+  keys : Ace_fhe.Keys.t;
+  input : float array;
+  reference : float array;  (** exact NN interpreter output *)
+  sihe_reference : float array;
+      (** SIHE cleartext interpreter output: approximations in, noise out *)
+}
+
+type outcome = {
+  scheduler : Ace_driver.Pipeline.scheduler;
+  domains : int;
+  ct_out : Ace_fhe.Ciphertext.ct;
+  output : float array;
+  max_err : float;  (** against the exact NN reference *)
+  tolerance : float;
+  crypto_err : float;  (** against the SIHE reference: crypto noise only *)
+  crypto_tolerance : float;
+  min_budget_bits : float;  (** smallest headroom any op left, in bits *)
+}
+
+val prepare : ?cfg:Graph_gen.cfg -> seed:int -> unit -> case
+(** Generate, import, compile (ACE strategy) and keygen; deterministic in
+    [seed]. *)
+
+val run_case :
+  scheduler:Ace_driver.Pipeline.scheduler -> domains:int -> case -> outcome
+(** Runs with the domain pool resized to [domains] (restored to 1 after)
+    and the flight recorder enabled for the duration of the run. *)
+
+val check : case -> outcome -> (unit, string) result
+(** [Error msg] when the error bound or the noise-budget floor is violated. *)
+
+val ct_equal : Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct -> bool
+(** Component-wise bit identity (sizes, scale, every RNS limb). *)
+
+val describe : outcome -> string
+(** One line for test logs: scheduler/domains/error/tolerance/budget. *)

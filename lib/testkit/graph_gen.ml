@@ -1,0 +1,122 @@
+module Builder = Ace_onnx.Builder
+module Model = Ace_onnx.Model
+module Rng = Ace_util.Rng
+
+type cfg = {
+  max_gemm_layers : int;
+  dims : int array;
+  activation_prob : float;
+  residual_prob : float;
+  conv_prob : float;
+}
+
+let default =
+  {
+    max_gemm_layers = 3;
+    dims = [| 4; 8; 16 |];
+    activation_prob = 0.6;
+    residual_prob = 0.35;
+    conv_prob = 0.25;
+  }
+
+let pick rng arr = arr.(Rng.int rng (Array.length arr))
+let chance rng p = Rng.float rng 1.0 < p
+
+(* Weight scale ~ 1/sqrt(fan_in) keeps every intermediate comfortably in
+   the [-1, 1]-ish domain the activation approximations are fitted on
+   (sign_approx for ReLU, minimax sigmoid/tanh), so the differential
+   tolerance measures compiler error, not approximation-domain escape. *)
+let gemm b rng ~name ~src ~in_dim ~out_dim =
+  let std = 0.8 /. sqrt (float_of_int in_dim) in
+  Builder.init_normal b (name ^ ".w") [| out_dim; in_dim |] ~seed:(Rng.int rng 1_000_000)
+    ~std;
+  Builder.init_normal b (name ^ ".b") [| out_dim |] ~seed:(Rng.int rng 1_000_000) ~std:0.05;
+  Builder.node b ~op:"Gemm" ~inputs:[ src; name ^ ".w"; name ^ ".b" ] name;
+  name
+
+let activation b rng ~src ~name =
+  let op =
+    let r = Rng.float rng 1.0 in
+    if r < 0.4 then "Sigmoid" else if r < 0.8 then "Tanh" else "Relu"
+  in
+  Builder.node b ~op ~inputs:[ src ] name;
+  name
+
+let generate ?(cfg = default) ~seed () =
+  let rng = Rng.create (0x7357_0000 + seed) in
+  let b = Builder.create (Printf.sprintf "gen_%d" seed) in
+  (* Stem: either a flat dense input or a small conv/pool feature stage.
+     The conv branch joins the dense trunk through GlobalAveragePool —
+     the one conv-to-dense bridge the VECTOR lowering supports (Gemm
+     wants one value per channel; Flatten keeps the spatial layout). *)
+  let src, dim =
+    if chance rng cfg.conv_prob then begin
+      let c = 1 + Rng.int rng 2 in
+      let oc = 2 in
+      Builder.input b "x" [| c; 4; 4 |];
+      Builder.init_normal b "stem.w" [| oc; c; 3; 3 |] ~seed:(Rng.int rng 1_000_000)
+        ~std:(0.5 /. float_of_int c);
+      Builder.init_normal b "stem.b" [| oc |] ~seed:(Rng.int rng 1_000_000) ~std:0.05;
+      Builder.node b ~op:"Conv"
+        ~attrs:[ ("pads", Model.A_ints [ 1; 1; 1; 1 ]) ]
+        ~inputs:[ "x"; "stem.w"; "stem.b" ] "stem";
+      let src = if chance rng cfg.activation_prob then activation b rng ~src:"stem" ~name:"stem.act" else "stem" in
+      let src =
+        if chance rng 0.5 then begin
+          Builder.node b ~op:"AveragePool"
+            ~attrs:[ ("kernel_shape", Model.A_ints [ 2 ]); ("strides", Model.A_ints [ 2 ]) ]
+            ~inputs:[ src ] "pool";
+          "pool"
+        end
+        else src
+      in
+      Builder.node b ~op:"GlobalAveragePool" ~inputs:[ src ] "gap";
+      ("gap", oc)
+    end
+    else begin
+      let dim = pick rng cfg.dims in
+      Builder.input b "x" [| dim |];
+      ("x", dim)
+    end
+  in
+  (* Dense trunk: Gemm layers with optional activations; a width-preserving
+     pair may close into a residual Add (the ResNet join shape). *)
+  let layers = 1 + Rng.int rng cfg.max_gemm_layers in
+  let src = ref src and dim = ref dim in
+  for l = 0 to layers - 1 do
+    let name = Printf.sprintf "fc%d" l in
+    if !dim = pick rng cfg.dims && chance rng cfg.residual_prob then begin
+      (* Residual block: y = x + G2(act(G1(x))), both Gemms width-preserving. *)
+      let block_in = !src in
+      let g1 = gemm b rng ~name:(name ^ "a") ~src:block_in ~in_dim:!dim ~out_dim:!dim in
+      let a = activation b rng ~src:g1 ~name:(name ^ "a.act") in
+      let g2 = gemm b rng ~name:(name ^ "b") ~src:a ~in_dim:!dim ~out_dim:!dim in
+      Builder.node b ~op:"Add" ~inputs:[ block_in; g2 ] name;
+      src := name
+    end
+    else begin
+      let out_dim = pick rng cfg.dims in
+      let g = gemm b rng ~name ~src:!src ~in_dim:!dim ~out_dim in
+      dim := out_dim;
+      src :=
+        if chance rng cfg.activation_prob then activation b rng ~src:g ~name:(name ^ ".act")
+        else g
+    end
+  done;
+  (* Head: project to a small class count so outputs are easy to compare. *)
+  let classes = 2 + Rng.int rng 3 in
+  let head = gemm b rng ~name:"head" ~src:!src ~in_dim:!dim ~out_dim:classes in
+  Builder.output b head [| classes |];
+  Builder.finish b
+
+let input_dim (g : Model.graph) =
+  match g.Model.g_inputs with
+  | [ { Model.v_dims; _ } ] -> Array.fold_left ( * ) 1 v_dims
+  | _ -> invalid_arg "Graph_gen.input_dim: expected a single input"
+
+let nonlinear_count (g : Model.graph) =
+  List.length
+    (List.filter
+       (fun (n : Model.node) ->
+         match n.Model.n_op with "Relu" | "Sigmoid" | "Tanh" -> true | _ -> false)
+       g.Model.g_nodes)

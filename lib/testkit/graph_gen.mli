@@ -1,0 +1,34 @@
+(** Seeded random NN-graph generation over the ONNX-subset builder.
+
+    The generator draws small but structurally varied inference graphs —
+    Gemm chains with smooth/ReLU activations, residual Add blocks, and
+    Conv/pool stems — from a splitmix64 stream, so every graph is
+    reproducible from its seed and small enough to compile and run
+    encrypted in well under a second. The differential harness
+    ({!Differential}) compiles each graph end-to-end and compares the
+    encrypted run against the cleartext reference interpreter; the
+    generator's job is to reach lowering paths the hand-written tests do
+    not (BSGS vs direct GEMM shapes, activation placement, residual joins,
+    conv regrouping, pooling). *)
+
+type cfg = {
+  max_gemm_layers : int;  (** hidden Gemm layers in the dense trunk (>= 1) *)
+  dims : int array;  (** candidate layer widths (kept small: slot budget) *)
+  activation_prob : float;  (** chance a layer gets an activation *)
+  residual_prob : float;  (** chance a width-preserving block closes with Add *)
+  conv_prob : float;  (** chance the graph opens with a Conv stem *)
+}
+
+val default : cfg
+(** Up to 3 Gemm layers over widths {4, 8, 16}, activations 60% (sigmoid /
+    tanh / relu at 40/40/20), residual 35%, conv stem 25%. *)
+
+val generate : ?cfg:cfg -> seed:int -> unit -> Ace_onnx.Model.graph
+(** Equal seeds (and configs) give equal graphs, including weights. *)
+
+val input_dim : Ace_onnx.Model.graph -> int
+(** Flat element count of the graph's single input. *)
+
+val nonlinear_count : Ace_onnx.Model.graph -> int
+(** Activation nodes in the graph — the dominant error term under CKKS,
+    since each lowers to a polynomial approximation. *)

@@ -1,0 +1,53 @@
+type kind =
+  | No_returns
+  | Undefined_value
+  | Multiple_definition
+  | Arity_mismatch
+  | Type_mismatch
+  | Level_violation
+  | Slot_mismatch
+  | Scale_mismatch
+  | Level_mismatch
+  | Limb_mismatch
+  | Missing_rotation_key
+  | Batch_aliasing
+  | Bootstrap_range
+  | Schedule_violation
+
+type t = {
+  d_kind : kind;
+  d_pass : string;
+  d_level : Ace_ir.Level.t;
+  d_node : int option;
+  d_message : string;
+}
+
+let kind_name = function
+  | No_returns -> "no-returns"
+  | Undefined_value -> "undefined-value"
+  | Multiple_definition -> "multiple-definition"
+  | Arity_mismatch -> "arity-mismatch"
+  | Type_mismatch -> "type-mismatch"
+  | Level_violation -> "level-violation"
+  | Slot_mismatch -> "slot-mismatch"
+  | Scale_mismatch -> "scale-mismatch"
+  | Level_mismatch -> "level-mismatch"
+  | Limb_mismatch -> "limb-mismatch"
+  | Missing_rotation_key -> "missing-rotation-key"
+  | Batch_aliasing -> "batch-aliasing"
+  | Bootstrap_range -> "bootstrap-range"
+  | Schedule_violation -> "schedule-violation"
+
+let make d_kind ~pass ~level ?node d_message =
+  { d_kind; d_pass = pass; d_level = level; d_node = node; d_message }
+
+let to_string d =
+  let where =
+    match d.d_node with
+    | Some id -> Printf.sprintf "node %%%d" id
+    | None -> "function"
+  in
+  Printf.sprintf "[%s] %s/%s: %s: %s" (kind_name d.d_kind) d.d_pass
+    (Ace_ir.Level.to_string d.d_level) where d.d_message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

@@ -110,6 +110,89 @@ let test_ckks_fusion_composes_rotations () =
   Alcotest.(check (list int)) "one composed rotation" [ 8 ] rots;
   Scale_check.check ctx g
 
+(* Scale_check edge cases: the checker must keep working on the IR the
+   batching fusion pass actually produces, and must accept legal
+   non-minimum bootstrap targets while rejecting out-of-range ones. *)
+
+let annotate f id ~scale ~level =
+  (Irfunc.node f id).Irfunc.scale <- scale;
+  (Irfunc.node f id).Irfunc.node_level <- level
+
+let test_scale_check_rescale_after_batching () =
+  let ctx = Param_select.execution_context ~slots:32 () in
+  let delta = Ace_fhe.Context.scale ctx and chain = Ace_fhe.Context.max_level ctx in
+  let f = Irfunc.create ~name:"batched" ~level:Level.Ckks ~params:[ ("x", Types.Cipher) ] in
+  let p = Irfunc.param f 0 in
+  annotate f p ~scale:delta ~level:chain;
+  (* Two rotations of one source: the fusion pass hoists them into a
+     C_rotate_batch bundle + C_batch_get reads. *)
+  let r1 = Irfunc.add f (Op.C_rotate 3) [| p |] Types.Cipher in
+  let r2 = Irfunc.add f (Op.C_rotate 5) [| p |] Types.Cipher in
+  let s = Irfunc.add f Op.C_add [| r1; r2 |] Types.Cipher in
+  let m = Irfunc.add f Op.C_mul [| s; s |] Types.Cipher3 in
+  let rl = Irfunc.add f Op.C_relin [| m |] Types.Cipher in
+  let rs = Irfunc.add f Op.C_rescale [| rl |] Types.Cipher in
+  List.iter (fun id -> annotate f id ~scale:delta ~level:chain) [ r1; r2; s ];
+  List.iter (fun id -> annotate f id ~scale:(delta *. delta) ~level:chain) [ m; rl ];
+  let q = float_of_int (Ace_rns.Crt.modulus (Ace_fhe.Context.crt ctx) chain) in
+  annotate f rs ~scale:(delta *. delta /. q) ~level:(chain - 1);
+  Irfunc.set_returns f [ rs ];
+  let g = Ckks_fusion.batch_rotations ~min_batch:2 (Ckks_fusion.run f) in
+  let batched =
+    Irfunc.fold g ~init:false ~f:(fun acc n ->
+        match n.Irfunc.op with Op.C_rotate_batch _ -> true | _ -> acc)
+  in
+  Alcotest.(check bool) "fusion produced a rotate batch" true batched;
+  (* Control: the fused function is still well-scaled. *)
+  Scale_check.check ctx g;
+  (* Corrupt the rescale that now follows the batch: its scale claims the
+     divide never happened. Scale_check must name the node, not pass. *)
+  let bad =
+    Irfunc.fold g ~init:(-1) ~f:(fun acc n ->
+        if n.Irfunc.op = Op.C_rescale then n.Irfunc.id else acc)
+  in
+  Alcotest.(check bool) "fused function kept its rescale" true (bad >= 0);
+  let saved = (Irfunc.node g bad).Irfunc.scale in
+  (Irfunc.node g bad).Irfunc.scale <- delta *. delta;
+  (try
+     Scale_check.check ctx g;
+     Alcotest.fail "mismatched rescale after batching went undetected"
+   with Scale_check.Bad_scales msg ->
+     Alcotest.(check bool)
+       "diagnostic names the rescale node" true
+       (let needle = Printf.sprintf "%%%d" bad in
+        let rec mem i =
+          i + String.length needle <= String.length msg
+          && (String.sub msg i (String.length needle) = needle || mem (i + 1))
+        in
+        mem 0));
+  (Irfunc.node g bad).Irfunc.scale <- saved;
+  Scale_check.check ctx g
+
+let test_scale_check_bootstrap_levels () =
+  let ctx = Param_select.execution_context ~slots:32 () in
+  let delta = Ace_fhe.Context.scale ctx and chain = Ace_fhe.Context.max_level ctx in
+  let boot_at target =
+    let f = Irfunc.create ~name:"boot" ~level:Level.Ckks ~params:[ ("x", Types.Cipher) ] in
+    let p = Irfunc.param f 0 in
+    annotate f p ~scale:delta ~level:chain;
+    let b = Irfunc.add f (Op.C_bootstrap target) [| p |] Types.Cipher in
+    annotate f b ~scale:delta ~level:target;
+    Irfunc.set_returns f [ b ];
+    f
+  in
+  (* A bootstrap may land anywhere inside the chain, not only at the
+     minimum level the ACE strategy prefers. *)
+  Scale_check.check ctx (boot_at (chain - 1));
+  Scale_check.check ctx (boot_at 1);
+  List.iter
+    (fun target ->
+      try
+        Scale_check.check ctx (boot_at target);
+        Alcotest.failf "bootstrap target %d (chain %d) went undetected" target chain
+      with Scale_check.Bad_scales _ -> ())
+    [ 0; -1; chain + 1 ]
+
 let test_expert_rotations_are_decomposed () =
   let c = compile_gemv Pipeline.library_default in
   (* Every rotation step must be a key the power-of-two plan owns. *)
@@ -341,6 +424,9 @@ let () =
         [
           Alcotest.test_case "scales validate" `Quick test_ckks_scales_validate;
           Alcotest.test_case "rotation fusion" `Quick test_ckks_fusion_composes_rotations;
+          Alcotest.test_case "rescale after rotate-batch fusion" `Quick
+            test_scale_check_rescale_after_batching;
+          Alcotest.test_case "bootstrap level range" `Quick test_scale_check_bootstrap_levels;
           Alcotest.test_case "expert decomposition" `Quick test_expert_rotations_are_decomposed;
           Alcotest.test_case "ACE fewer rotations" `Quick test_ace_fewer_rotations_than_expert;
           Alcotest.test_case "ACE fewer rescales" `Quick test_ace_fewer_rescales_than_expert;

@@ -1,0 +1,108 @@
+(* Property-based differential suite: seeded random graphs compiled
+   end-to-end (verifier on), run encrypted under {seq, wavefront} x
+   {1, 4 domains}, and held to three properties per graph:
+
+   1. the decoded output matches the cleartext NN reference within the
+      case's predicted tolerance (approximation budget + the flight
+      recorder's observed noise ceiling);
+   2. the noise budget never runs dry mid-inference;
+   3. all four executor configurations produce bit-identical output
+      ciphertexts (the scheduler and the pool width are performance
+      knobs, never semantics).
+
+   The quick tier (5 seeds) runs on every `dune runtest` and in CI; the
+   remaining 20 seeds of the 25-graph suite run when ACE_DIFF_FULL=1 is
+   set, keeping the default suite fast without shrinking the property. *)
+
+module Differential = Ace_testkit.Differential
+module Graph_gen = Ace_testkit.Graph_gen
+module Pipeline = Ace_driver.Pipeline
+module Verifier = Ace_verify.Verifier
+
+let quick_seeds = [ 0; 1; 2; 3; 4 ]
+let full_seeds = List.init 20 (fun i -> 5 + i)
+
+let full_tier_on () =
+  match Sys.getenv_opt "ACE_DIFF_FULL" with
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "" | "0" | "off" | "false" | "no" -> false
+    | _ -> true)
+  | None -> false
+
+let configs =
+  [
+    (Pipeline.Seq, 1);
+    (Pipeline.Seq, 4);
+    (Pipeline.Wavefront, 1);
+    (Pipeline.Wavefront, 4);
+  ]
+
+let run_seed seed () =
+  (* The verifier is part of the property: a graph that compiles with
+     diagnostics is a failure even if the numbers come out right. *)
+  Verifier.set_enabled true;
+  let case = Differential.prepare ~seed () in
+  let outcomes =
+    List.map
+      (fun (scheduler, domains) -> Differential.run_case ~scheduler ~domains case)
+      configs
+  in
+  List.iter
+    (fun (o : Differential.outcome) ->
+      match Differential.check case o with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    outcomes;
+  match outcomes with
+  | baseline :: rest ->
+    List.iter
+      (fun (o : Differential.outcome) ->
+        if not (Differential.ct_equal baseline.Differential.ct_out o.Differential.ct_out)
+        then
+          Alcotest.failf "seed %d: %s diverges bit-wise from %s" seed
+            (Differential.describe o)
+            (Differential.describe baseline))
+      rest
+  | [] -> assert false
+
+let graph_generator_deterministic () =
+  let a = Graph_gen.generate ~seed:11 () and b = Graph_gen.generate ~seed:11 () in
+  Alcotest.(check bool) "same graph" true (a = b);
+  let c = Graph_gen.generate ~seed:12 () in
+  Alcotest.(check bool) "different seeds differ" true (a <> c)
+
+let graphs_cover_shapes () =
+  (* The generator must actually reach the interesting lowering paths
+     across a seed range: activations, residual Adds, and conv stems. *)
+  let seeds = List.init 25 (fun i -> i) in
+  let graphs = List.map (fun s -> Graph_gen.generate ~seed:s ()) seeds in
+  let count p = List.length (List.filter p graphs) in
+  let has_op op (g : Ace_onnx.Model.graph) =
+    List.exists (fun (n : Ace_onnx.Model.node) -> n.Ace_onnx.Model.n_op = op) g.Ace_onnx.Model.g_nodes
+  in
+  Alcotest.(check bool) "some graph has an activation" true
+    (count (fun g -> Graph_gen.nonlinear_count g > 0) > 0);
+  Alcotest.(check bool) "some graph has a residual Add" true (count (has_op "Add") > 0);
+  Alcotest.(check bool) "some graph has a conv stem" true (count (has_op "Conv") > 0);
+  Alcotest.(check bool) "some graph is purely linear" true
+    (count (fun g -> Graph_gen.nonlinear_count g = 0) > 0)
+
+let seed_case seed =
+  Alcotest.test_case
+    (Printf.sprintf "seed %d: err bound + bit-identity (seq/wavefront x 1/4 domains)" seed)
+    `Slow (run_seed seed)
+
+let () =
+  let tiers =
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic in the seed" `Quick graph_generator_deterministic;
+          Alcotest.test_case "shape coverage over 25 seeds" `Quick graphs_cover_shapes;
+        ] );
+      ("quick-tier", List.map seed_case quick_seeds);
+    ]
+    @ if full_tier_on () then [ ("full-tier", List.map seed_case full_seeds) ] else []
+  in
+  Alcotest.run "differential" tiers

@@ -43,4 +43,20 @@ dune exec tools/check_trace.exe -- "$trace" --min-tids 2 \
   --min-tids-for vm. 2 \
   --require sched.wavefront --require fhe.rotate --require compile.ckks
 
+# Verifier smoke: the cross-level IR verifier (default-on, ACE_VERIFY)
+# must accept every example model with zero diagnostics — an explicit
+# ACE_VERIFY=1 run so a future default change can't silently skip it, and
+# an ACE_VERIFY=0 run to keep the disable path working.
+echo "== verifier smoke, ACE_VERIFY=1 =="
+ACE_VERIFY=1 dune exec examples/quickstart.exe >/dev/null
+ACE_VERIFY=1 dune exec examples/resnet_infer.exe >/dev/null
+ACE_VERIFY=0 dune exec examples/quickstart.exe >/dev/null
+
+# Differential quick tier: 5 seeded random graphs, encrypted vs cleartext
+# under {seq, wavefront} x {1, 4 domains} with bit-identity across all
+# four.  (The full 25-graph suite runs with ACE_DIFF_FULL=1; CI keeps the
+# quick tier mandatory.)
+echo "== differential quick tier =="
+ACE_VERIFY=1 dune exec test/test_differential.exe
+
 echo "CI OK"
