@@ -411,20 +411,24 @@ let micro () =
       | _ -> Printf.printf "%-30s (no estimate)\n" name)
     results
 
-(* ---------- --json: machine-readable artifact (BENCH_pr4.json) ---------- *)
+(* ---------- --json: machine-readable artifact (BENCH_pr6.json) ---------- *)
 
 (* One JSON blob per run so CI and the growth driver can diff numbers across
-   PRs without scraping the human tables: per-model compile time, per-image
-   inference time, the domain-pool width, NTT/keyswitch ns/op, the hoisted
-   vs sequential rotation-batch comparison, and — new in pr4 — the
-   scheduler sweep: resnet20 inference at 1/2/4/8 domains under both the
-   sequential and the wavefront executor, with per-domain busy-time
-   utilization derived from the per-node telemetry spans, plus host_cores
-   so scaling numbers are read against the hardware that produced them. *)
-let json_schema_version = 4
+   PRs without scraping the human tables. New in pr6: lazy-pass op-count
+   rows per workload (eager vs surviving relins/rescales — resnet's sign
+   towers rescale every product immediately so they keep their relins,
+   while accumulation trees collapse to one relin per reduction root: the
+   regime split EXPERIMENTS.md documents), the accumulation end-to-end
+   lazy on/off timing, the headline resnet20 comparison against the
+   BENCH_pr4 artifact at equal domain count (the runtime gains: Harvey
+   lazy-reduction NTT, Shoup-precomputed key-switch companions), and a
+   key-switch tail-latency gate (max/p50) guarding the keygen warm-up
+   against the 0.178 s first-switch spike BENCH_pr4 recorded. *)
+let json_schema_version = 6
 
-let json_bench ?(path = "BENCH_pr4.json") () =
+let json_bench ?(path = "BENCH_pr6.json") () =
   let module Domain_pool = Ace_util.Domain_pool in
+  let module Json = Ace_telemetry.Json_lite in
   let default_domains = Domain_pool.size () in
   (* On a 1-core host the default pool is 1; still measure a 4-wide pool so
      the overhead (or speedup, on real hardware) is recorded. *)
@@ -442,6 +446,18 @@ let json_bench ?(path = "BENCH_pr4.json") () =
         (spec.Resnet.model_name, dt))
       models
   in
+  (* Only resnet20/32 are inferred below; keeping all six compiled
+     models (resnet110 alone is most of the set) live through the timed
+     sections taxes every major-GC slice taken during inference with
+     gigabytes of dead-weight marking — measured at >2x wall clock on
+     the first timed run. Drop the ones the rest of the bench never
+     reads and return the heap to working-set size. *)
+  Hashtbl.iter
+    (fun key _ ->
+      if key <> "ACE/resnet20" && key <> "ACE/resnet32" then
+        Hashtbl.remove compile_cache key)
+    (Hashtbl.copy compile_cache);
+  Gc.compact ();
   (* micro: forward NTT at production ring degree *)
   let ntt_ns =
     let n = 4096 in
@@ -513,28 +529,169 @@ let json_bench ?(path = "BENCH_pr4.json") () =
      scheduler sweep on the same resnet20 image (determinism means every
      configuration produces identical ciphertexts; only the wall clock may
      differ — which the sweep verifies). *)
-  let infer_time ~domains spec =
-    Domain_pool.set_num_domains domains;
-    let c = compiled Pipeline.ace spec in
-    let keys = Pipeline.make_keys c ~seed:77 in
-    let rng = Rng.create 1001 in
-    let dims = 3 * spec.Resnet.image_size * spec.Resnet.image_size in
-    let image = Array.init dims (fun _ -> Rng.float rng 1.0) in
-    let _, dt = time (fun () -> Pipeline.infer_encrypted c keys ~seed:55 image) in
-    Printf.printf "infer %-12s domains=%d %7.2fs\n%!" spec.Resnet.model_name domains dt;
-    dt
-  in
-  (* Scope the telemetry snapshot to the end-to-end inference runs: the
-     per-category table then reads as "one inference workload", not a mix
-     of microbenchmark noise. *)
-  Telemetry.reset_metrics ();
-  let infer_rows =
+  (* Each model is measured in its own window: keygen first, then a
+     metrics reset, then the timed inference — so the telemetry snapshot
+     (and the key-switch tail gate) covers inference only; the keygen
+     warm-up (Eval.warm) exists precisely to keep the one-off
+     first-switch costs out of the serving path. One model's keys at a
+     time: a second live multi-GB key set would inflate every GC slice
+     taken during the timed run (measured as a >2x wall-clock penalty on
+     this host) and skew the comparison against earlier artifacts that
+     also timed with a single key set resident. *)
+  let infer_results =
     List.map
-      (fun s -> (s.Resnet.model_name, infer_time ~domains:default_domains s))
+      (fun spec ->
+        Domain_pool.set_num_domains default_domains;
+        let c = compiled Pipeline.ace spec in
+        let keys = Pipeline.make_keys c ~seed:77 in
+        Telemetry.reset_metrics ();
+        let rng = Rng.create 1001 in
+        let dims = 3 * spec.Resnet.image_size * spec.Resnet.image_size in
+        let image = Array.init dims (fun _ -> Rng.float rng 1.0) in
+        let _, dt = time (fun () -> Pipeline.infer_encrypted c keys ~seed:55 image) in
+        Printf.printf "infer %-12s domains=%d %7.2fs\n%!" spec.Resnet.model_name
+          default_domains dt;
+        (spec.Resnet.model_name, dt, Telemetry.snapshot (), Telemetry.to_json ()))
       [ Resnet.resnet20; Resnet.resnet32 ]
   in
-  let telemetry_json = Telemetry.to_json () in
+  let infer_rows = List.map (fun (name, dt, _, _) -> (name, dt)) infer_results in
+  (* The exported per-category table is resnet20's window — one
+     inference workload, no keygen or microbenchmark noise mixed in. *)
+  let telemetry_json =
+    match infer_results with (_, _, _, tel) :: _ -> tel | [] -> "{}"
+  in
+  (* Key-switch tail gate: with the keygen warm in place the slowest
+     inference-time key switch must stay within [tail_bound] of the
+     median. BENCH_pr4 measured 0.178 s max against a 3.6 ms p50 — a 49x
+     spike from one-off pool/memo fills that now happen at keygen. The
+     residual post-warm spread is structural, not warm-up: a key switch
+     costs ~limbs^2 transforms, so the full-width switches at the top of
+     the chain sit ~33x over the mid-chain median (measured here after
+     the warm landed). The bound is set between the two regimes — it
+     trips if the one-off costs ever leak back into the serving path. *)
+  let tail_bound = 40.0 in
+  let ks_max, ks_p50, ks_ratio =
+    (* Worst ratio across the per-model windows. *)
+    List.fold_left
+      (fun (bm, bp, br) (_, _, snap, _) ->
+        match Telemetry.find_stats snap "fhe.key_switch" with
+        | Some s
+          when s.Telemetry.st_p50 > 0.0
+               && s.Telemetry.st_max /. s.Telemetry.st_p50 > br ->
+          (s.Telemetry.st_max, s.Telemetry.st_p50, s.Telemetry.st_max /. s.Telemetry.st_p50)
+        | _ -> (bm, bp, br))
+      (0.0, 0.0, 0.0) infer_results
+  in
+  Printf.printf "fhe.key_switch tail: max %.4fs p50 %.4fs ratio %.1fx (bound %.0fx)\n%!"
+    ks_max ks_p50 ks_ratio tail_bound;
   let stats_json = Stats.to_json (Stats.of_compiled (compiled Pipeline.ace Resnet.resnet20)) in
+  (* Lazy-pass op counts per workload. The sign-tower regime (resnet)
+     rescales every ct*ct product immediately, so a relin survives at
+     each rescale and the counts barely move; the accumulation regime
+     (Add trees over products, still at scale Delta^2) collapses to one
+     relin per reduction root. Both are recorded — the ratios are the
+     honest shape of the optimization, not a single headline number. *)
+  let lazy_workloads =
+    let gen name cfg seed =
+      ( name,
+        fun () ->
+          Ace_nn.Import.import (Ace_testkit.Graph_gen.generate ~cfg ~seed ()) )
+    in
+    let act_mlp =
+      {
+        Ace_testkit.Graph_gen.default with
+        Ace_testkit.Graph_gen.max_gemm_layers = 2;
+        dims = [| 8 |];
+        activation_prob = 1.0;
+        residual_prob = 0.0;
+        conv_prob = 0.0;
+        mul_tree_prob = 0.0;
+      }
+    in
+    [
+      ("resnet20", fun () -> Resnet.build_calibrated Resnet.resnet20);
+      gen "accum-100" Ace_testkit.Graph_gen.accumulation 100;
+      gen "accum-101" Ace_testkit.Graph_gen.accumulation 101;
+      gen "act-mlp-7" act_mlp 7;
+    ]
+  in
+  let lazy_rows =
+    List.map
+      (fun (name, build) ->
+        let c =
+          match Hashtbl.find_opt compile_cache ("ACE/" ^ name) with
+          | Some c -> c
+          | None -> Pipeline.compile Pipeline.ace (build ())
+        in
+        let s = c.Pipeline.lazy_stats in
+        let open Ace_ckks_ir.Ckks_lazy in
+        let ratio a b = if b = 0 then 1.0 else float_of_int a /. float_of_int b in
+        Printf.printf
+          "lazy  %-12s relins %d -> %d (%.2fx), rescales %d -> %d (%.2fx), deg2 hw %d\n%!"
+          name s.relins_eager s.relins_lazy
+          (ratio s.relins_eager s.relins_lazy)
+          s.rescales_eager s.rescales_lazy
+          (ratio s.rescales_eager s.rescales_lazy)
+          s.deg2_high_water;
+        Printf.sprintf
+          "{\"model\": \"%s\", \"relins_eager\": %d, \"relins_lazy\": %d, \
+           \"relin_ratio\": %.3f, \"rescales_eager\": %d, \"rescales_lazy\": %d, \
+           \"rescale_ratio\": %.3f, \"deg2_high_water\": %d}"
+          name s.relins_eager s.relins_lazy
+          (ratio s.relins_eager s.relins_lazy)
+          s.rescales_eager s.rescales_lazy
+          (ratio s.rescales_eager s.rescales_lazy)
+          s.deg2_high_water)
+      lazy_workloads
+  in
+  (* Accumulation end-to-end, lazy on vs off: the regime where the
+     eliminated relins are a real fraction of the runtime. *)
+  let accum_e2e =
+    let nn = Ace_nn.Import.import (Ace_testkit.Graph_gen.generate ~cfg:Ace_testkit.Graph_gen.accumulation ~seed:100 ()) in
+    let eager = { Pipeline.ace with Pipeline.strategy_name = "ace-eager"; lazy_passes = false } in
+    let run strategy =
+      let c = Pipeline.compile strategy nn in
+      let keys = Pipeline.make_keys c ~seed:77 in
+      let rng = Rng.create 31 in
+      let input = Array.init 8 (fun _ -> Rng.float rng 1.6 -. 0.8) in
+      let reps = 5 in
+      let (), dt =
+        time (fun () ->
+            for i = 1 to reps do
+              ignore (Pipeline.infer_encrypted c keys ~seed:(40 + i) input)
+            done)
+      in
+      dt /. float_of_int reps
+    in
+    let t_lazy = run Pipeline.ace in
+    let t_eager = run eager in
+    Printf.printf "accum-100 e2e: lazy %.3fs eager %.3fs (%.2fx)\n%!" t_lazy t_eager
+      (t_eager /. t_lazy);
+    (t_lazy, t_eager)
+  in
+  (* Headline comparison against the committed BENCH_pr4 artifact (same
+     model, same domain count — both artifacts record it). *)
+  let pr4_resnet20 =
+    if not (Sys.file_exists "BENCH_pr4.json") then None
+    else
+      try
+        let doc = Json.parse_file "BENCH_pr4.json" in
+        match Json.member "inference_seconds" doc with
+        | Some infer -> (
+          match (Json.member "resnet20" infer, Json.member "domains_default" doc) with
+          | Some (Json.Num s), Some (Json.Num d) -> Some (s, int_of_float d)
+          | Some (Json.Num s), None -> Some (s, 1)
+          | _ -> None)
+        | None -> None
+      with Json.Parse_error _ -> None
+  in
+  (match pr4_resnet20 with
+  | Some (baseline, d) ->
+    Printf.printf "resnet20 vs BENCH_pr4: %.2fs -> %.2fs (%.2fx) at %d vs %d domains\n%!"
+      baseline (List.assoc "resnet20" infer_rows)
+      (baseline /. List.assoc "resnet20" infer_rows)
+      d default_domains
+  | None -> print_endline "BENCH_pr4.json not found; skipping cross-PR comparison");
   (* Scheduler sweep: resnet20, domains x {seq, wavefront}. One encrypted
      input reused throughout; outputs are checked bit-identical across every
      configuration (the run aborts loudly if the determinism contract ever
@@ -564,6 +721,12 @@ let json_bench ?(path = "BENCH_pr4.json") () =
       (Pipeline.scheduler_name scheduler) dt;
     dt
   in
+  let host_cores = Domain.recommended_domain_count () in
+  let single_core = host_cores <= 1 in
+  if single_core then
+    prerr_endline
+      "bench: warning: scheduler sweep running on a 1-core host — multi-domain rows \
+       measure scheduling overhead, not parallel speedup (host_cores records this)";
   let sweep_rows =
     List.concat_map
       (fun d ->
@@ -631,18 +794,41 @@ let json_bench ?(path = "BENCH_pr4.json") () =
   let buf = Buffer.create 2048 in
   let obj rows = String.concat ", " rows in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr4-dataflow-parallel\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr6-lazy-relin\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"schema_version\": %d,\n" json_schema_version);
   Buffer.add_string buf (Printf.sprintf "  \"domains_default\": %d,\n" default_domains);
   Buffer.add_string buf (Printf.sprintf "  \"domains_parallel\": %d,\n" par_domains);
+  Buffer.add_string buf (Printf.sprintf "  \"host_cores\": %d,\n" host_cores);
   Buffer.add_string buf
-    (Printf.sprintf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ()));
+    (Printf.sprintf "  \"sweep_single_core\": %b,\n" single_core);
   Buffer.add_string buf
     (Printf.sprintf "  \"compile_seconds\": {%s},\n"
        (obj (List.map (fun (m, t) -> Printf.sprintf "\"%s\": %.4f" m t) compile_rows)));
   Buffer.add_string buf
     (Printf.sprintf "  \"inference_seconds\": {%s},\n"
        (obj (List.map (fun (m, t) -> Printf.sprintf "\"%s\": %.4f" m t) infer_rows)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"lazy\": [%s],\n" (String.concat ", " lazy_rows));
+  (let t_lazy, t_eager = accum_e2e in
+   Buffer.add_string buf
+     (Printf.sprintf
+        "  \"accum_e2e\": {\"model\": \"accum-100\", \"lazy_seconds\": %.4f, \
+         \"eager_seconds\": %.4f, \"speedup\": %.3f},\n"
+        t_lazy t_eager (t_eager /. t_lazy)));
+  (match pr4_resnet20 with
+  | Some (baseline, d) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"baseline_pr4\": {\"resnet20_seconds\": %.4f, \"domains\": %d},\n" baseline d);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"speedup_vs_pr4_resnet20\": %.3f,\n"
+         (baseline /. List.assoc "resnet20" infer_rows))
+  | None -> Buffer.add_string buf "  \"baseline_pr4\": null,\n");
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"keyswitch_tail\": {\"max_s\": %.5f, \"p50_s\": %.5f, \"ratio\": %.2f, \
+        \"bound\": %.1f},\n"
+       ks_max ks_p50 ks_ratio tail_bound);
   Buffer.add_string buf
     (Printf.sprintf "  \"scheduler_sweep\": [%s],\n"
        (String.concat ", "
@@ -674,7 +860,16 @@ let json_bench ?(path = "BENCH_pr4.json") () =
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "wrote %s\n%!" path
+  Printf.printf "wrote %s\n%!" path;
+  (* Tail regression gate: fail the bench (artifact already on disk for
+     inspection) if the worst inference-time key switch blew past the
+     bound — the keygen warm is supposed to have absorbed that spike. *)
+  if ks_p50 > 0.0 && ks_ratio > tail_bound then begin
+    Printf.eprintf
+      "bench: key-switch tail regression: max/p50 = %.1f exceeds bound %.1f\n%!"
+      ks_ratio tail_bound;
+    exit 1
+  end
 
 (* ---------- driver ---------- *)
 

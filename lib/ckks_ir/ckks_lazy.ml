@@ -1,0 +1,232 @@
+open Ace_ir
+
+type stats = {
+  relins_eager : int;
+  relins_lazy : int;
+  rescales_eager : int;
+  rescales_lazy : int;
+  deg2_high_water : int;
+}
+
+let count f pred =
+  Irfunc.fold f ~init:0 ~f:(fun acc n -> if pred n.Irfunc.op then acc + 1 else acc)
+
+let relin_count f = count f (function Op.C_relin -> true | _ -> false)
+let rescale_count f = count f (function Op.C_rescale -> true | _ -> false)
+
+let close a b = abs_float (a -. b) /. (abs_float b +. 1e-300) < 1e-6
+
+(* Peak number of simultaneously-live degree-2 ciphertexts under the
+   sequential (program-order) schedule: each costs one extra polynomial of
+   memory, so this bounds the overhead lazy relinearisation adds. *)
+let deg2_high_water f =
+  let num = Irfunc.num_nodes f in
+  let last_use = Array.make num (-1) in
+  Irfunc.iter f (fun n -> Array.iter (fun a -> last_use.(a) <- n.Irfunc.id) n.Irfunc.args);
+  List.iter (fun r -> last_use.(r) <- num) (Irfunc.returns f);
+  let dying = Array.make num [] in
+  Irfunc.iter f (fun n ->
+      let lu = last_use.(n.Irfunc.id) in
+      if Types.equal n.Irfunc.ty Types.Cipher3 && lu >= 0 && lu < num then
+        dying.(lu) <- n.Irfunc.id :: dying.(lu));
+  let live = ref 0 and hw = ref 0 in
+  Irfunc.iter f (fun n ->
+      if Types.equal n.Irfunc.ty Types.Cipher3 && last_use.(n.Irfunc.id) >= 0 then incr live;
+      if !live > !hw then hw := !live;
+      live := !live - List.length dying.(n.Irfunc.id));
+  !hw
+
+let rebuild f ~emit =
+  Irfunc.map_rebuild f ~name:(Irfunc.name f) ~level:(Irfunc.level f)
+    ~params:(Array.to_list (Irfunc.params f)) ~emit
+
+let copy_annot (src : Irfunc.node) dst_f id =
+  let m = Irfunc.node dst_f id in
+  if m.Irfunc.node_level < 0 then begin
+    m.Irfunc.scale <- src.Irfunc.scale;
+    m.Irfunc.node_level <- src.Irfunc.node_level
+  end;
+  if m.Irfunc.origin = "" then m.Irfunc.origin <- src.Irfunc.origin
+
+(* Defer every relinearisation to the latest point that still satisfies the
+   degree-1 consumers (CHET / nGraph-HE2 style): drop each [C_relin] so the
+   degree-2 product flows through additive ops and exact mod-switches, and
+   re-insert a single memoized [C_relin] in front of each op that genuinely
+   needs a degree-1 operand — rotations (plain and hoisted), bootstrap, the
+   ciphertext operands of a ct*ct multiply, rescales, and the function
+   outputs.
+
+   Relinearisation commutes with add/sub/neg/mod-switch (the key-switch is
+   linear and acts only on the s^2 component, and limb-dropping is exact),
+   so annotations transfer unchanged: a deferred relin keeps its operand's
+   scale and level.
+
+   Rescale also commutes algebraically, but NOT noise-wise: rounding the
+   c2 component injects an error that decryption multiplies by s^2, whose
+   canonical norm is ~sqrt(n)*||s|| — measured ~100x the degree-1 rescale
+   noise on this runtime. Sign-polynomial stages then amplify it past any
+   useful precision, so a rescale forces degree 1 exactly like the eager
+   schedule, and deferral only spans the scale-Delta^2 accumulation trees
+   between a multiply and its reduction rescale. Run {!lazy_rescale}
+   before this pass so those trees have already collapsed to a single
+   root rescale — the deferred relin then lands once per tree instead of
+   once per product. *)
+let lazy_relin f =
+  let returned = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace returned r ()) (Irfunc.returns f);
+  let memo = Hashtbl.create 32 in
+  rebuild f ~emit:(fun dst lookup n ->
+      let dnode i = Irfunc.node dst (lookup n.Irfunc.args.(i)) in
+      let force_deg1 id =
+        let m = Irfunc.node dst id in
+        if not (Types.equal m.Irfunc.ty Types.Cipher3) then id
+        else
+          match Hashtbl.find_opt memo id with
+          | Some r -> r
+          | None ->
+            let r = Irfunc.add dst Op.C_relin [| id |] Types.Cipher in
+            let rn = Irfunc.node dst r in
+            rn.Irfunc.scale <- m.Irfunc.scale;
+            rn.Irfunc.node_level <- m.Irfunc.node_level;
+            rn.Irfunc.origin <- m.Irfunc.origin;
+            Hashtbl.add memo id r;
+            r
+      in
+      let finish id =
+        copy_annot n dst id;
+        if Hashtbl.mem returned n.Irfunc.id then force_deg1 id else id
+      in
+      match n.Irfunc.op with
+      | Op.Param i ->
+        let id = Irfunc.param dst i in
+        copy_annot n dst id;
+        id
+      | Op.C_relin ->
+        (* Dropped: the value stays degree-2; consumers that truly need
+           degree-1 relinearise at their own use site. *)
+        let id = lookup n.Irfunc.args.(0) in
+        if Hashtbl.mem returned n.Irfunc.id then force_deg1 id else id
+      | Op.C_rotate _ | Op.C_rotate_batch _ | Op.C_bootstrap _ | Op.C_rescale ->
+        let a = force_deg1 (lookup n.Irfunc.args.(0)) in
+        finish (Irfunc.add dst n.Irfunc.op [| a |] n.Irfunc.ty)
+      | Op.C_mul when Types.is_ciphertext (dnode 1).Irfunc.ty ->
+        let a = force_deg1 (lookup n.Irfunc.args.(0)) in
+        let b = force_deg1 (lookup n.Irfunc.args.(1)) in
+        finish (Irfunc.add dst Op.C_mul [| a; b |] Types.Cipher3)
+      | Op.C_mul ->
+        (* cipher * plain multiplies componentwise at any degree. *)
+        let a = lookup n.Irfunc.args.(0) in
+        finish (Irfunc.add dst Op.C_mul [| a; lookup n.Irfunc.args.(1) |] (dnode 0).Irfunc.ty)
+      | Op.C_add | Op.C_sub ->
+        let a = lookup n.Irfunc.args.(0) and b = lookup n.Irfunc.args.(1) in
+        let ta = (Irfunc.node dst a).Irfunc.ty and tb = (Irfunc.node dst b).Irfunc.ty in
+        let ty =
+          if Types.equal ta Types.Cipher3 || Types.equal tb Types.Cipher3 then Types.Cipher3
+          else n.Irfunc.ty
+        in
+        finish (Irfunc.add dst n.Irfunc.op [| a; b |] ty)
+      | Op.C_neg | Op.C_mod_switch | Op.C_upscale _ | Op.C_downscale _ ->
+        let a = lookup n.Irfunc.args.(0) in
+        finish (Irfunc.add dst n.Irfunc.op [| a |] (Irfunc.node dst a).Irfunc.ty)
+      | _ ->
+        let id = Irfunc.add dst n.Irfunc.op (Array.map lookup n.Irfunc.args) n.Irfunc.ty in
+        finish id)
+
+(* One round of sibling-rescale coalescing:
+
+     add(rescale a, rescale b)  -->  rescale(add(a, b))
+
+   whenever both rescales feed only this add and the pre-rescale operands
+   agree on level and (within tolerance) scale. The rewrite is applied as a
+   fixpoint, so balanced accumulation trees collapse a whole layer of
+   rescales per round. Low-order output bits may differ from the eager
+   form — the merged form performs strictly fewer roundings — which is why
+   the differential harness compares lazy on/off against the cleartext
+   reference rather than bit-for-bit against each other. *)
+let merge_sibling_rescales f =
+  let uses = Irfunc.uses f in
+  let changed = ref false in
+  let f' =
+    rebuild f ~emit:(fun dst lookup n ->
+        let default () =
+          let id = Irfunc.add dst n.Irfunc.op (Array.map lookup n.Irfunc.args) n.Irfunc.ty in
+          copy_annot n dst id;
+          id
+        in
+        match n.Irfunc.op with
+        | Op.Param i ->
+          let id = Irfunc.param dst i in
+          copy_annot n dst id;
+          id
+        | Op.C_add | Op.C_sub ->
+          let p = Irfunc.node f n.Irfunc.args.(0) and q = Irfunc.node f n.Irfunc.args.(1) in
+          let mergeable =
+            p.Irfunc.op = Op.C_rescale && q.Irfunc.op = Op.C_rescale
+            && p.Irfunc.id <> q.Irfunc.id
+            && uses.(p.Irfunc.id) = 1
+            && uses.(q.Irfunc.id) = 1
+            &&
+            let a = Irfunc.node f p.Irfunc.args.(0) and b = Irfunc.node f q.Irfunc.args.(0) in
+            a.Irfunc.node_level = b.Irfunc.node_level && close a.Irfunc.scale b.Irfunc.scale
+          in
+          if not mergeable then default ()
+          else begin
+            changed := true;
+            let a = lookup p.Irfunc.args.(0) and b = lookup q.Irfunc.args.(0) in
+            let an = Irfunc.node dst a and bn = Irfunc.node dst b in
+            let ty =
+              if
+                Types.equal an.Irfunc.ty Types.Cipher3
+                || Types.equal bn.Irfunc.ty Types.Cipher3
+              then Types.Cipher3
+              else n.Irfunc.ty
+            in
+            let sum = Irfunc.add dst n.Irfunc.op [| a; b |] ty in
+            let sn = Irfunc.node dst sum in
+            sn.Irfunc.scale <- an.Irfunc.scale;
+            sn.Irfunc.node_level <- an.Irfunc.node_level;
+            sn.Irfunc.origin <- n.Irfunc.origin;
+            let id = Irfunc.add dst Op.C_rescale [| sum |] ty in
+            copy_annot n dst id;
+            id
+          end
+        | _ -> default ())
+  in
+  (f', !changed)
+
+let lazy_rescale ?(max_rounds = 8) f =
+  let rec go f rounds =
+    if rounds = 0 then f
+    else
+      let f', changed = merge_sibling_rescales f in
+      if changed then go f' (rounds - 1) else f'
+  in
+  go f max_rounds
+
+let observe f =
+  let r = relin_count f and rs = rescale_count f in
+  {
+    relins_eager = r;
+    relins_lazy = r;
+    rescales_eager = rs;
+    rescales_lazy = rs;
+    deg2_high_water = deg2_high_water f;
+  }
+
+let run f =
+  let relins_eager = relin_count f and rescales_eager = rescale_count f in
+  (* Rescale coalescing first: once an accumulation tree shares a single
+     root rescale, the relin pass defers every per-product relin to that
+     root (a rescale forces degree 1, so pass order decides whether one
+     relin per tree or one per product survives). *)
+  let f = lazy_rescale f in
+  let f = lazy_relin f in
+  let f = Ckks_fusion.dce f in
+  ( f,
+    {
+      relins_eager;
+      relins_lazy = relin_count f;
+      rescales_eager;
+      rescales_lazy = rescale_count f;
+      deg2_high_water = deg2_high_water f;
+    } )

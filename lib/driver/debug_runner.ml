@@ -122,8 +122,10 @@ let run_layers (c : Pipeline.compiled) keys ~seed input =
   let shadow = shadow_eval c.Pipeline.ckks ~slots packed in
   let records = ref [] in
   let observe (n : Irfunc.node) ct =
-    (* A size-3 product decrypts only after relinearisation; skip it and
-       record the C_relin node that immediately follows instead. *)
+    (* A size-3 product decrypts only after relinearisation; observe it
+       through a throwaway key switch (adds only relin noise, far below
+       the divergences this instrument exists to locate). *)
+    let ct = if Ciphertext.size ct = 3 then Fhe.Eval.relinearize keys ct else ct in
     if Ciphertext.size ct = 2 then begin
       match shadow.(n.Irfunc.id) with
       | S_vec expected ->

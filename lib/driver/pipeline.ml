@@ -3,6 +3,7 @@ module Lower_nn = Ace_vector.Lower_nn
 module Lower_vec = Ace_sihe.Lower_vec
 module Lower_sihe = Ace_ckks_ir.Lower_sihe
 module Ckks_fusion = Ace_ckks_ir.Ckks_fusion
+module Ckks_lazy = Ace_ckks_ir.Ckks_lazy
 module Keygen_plan = Ace_ckks_ir.Keygen_plan
 module Param_select = Ace_ckks_ir.Param_select
 module Poly_ir = Ace_poly_ir.Poly_ir
@@ -22,6 +23,7 @@ type strategy = {
   conv_regroup : bool;
   gemm_bsgs : bool;
   lazy_rescale : bool;
+  lazy_passes : bool;
   min_level_bootstrap : bool;
   pruned_keys : bool;
   hoist_rotations : bool;
@@ -35,6 +37,7 @@ let ace =
     conv_regroup = true;
     gemm_bsgs = true;
     lazy_rescale = true;
+    lazy_passes = true;
     min_level_bootstrap = true;
     pruned_keys = true;
     hoist_rotations = true;
@@ -48,6 +51,7 @@ let expert =
     conv_regroup = false;
     gemm_bsgs = false;
     lazy_rescale = false;
+    lazy_passes = false;
     min_level_bootstrap = false;
     (* Lee et al. generate exactly the (large) rotation set their layout
        needs; pruning is not the differentiator, the set's size is. *)
@@ -77,9 +81,21 @@ type compiled = {
   input_layout : Layout.t;
   output_layouts : Layout.t list;
   key_plan : Keygen_plan.plan;
+  lazy_stats : Ckks_lazy.stats;
   level_seconds : (Level.t * float) list;
   other_seconds : float;
 }
+
+(* [ACE_LAZY] overrides the strategy's lazy relin/rescale toggle, mirroring
+   ACE_DOMAINS and ACE_SCHED: a compiled-in default the environment can
+   sweep without recompiling callers. *)
+let lazy_enabled strategy =
+  match Sys.getenv_opt "ACE_LAZY" with
+  | None -> strategy.lazy_passes
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "0" | "off" | "false" | "no" -> false
+    | _ -> true)
 
 let next_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
@@ -156,7 +172,7 @@ let compile ?context strategy nn_input =
   in
   verify_stage ~pass:"sihe" sihe;
   (* CKKS level. *)
-  let ckks, t_ckks =
+  let (ckks, lazy_stats), t_ckks =
     timed "ckks" (fun () ->
         let f =
           Lower_sihe.lower
@@ -168,8 +184,15 @@ let compile ?context strategy nn_input =
             sihe
         in
         let f = Ckks_fusion.run f in
+        (* Lazy relin/rescale run on the fused function, before key
+           planning and rotation batching: the rewrites move relins across
+           rescale boundaries, so they must see final rescale placement but
+           precede any pass that fixes rotation structure. *)
+        let f, lazy_stats =
+          if lazy_enabled strategy then Ckks_lazy.run f else (f, Ckks_lazy.observe f)
+        in
         Ace_ckks_ir.Scale_check.check context f;
-        f)
+        (f, lazy_stats))
   in
   (* No keygen plan yet: the plan is derived from this function below, so
      this stage checks well-formedness and the abstract (scale, level,
@@ -227,6 +250,7 @@ let compile ?context strategy nn_input =
     input_layout = in_layout;
     output_layouts = out_layouts;
     key_plan;
+    lazy_stats;
     level_seconds =
       [
         (Level.Nn, t_nn);
@@ -258,7 +282,13 @@ let default_scheduler () =
 
 let make_keys c ~seed =
   let rng = Ace_util.Rng.create seed in
-  Fhe.Keys.generate c.context ~rng ~rotations:c.key_plan.Keygen_plan.rotation_steps
+  let keys =
+    Fhe.Keys.generate c.context ~rng ~rotations:c.key_plan.Keygen_plan.rotation_steps
+  in
+  (* Pay the lazy one-off costs (limb-pool growth, CRT memo fills, domain
+     wake-up) here rather than inside the first measured key switch. *)
+  Fhe.Eval.warm keys;
+  keys
 
 let encrypt_input c keys ~seed image =
   let packed = Layout.vector_of_tensor c.input_layout image in

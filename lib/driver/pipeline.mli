@@ -20,6 +20,10 @@ type strategy = {
   conv_regroup : bool;
   gemm_bsgs : bool;
   lazy_rescale : bool;
+  lazy_passes : bool;
+      (** run {!Ace_ckks_ir.Ckks_lazy} (lazy relinearisation + sibling
+          rescale coalescing) after CKKS fusion; the [ACE_LAZY] environment
+          knob overrides this field *)
   min_level_bootstrap : bool;
   pruned_keys : bool;
   hoist_rotations : bool;
@@ -53,9 +57,16 @@ type compiled = {
   input_layout : Ace_vector.Layout.t;
   output_layouts : Ace_vector.Layout.t list;
   key_plan : Ace_ckks_ir.Keygen_plan.plan;
+  lazy_stats : Ace_ckks_ir.Ckks_lazy.stats;
+      (** eager-vs-lazy relin/rescale counts of the CKKS function (equal
+          when the lazy passes were disabled) *)
   level_seconds : (Ace_ir.Level.t * float) list; (** Figure 5 rows *)
   other_seconds : float; (** weight externalisation etc. *)
 }
+
+val lazy_enabled : strategy -> bool
+(** Whether [compile] will run the lazy passes: the [ACE_LAZY] environment
+    knob if set, the strategy's [lazy_passes] field otherwise. *)
 
 val compile : ?context:Ace_fhe.Context.t -> strategy -> Ace_ir.Irfunc.t -> compiled
 (** Default context: {!Ace_ckks_ir.Param_select.execution_context} sized

@@ -13,6 +13,10 @@ type t = {
   ct_mults : int;
   pt_mults : int;
   rescales : int;
+  relins : int;
+  relins_eliminated : int;
+  rescales_eliminated : int;
+  deg2_high_water : int;
   runtime_domains : int;
 }
 
@@ -52,12 +56,32 @@ let of_compiled (c : Pipeline.compiled) =
           | _ -> acc);
     distinct_rotation_steps = List.length (Ace_ckks_ir.Lower_sihe.rotation_amounts ckks);
     bootstraps = Ace_ckks_ir.Lower_sihe.bootstrap_count ckks;
+    (* A ct*ct multiply is a C_mul whose second operand is a ciphertext;
+       counting C_relin instead undercounts once relinearisation is lazy
+       (one deferred relin can close a whole accumulation tree). *)
     ct_mults =
-      count_op ckks (function Op.C_relin -> true | _ -> false);
+      Irfunc.fold ckks ~init:0 ~f:(fun acc n ->
+          match n.Irfunc.op with
+          | Op.C_mul
+            when Types.is_ciphertext (Irfunc.node ckks n.Irfunc.args.(1)).Irfunc.ty ->
+            acc + 1
+          | _ -> acc);
     pt_mults =
-      count_op ckks (function Op.C_mul -> true | _ -> false)
-      - count_op ckks (function Op.C_relin -> true | _ -> false);
+      Irfunc.fold ckks ~init:0 ~f:(fun acc n ->
+          match n.Irfunc.op with
+          | Op.C_mul
+            when not (Types.is_ciphertext (Irfunc.node ckks n.Irfunc.args.(1)).Irfunc.ty) ->
+            acc + 1
+          | _ -> acc);
     rescales = count_op ckks (function Op.C_rescale -> true | _ -> false);
+    relins = c.Pipeline.lazy_stats.Ace_ckks_ir.Ckks_lazy.relins_lazy;
+    relins_eliminated =
+      c.Pipeline.lazy_stats.Ace_ckks_ir.Ckks_lazy.relins_eager
+      - c.Pipeline.lazy_stats.Ace_ckks_ir.Ckks_lazy.relins_lazy;
+    rescales_eliminated =
+      c.Pipeline.lazy_stats.Ace_ckks_ir.Ckks_lazy.rescales_eager
+      - c.Pipeline.lazy_stats.Ace_ckks_ir.Ckks_lazy.rescales_lazy;
+    deg2_high_water = c.Pipeline.lazy_stats.Ace_ckks_ir.Ckks_lazy.deg2_high_water;
     runtime_domains = Pipeline.runtime_domains ();
   }
 
@@ -72,12 +96,14 @@ let to_json s =
        "{\"model\": \"%s\", \"nodes_per_level\": {%s}, \"lines_per_level\": {%s}, \
         \"poly_stmts\": %d, \"c_lines\": %d, \"const_floats\": %d, \"rotations\": %d, \
         \"distinct_rotation_steps\": %d, \"bootstraps\": %d, \"ct_mults\": %d, \"pt_mults\": %d, \
-        \"rescales\": %d, \"runtime_domains\": %d}"
+        \"rescales\": %d, \"relins\": %d, \"relins_eliminated\": %d, \
+        \"rescales_eliminated\": %d, \"deg2_high_water\": %d, \"runtime_domains\": %d}"
        (String.escaped s.model)
        (level_list s.nodes_per_level)
        (level_list s.lines_per_level)
        s.poly_stmts s.c_lines s.const_floats s.rotations s.distinct_rotation_steps s.bootstraps
-       s.ct_mults s.pt_mults s.rescales s.runtime_domains);
+       s.ct_mults s.pt_mults s.rescales s.relins s.relins_eliminated s.rescales_eliminated
+       s.deg2_high_water s.runtime_domains);
   Buffer.contents buf
 
 let pp fmt s =
@@ -90,4 +116,7 @@ let pp fmt s =
   Format.fprintf fmt
     "  rotations=%d (distinct steps %d), bootstraps=%d, ct-mults=%d, pt-mults=%d, rescales=%d@,"
     s.rotations s.distinct_rotation_steps s.bootstraps s.ct_mults s.pt_mults s.rescales;
+  Format.fprintf fmt
+    "  relins=%d (eliminated %d), rescales eliminated=%d, deg2 high-water=%d@," s.relins
+    s.relins_eliminated s.rescales_eliminated s.deg2_high_water;
   Format.fprintf fmt "  runtime domains=%d@,@]" s.runtime_domains

@@ -15,6 +15,11 @@ type t = {
   ct_mults : int;
   pt_mults : int;
   rescales : int;
+  relins : int;  (** relinearisations surviving the lazy pass *)
+  relins_eliminated : int;  (** eager minus lazy relin count (0 when off) *)
+  rescales_eliminated : int;
+  deg2_high_water : int;
+      (** peak simultaneously-live degree-2 ciphertexts in program order *)
   runtime_domains : int;
       (** domain-pool size the encrypted run will use ([ACE_DOMAINS]) *)
 }

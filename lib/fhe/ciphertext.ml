@@ -6,6 +6,11 @@ type ct = { polys : Rns_poly.t array; ct_scale : float }
 let level ct = Rns_poly.num_limbs ct.polys.(0) - 1
 let pt_level pt = Rns_poly.num_limbs pt.poly - 1
 let size ct = Array.length ct.polys
+
+(* Degree of the decryption polynomial in s: 1 for a fresh (c0, c1) pair,
+   2 for an unrelinearised product (c0, c1, c2). Lazy relinearisation
+   keeps degree-2 ciphertexts alive through additive regions. *)
+let degree ct = size ct - 1
 let scale_of ct = ct.ct_scale
 
 let bytes ct =

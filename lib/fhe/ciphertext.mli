@@ -18,6 +18,11 @@ val pt_level : pt -> int
 val size : ct -> int
 (** Number of polynomials: 2, or 3 before relinearization. *)
 
+val degree : ct -> int
+(** [size - 1]: the degree of the decryption polynomial in the secret.
+    Degree-2 (3-component) ciphertexts flow through additive operations
+    under lazy relinearisation. *)
+
 val scale_of : ct -> float
 val bytes : ct -> int
 

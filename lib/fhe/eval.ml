@@ -83,13 +83,21 @@ let decrypt keys (ct : ct) =
   let m = Rns_poly.add_into ~dst:m c0 m in
   { poly = m; pt_scale = ct.ct_scale }
 
+(* Addition is size-polymorphic: a degree-2 (3-component) ciphertext plus
+   a degree-1 one pads the shorter operand with implicit zero components,
+   which is what lets relinearisation defer through accumulation trees —
+   the sum of a relinearised and an unrelinearised value is just a
+   degree-2 ciphertext whose s^2 component came from one side. *)
 let add (a : ct) (b : ct) =
   Cost.timed Cost.Add @@ fun () ->
   check_levels "add" (level a) (level b);
   check_scales "add" a.ct_scale b.ct_scale;
-  if size a <> size b then invalid_arg "Eval.add: size mismatch";
+  let sa = size a and sb = size b in
   let polys =
-    Array.init (size a) (fun i -> Rns_poly.add (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
+    Array.init (max sa sb) (fun i ->
+        if i >= sa then Rns_poly.to_ntt b.polys.(i)
+        else if i >= sb then Rns_poly.to_ntt a.polys.(i)
+        else Rns_poly.add (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
   in
   record_flight "add" { polys; ct_scale = a.ct_scale }
 
@@ -97,9 +105,12 @@ let sub (a : ct) (b : ct) =
   Cost.timed Cost.Add @@ fun () ->
   check_levels "sub" (level a) (level b);
   check_scales "sub" a.ct_scale b.ct_scale;
-  if size a <> size b then invalid_arg "Eval.sub: size mismatch";
+  let sa = size a and sb = size b in
   let polys =
-    Array.init (size a) (fun i -> Rns_poly.sub (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
+    Array.init (max sa sb) (fun i ->
+        if i >= sa then Rns_poly.neg (Rns_poly.to_ntt b.polys.(i))
+        else if i >= sb then Rns_poly.to_ntt a.polys.(i)
+        else Rns_poly.sub (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
   in
   record_flight "sub" { polys; ct_scale = a.ct_scale }
 
@@ -144,21 +155,31 @@ let key_row ~special_ci (poly : Rns_poly.t) k_ci =
   let nl = Rns_poly.num_limbs poly in
   if k_ci = special_ci then poly.Rns_poly.data.(nl - 1) else poly.Rns_poly.data.(k_ci)
 
+(* Same layout for the precomputed Shoup companions of a key polynomial. *)
+let key_row_shoup ~special_ci (rows : int array array) k_ci =
+  let nl = Array.length rows in
+  if k_ci = special_ci then rows.(nl - 1) else rows.(k_ci)
+
 (* Mod-down: divide an extended-basis accumulator by the special prime with
    rounding (the centered lift of the special limb supplies the correction
-   term). The accumulator is flipped to Coeff in place — its rows are pool
-   scratch owned by the caller — and released once the divided-down output
-   is materialised. *)
+   term). Eval-resident: only the special row is inverse-transformed; its
+   lift is re-reduced and forward-transformed into each target prime and
+   the subtract/multiply run pointwise in the eval domain — bit-identical
+   to the coefficient-domain computation (the NTT is linear over each
+   Z_q), at 1 INTT + limbs NTTs instead of a (limbs+1)-wide INTT plus the
+   limbs-wide NTT every caller used to pay to get back to Eval. The
+   accumulator rows are pool scratch owned by the caller, released once
+   the divided-down output is materialised. *)
 let mod_down ctx ~limbs acc =
   let crt = Context.crt ctx in
   let n = Context.ring_degree ctx in
   let special_ci = Context.special_chain_idx ctx in
   let rows = acc.Rns_poly.data in
-  let acc = Rns_poly.coeff_inplace acc in
-  let out = Rns_poly.create crt ~chain_idx:(Array.init limbs (fun i -> i)) Rns_poly.Coeff in
+  let out = Rns_poly.create crt ~chain_idx:(Array.init limbs (fun i -> i)) Rns_poly.Eval in
   let sp_q = Crt.modulus crt special_ci in
   let sp_half = sp_q / 2 in
-  let sp_row = acc.Rns_poly.data.(limbs) in
+  let sp_row = rows.(limbs) in
+  Ntt.inverse (Crt.plan crt special_ci) sp_row;
   let p_invs = Array.init limbs (fun t -> Crt.inv_mod crt ~num:special_ci ~target:t) in
   Domain_pool.parallel_for limbs (fun t ->
       (* Recorded on the executing worker's shard, so traces show the
@@ -167,12 +188,15 @@ let mod_down ctx ~limbs acc =
       let q_t = Crt.modulus crt t in
       let plan = Crt.plan crt t in
       let p_inv = p_invs.(t) in
-      let row = acc.Rns_poly.data.(t) and dst = out.Rns_poly.data.(t) in
+      let row = rows.(t) and dst = out.Rns_poly.data.(t) in
       for j = 0 to n - 1 do
         let v = Array.unsafe_get sp_row j in
         let c = if v > sp_half then v - sp_q else v in
-        let lifted = Ntt.reduce_scalar plan c in
-        let diff = Modarith.sub (Array.unsafe_get row j) lifted ~modulus:q_t in
+        Array.unsafe_set dst j (Ntt.reduce_scalar plan c)
+      done;
+      Ntt.forward plan dst;
+      for j = 0 to n - 1 do
+        let diff = Modarith.sub (Array.unsafe_get row j) (Array.unsafe_get dst j) ~modulus:q_t in
         Array.unsafe_set dst j (Modarith.mul diff p_inv ~modulus:q_t)
       done);
   Array.iter Limb_pool.release rows;
@@ -206,6 +230,7 @@ let key_switch ctx (key : Keys.switching_key) d =
         let half = src_q / 2 in
         let row = d.Rns_poly.data.(i) in
         let kb, ka = key.Keys.digits.(i) in
+        let kb', ka' = key.Keys.digits_shoup.(i) in
         (* Digit i re-reduced into the target prime (exact: after the
            centered lift each residue is a genuine small integer), then
            NTT'd in place. *)
@@ -217,8 +242,10 @@ let key_switch ctx (key : Keys.switching_key) d =
             Array.unsafe_set digit_row j (Ntt.reduce_scalar plan c)
           done;
         Ntt.forward plan digit_row;
-        Ntt.pointwise_mul_acc plan acc0.(k) digit_row (key_row ~special_ci kb t_ci);
-        Ntt.pointwise_mul_acc plan acc1.(k) digit_row (key_row ~special_ci ka t_ci)
+        Ntt.pointwise_mul_acc_shoup plan acc0.(k) digit_row (key_row ~special_ci kb t_ci)
+          (key_row_shoup ~special_ci kb' t_ci);
+        Ntt.pointwise_mul_acc_shoup plan acc1.(k) digit_row (key_row ~special_ci ka t_ci)
+          (key_row_shoup ~special_ci ka' t_ci)
       done);
   let acc0 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc0 in
   let acc1 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc1 in
@@ -291,8 +318,11 @@ let key_switch_hoisted ctx (key : Keys.switching_key) h ~perm =
       let rows = h.h_ext.(k) in
       for i = 0 to limbs - 1 do
         let kb, ka = key.Keys.digits.(i) in
-        Ntt.pointwise_mul_acc_gather plan acc0.(k) rows.(i) perm (key_row ~special_ci kb t_ci);
-        Ntt.pointwise_mul_acc_gather plan acc1.(k) rows.(i) perm (key_row ~special_ci ka t_ci)
+        let kb', ka' = key.Keys.digits_shoup.(i) in
+        Ntt.pointwise_mul_acc_gather_shoup plan acc0.(k) rows.(i) perm
+          (key_row ~special_ci kb t_ci) (key_row_shoup ~special_ci kb' t_ci);
+        Ntt.pointwise_mul_acc_gather_shoup plan acc1.(k) rows.(i) perm
+          (key_row ~special_ci ka t_ci) (key_row_shoup ~special_ci ka' t_ci)
       done);
   let acc0 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc0 in
   let acc1 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc1 in
@@ -409,7 +439,12 @@ let rescale (ct : ct) =
   in
   let q_top = Ace_rns.Crt.modulus p0.Rns_poly.ctx crt_prime in
   let polys =
-    Array.map (fun p -> Rns_poly.ntt_inplace (Rns_poly.rescale (Rns_poly.to_coeff p))) ct.polys
+    Array.map
+      (fun p ->
+        match p.Rns_poly.domain with
+        | Rns_poly.Eval -> Rns_poly.rescale_in_eval p
+        | Rns_poly.Coeff -> Rns_poly.ntt_inplace (Rns_poly.rescale p))
+      ct.polys
   in
   record_flight "rescale" { polys; ct_scale = ct.ct_scale /. float_of_int q_top }
 
@@ -430,6 +465,25 @@ let upscale ctx (ct : ct) ~target_scale =
   let ones = Array.make (Context.slots ctx) 1.0 in
   let pt = Encoder.encode ctx ~level:(level ct) ~scale:factor ones in
   mul_plain ct pt
+
+(* One throwaway full-width key switch plus a rescale right after keygen.
+   The first real key_switch otherwise pays every lazy one-off at once —
+   limb-pool growth to the extended basis working set, Crt memo fills the
+   keygen prefill misses, domain-pool wake-up — which BENCH_pr4 surfaced
+   as a 0.178 s fhe.key_switch max against a 3.6 ms p50. Warming here
+   moves that cost into keygen where it belongs. *)
+let warm keys =
+  let ctx = keys.Keys.context in
+  let crt = Context.crt ctx in
+  let idx = Context.ciphertext_idx ctx ~level:(Context.max_level ctx) in
+  let rng = Ace_util.Rng.create 0x3a3a in
+  let d = Rns_poly.sample_uniform crt ~chain_idx:idx rng in
+  let e0, e1 = key_switch ctx keys.Keys.relin d in
+  ignore (Sys.opaque_identity e1);
+  if Context.max_level ctx >= 1 then
+    ignore
+      (Sys.opaque_identity
+         (rescale { polys = [| e0; Rns_poly.clone e0 |]; ct_scale = Context.scale ctx }))
 
 let noise_budget_estimate keys ct ~expected =
   let ctx = keys.Keys.context in

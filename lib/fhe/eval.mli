@@ -26,6 +26,9 @@ val decrypt : Keys.t -> Ciphertext.ct -> Ciphertext.pt
 (** Requires a relinearised (size-2) ciphertext. *)
 
 val add : Ciphertext.ct -> Ciphertext.ct -> Ciphertext.ct
+(** Size-polymorphic: mixed degree-2 + degree-1 operands pad the shorter
+    side with implicit zero components (lazy-relinearisation support). *)
+
 val sub : Ciphertext.ct -> Ciphertext.ct -> Ciphertext.ct
 val neg : Ciphertext.ct -> Ciphertext.ct
 val add_plain : Ciphertext.ct -> Ciphertext.pt -> Ciphertext.ct
@@ -70,6 +73,11 @@ val mod_switch_to : Ciphertext.ct -> level:int -> Ciphertext.ct
 val upscale : Context.t -> Ciphertext.ct -> target_scale:float -> Ciphertext.ct
 (** Multiply by the constant 1 encoded at [target_scale /. current]; raises
     the scale without consuming a level. *)
+
+val warm : Keys.t -> unit
+(** Run one throwaway full-width key switch (and a rescale) so first-call
+    lazy costs — limb-pool growth, memo fills, pool wake-up — are paid at
+    keygen instead of inside the first inference's key_switch tail. *)
 
 val noise_budget_estimate : Keys.t -> Ciphertext.ct -> expected:float array -> float
 (** -log2 of the max decode error against [expected]; test instrumentation. *)

@@ -1,10 +1,14 @@
 module Rns_poly = Ace_rns.Rns_poly
 module Modarith = Ace_rns.Modarith
 module Crt = Ace_rns.Crt
+module Ntt = Ace_rns.Ntt
 module Rng = Ace_util.Rng
 module Domain_pool = Ace_util.Domain_pool
 
-type switching_key = { digits : (Rns_poly.t * Rns_poly.t) array }
+type switching_key = {
+  digits : (Rns_poly.t * Rns_poly.t) array;
+  digits_shoup : (int array array * int array array) array;
+}
 
 type t = {
   context : Context.t;
@@ -50,7 +54,16 @@ let switching_key_for t ~s_from ~rng =
             row.(j) <- Modarith.add row.(j) (Modarith.mul factor src.(j) ~modulus:q_i) ~modulus:q_i);
         (bumped, a))
   in
-  { digits }
+  (* Eval-domain precompute: per-element Shoup companions for every key
+     row, paid once here so the key-switch multiply-accumulate runs the
+     two-multiply Shoup reduction instead of Barrett on every call. *)
+  let companions (poly : Rns_poly.t) =
+    Array.mapi
+      (fun k ci -> Ntt.precompute_shoup (Crt.plan crt ci) poly.Rns_poly.data.(k))
+      poly.Rns_poly.chain_idx
+  in
+  let digits_shoup = Array.map (fun (b, a) -> (companions b, companions a)) digits in
+  { digits; digits_shoup }
 
 let galois_of_rotation ctx k =
   let slots = Context.slots ctx in
@@ -81,7 +94,15 @@ let generate ?secret_hamming ctx ~rng ~rotations =
   let secret = Rns_poly.to_ntt secret_coeff in
   let top_idx = Context.ciphertext_idx ctx ~level:(Context.max_level ctx) in
   let public = rlwe_pair ctx ~chain_idx:top_idx ~secret ~rng in
-  let t = { context = ctx; secret; public; relin = { digits = [||] }; galois = Hashtbl.create 16 } in
+  let t =
+    {
+      context = ctx;
+      secret;
+      public;
+      relin = { digits = [||]; digits_shoup = [||] };
+      galois = Hashtbl.create 16;
+    }
+  in
   let s_squared = Rns_poly.to_coeff (Rns_poly.mul secret secret) in
   let relin = switching_key_for t ~s_from:s_squared ~rng in
   let t = { t with relin } in

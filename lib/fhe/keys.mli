@@ -15,6 +15,11 @@
 type switching_key = {
   digits : (Ace_rns.Rns_poly.t * Ace_rns.Rns_poly.t) array;
       (** per-digit (b, a), NTT domain, full key basis *)
+  digits_shoup : (int array array * int array array) array;
+      (** per-digit Shoup companions of every (b, a) key row, same row
+          layout as [digits]; precomputed at keygen so the key-switch
+          inner loop uses the two-multiply Shoup reduction (exact,
+          bit-identical to the Barrett path it replaces) *)
 }
 
 type t = {

@@ -21,6 +21,7 @@ type nn_kind =
   | Flatten
   | Reshape of int array
   | Add
+  | Mul
   | Strided_slice of slice_attrs
 
 type t =
@@ -72,6 +73,7 @@ let nn_name = function
   | Flatten -> "flatten"
   | Reshape _ -> "reshape"
   | Add -> "add"
+  | Mul -> "mul"
   | Strided_slice _ -> "strided_slice"
 
 let name = function
@@ -130,7 +132,7 @@ let level = function
 let arity = function
   | Param _ | Weight _ | Const_scalar _ -> Some 0
   | Nn (Conv _) | Nn (Gemm _) -> Some 3
-  | Nn Add -> Some 2
+  | Nn (Add | Mul) -> Some 2
   | Nn (Relu | Sigmoid | Tanh | Average_pool _ | Global_average_pool | Flatten | Reshape _
        | Strided_slice _) ->
     Some 1

@@ -31,6 +31,7 @@ type nn_kind =
   | Flatten
   | Reshape of int array
   | Add (** element-wise; the residual connection *)
+  | Mul (** element-wise product; gating/attention-style joins *)
   | Strided_slice of slice_attrs
 
 type t =

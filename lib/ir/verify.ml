@@ -48,9 +48,9 @@ let check_node f (n : Irfunc.node) =
       match ty 0 with
       | Types.Tensor _ -> ()
       | _ -> fail n.id "NN op needs tensor input")
-    | Op.Add ->
-      if not (Types.equal (ty 0) (ty 1)) then fail n.id "NN.add operands differ";
-      if not (Types.equal (ty 0) n.ty) then fail n.id "NN.add result type differs")
+    | Op.Add | Op.Mul ->
+      if not (Types.equal (ty 0) (ty 1)) then fail n.id "NN binop operands differ";
+      if not (Types.equal (ty 0) n.ty) then fail n.id "NN binop result type differs")
   | Op.V_add | Op.V_mul | Op.V_sub ->
     if not (Types.equal (ty 0) (ty 1) && Types.equal (ty 0) n.ty) then
       fail n.id "VECTOR binop type mismatch"
@@ -75,22 +75,43 @@ let check_node f (n : Irfunc.node) =
     | Types.Plain, Types.Vec _ -> ()
     | _ -> fail n.id "SIHE.decode: plain -> clear")
   | Op.C_add | Op.C_sub ->
-    if not (is_cipher (ty 0)) then fail n.id "CKKS binop first operand must be cipher";
-    if not (cipher_or_plain (ty 1)) then fail n.id "CKKS binop second operand must be cipher|plain";
-    if not (is_cipher n.ty) then fail n.id "CKKS binop result must be cipher"
+    (* Degree-2 (Cipher3) values flow through additive ops under lazy
+       relinearisation: the result degree is the max of the cipher
+       operand degrees. *)
+    let d0 = ty 0 and d1 = ty 1 in
+    if not (Types.is_ciphertext d0) then fail n.id "CKKS binop first operand must be cipher";
+    if not (Types.is_ciphertext d1 || Types.equal d1 Types.Plain) then
+      fail n.id "CKKS binop second operand must be cipher|plain";
+    let expect =
+      if Types.equal d0 Types.Cipher3 || Types.equal d1 Types.Cipher3 then Types.Cipher3
+      else Types.Cipher
+    in
+    if not (Types.equal n.ty expect) then
+      fail n.id "CKKS binop result must be %s" (Types.to_string expect)
   | Op.C_mul ->
-    if not (is_cipher (ty 0)) then fail n.id "CKKS.mul first operand must be cipher";
+    if not (Types.is_ciphertext (ty 0)) then fail n.id "CKKS.mul first operand must be cipher";
     (match ty 1 with
-    | Types.Cipher -> if not (Types.equal n.ty Types.Cipher3) then fail n.id "cipher*cipher yields cipher3"
-    | Types.Plain -> if not (Types.equal n.ty Types.Cipher) then fail n.id "cipher*plain yields cipher"
+    | Types.Cipher ->
+      if not (Types.equal (ty 0) Types.Cipher) then
+        fail n.id "cipher*cipher needs relinearised (degree-1) operands";
+      if not (Types.equal n.ty Types.Cipher3) then fail n.id "cipher*cipher yields cipher3"
+    | Types.Plain ->
+      (* Plaintext masks multiply any degree componentwise. *)
+      if not (Types.equal n.ty (ty 0)) then fail n.id "cipher*plain preserves operand degree"
     | _ -> fail n.id "CKKS.mul second operand must be cipher|plain")
   | Op.C_relin -> (
     match (ty 0, n.ty) with
     | Types.Cipher3, Types.Cipher -> ()
     | _ -> fail n.id "CKKS.relin: cipher3 -> cipher")
-  | Op.C_rotate _ | Op.C_neg | Op.C_rescale | Op.C_mod_switch | Op.C_upscale _
-  | Op.C_downscale _ | Op.C_bootstrap _ ->
-    if not (is_cipher (ty 0) && is_cipher n.ty) then fail n.id "CKKS unop needs cipher"
+  | Op.C_neg | Op.C_rescale | Op.C_mod_switch | Op.C_upscale _ | Op.C_downscale _ ->
+    (* Degree-preserving unops: componentwise on however many polynomials
+       the ciphertext has. *)
+    if not (Types.is_ciphertext (ty 0)) then fail n.id "CKKS unop needs cipher";
+    if not (Types.equal n.ty (ty 0)) then fail n.id "CKKS unop preserves operand degree"
+  | Op.C_rotate _ | Op.C_bootstrap _ ->
+    (* Key-switching ops require a relinearised operand. *)
+    if not (Types.equal (ty 0) Types.Cipher && Types.equal n.ty Types.Cipher) then
+      fail n.id "CKKS %s needs a degree-1 cipher" (Op.name n.op)
   | Op.C_rotate_batch steps ->
     if Array.length steps = 0 then fail n.id "CKKS.rotate_batch: empty step list";
     if not (is_cipher (ty 0) && is_cipher n.ty) then fail n.id "CKKS.rotate_batch needs cipher"

@@ -98,6 +98,11 @@ let import (g : Model.graph) =
       let y, yd = value (List.nth n.n_inputs 1) in
       if xd <> yd then fail "Add: shape mismatch";
       define (Irfunc.add f (Op.Nn Op.Add) [| x; y |] (tensor xd)) xd
+    | "Mul" ->
+      let x, xd = value (List.nth n.n_inputs 0) in
+      let y, yd = value (List.nth n.n_inputs 1) in
+      if xd <> yd then fail "Mul: shape mismatch";
+      define (Irfunc.add f (Op.Nn Op.Mul) [| x; y |] (tensor xd)) xd
     | "AveragePool" ->
       let x, xd = value (List.hd n.n_inputs) in
       let k = match Model.attr_ints n "kernel_shape" ~default:[ 2 ] with

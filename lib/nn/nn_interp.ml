@@ -93,6 +93,9 @@ let run f inputs =
         | Op.Nn Op.Add ->
           let x = arg 0 and y = arg 1 in
           Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+        | Op.Nn Op.Mul ->
+          let x = arg 0 and y = arg 1 in
+          Array.init (Array.length x) (fun i -> x.(i) *. y.(i))
         | Op.Nn (Op.Strided_slice { Op.start; slice_len; stride }) ->
           let x = arg 0 in
           Array.init slice_len (fun i -> x.(start + (i * stride)))

@@ -22,7 +22,7 @@ type graph = {
 let supported_ops =
   [
     "Conv"; "Gemm"; "Relu"; "Sigmoid"; "Tanh"; "AveragePool"; "GlobalAveragePool"; "Flatten";
-    "Reshape"; "Add"; "Slice"; "BatchNormalization";
+    "Reshape"; "Add"; "Mul"; "Slice"; "BatchNormalization";
   ]
 
 let attr node name =

@@ -9,6 +9,11 @@ let lower f =
   let body = ref [] in
   let push s = body := s :: !body in
   let limbs_of n = (Irfunc.node f n).Irfunc.node_level + 1 in
+  (* Degree-2 ciphertexts (lazy relinearisation) carry a third component;
+     componentwise ops must touch it too. *)
+  let parts_of n =
+    if Types.equal (Irfunc.node f n).Irfunc.ty Types.Cipher3 then [ 0; 1; 2 ] else [ 0; 1 ]
+  in
   let binop_loop n (op : hw_op) parts =
     let dst = v n in
     List.iter
@@ -66,8 +71,8 @@ let lower f =
                  ];
              })
       | Op.C_decode -> push (Comment "decode (decryptor side)")
-      | Op.C_add -> binop_loop id Hw_modadd [ 0; 1 ]
-      | Op.C_sub -> binop_loop id Hw_modsub [ 0; 1 ]
+      | Op.C_add -> binop_loop id Hw_modadd (parts_of id)
+      | Op.C_sub -> binop_loop id Hw_modsub (parts_of id)
       | Op.C_neg ->
         push
           (For
@@ -75,20 +80,15 @@ let lower f =
                idx = "i";
                bound = Num_q (limb (v n.Irfunc.args.(0)) 0, limbs_of n.Irfunc.args.(0));
                body =
-                 [
-                   Hw
-                     {
-                       h_dst = limb (v id) 0;
-                       h_op = Hw_modsub;
-                       h_args = [ "zero"; limb (v n.Irfunc.args.(0)) 0 ];
-                     };
-                   Hw
-                     {
-                       h_dst = limb (v id) 1;
-                       h_op = Hw_modsub;
-                       h_args = [ "zero"; limb (v n.Irfunc.args.(0)) 1 ];
-                     };
-                 ];
+                 List.map
+                   (fun part ->
+                     Hw
+                       {
+                         h_dst = limb (v id) part;
+                         h_op = Hw_modsub;
+                         h_args = [ "zero"; limb (v n.Irfunc.args.(0)) part ];
+                       })
+                   (parts_of id);
              })
       | Op.C_mul -> (
         let a = v n.Irfunc.args.(0) and b = v n.Irfunc.args.(1) in
@@ -101,10 +101,10 @@ let lower f =
                  idx = "i";
                  bound = Num_q (limb a 0, limbs_of n.Irfunc.args.(0));
                  body =
-                   [
-                     Hw { h_dst = limb dst 0; h_op = Hw_modmul; h_args = [ limb a 0; b ] };
-                     Hw { h_dst = limb dst 1; h_op = Hw_modmul; h_args = [ limb a 1; b ] };
-                   ];
+                   List.map
+                     (fun part ->
+                       Hw { h_dst = limb dst part; h_op = Hw_modmul; h_args = [ limb a part; b ] })
+                     (parts_of n.Irfunc.args.(0));
                })
         | _ ->
           push

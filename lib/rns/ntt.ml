@@ -8,6 +8,14 @@ type plan = {
   modulus : int;
   n : int;
   log_n : int;
+  (* Harvey lazy reduction keeps butterfly values in [0, 4q) and reduces
+     once after the last stage. The bound 4q <= 2^31 (so the lazy Shoup
+     product x*w' stays under 2^62) restricts it to q <= 2^29; wider
+     moduli (the 30-bit special prime) take the exact per-butterfly
+     path. Both paths emit canonical residues, so results are
+     bit-identical either way. *)
+  lazy_ok : bool;
+  two_q : int;
   barrett_mu : int;
   barrett_a : int;
   barrett_b : int;
@@ -111,6 +119,8 @@ let make ~modulus ~ring_degree =
     modulus;
     n;
     log_n;
+    lazy_ok = modulus <= 1 lsl 29;
+    two_q = 2 * modulus;
     barrett_mu;
     barrett_a;
     barrett_b;
@@ -166,6 +176,35 @@ let cyclic_ntt p stages stages_shoup a =
     done
   done
 
+(* Harvey-style lazy stage loop: operands live in [0, 4q). Each butterfly
+   pays one conditional subtract (u -= 2q when u >= 2q) instead of two,
+   and the Shoup product skips its correction entirely — for x < 2^31 the
+   uncorrected  x*w - ((x*w') >> 31)*q  already lies in [0, 2q). Outputs
+   u + v < 4q and u - v + 2q < 4q re-establish the invariant. Callers
+   reduce to canonical form once after the last stage. *)
+let cyclic_ntt_lazy p stages stages_shoup a =
+  let q = p.modulus in
+  let q2 = p.two_q in
+  permute_bitrev p a;
+  for s = 1 to p.log_n do
+    let half = 1 lsl (s - 1) in
+    let len = half lsl 1 in
+    let tw = stages.(s - 1) and tw' = stages_shoup.(s - 1) in
+    let i = ref 0 in
+    while !i < p.n do
+      let base = !i in
+      for j = 0 to half - 1 do
+        let u = Array.unsafe_get a (base + j) in
+        let u = if u >= q2 then u - q2 else u in
+        let x = Array.unsafe_get a (base + j + half) in
+        let v = (x * Array.unsafe_get tw j) - (((x * Array.unsafe_get tw' j) lsr 31) * q) in
+        Array.unsafe_set a (base + j) (u + v);
+        Array.unsafe_set a (base + j + half) (u - v + q2)
+      done;
+      i := base + len
+    done
+  done
+
 let twist p pows pows' a =
   let q = p.modulus in
   for i = 0 to p.n - 1 do
@@ -175,10 +214,22 @@ let twist p pows pows' a =
 
 let forward p a =
   twist p p.psi_pows p.psi_pows_shoup a;
-  cyclic_ntt p p.omega_stage p.omega_stage_shoup a
+  if p.lazy_ok then begin
+    cyclic_ntt_lazy p p.omega_stage p.omega_stage_shoup a;
+    let q = p.modulus and q2 = p.two_q in
+    for i = 0 to p.n - 1 do
+      let v = Array.unsafe_get a i in
+      let v = if v >= q2 then v - q2 else v in
+      Array.unsafe_set a i (if v >= q then v - q else v)
+    done
+  end
+  else cyclic_ntt p p.omega_stage p.omega_stage_shoup a
 
 let inverse p a =
-  cyclic_ntt p p.omega_inv_stage p.omega_inv_stage_shoup a;
+  (* The final twist's exact Shoup multiply is correct for any x < 2^31,
+     so it absorbs the [0, 4q) cleanup of the lazy stages for free. *)
+  if p.lazy_ok then cyclic_ntt_lazy p p.omega_inv_stage p.omega_inv_stage_shoup a
+  else cyclic_ntt p p.omega_inv_stage p.omega_inv_stage_shoup a;
   (* psi_inv_pows carries both the untwist and the 1/n factor. *)
   twist p p.psi_inv_pows p.psi_inv_pows_shoup a
 
@@ -207,6 +258,30 @@ let pointwise_mul_acc_gather p dst a perm b =
   for i = 0 to p.n - 1 do
     let x = Array.unsafe_get a (Array.unsafe_get perm i) in
     let r = barrett_mul p x (Array.unsafe_get b i) in
+    let s = Array.unsafe_get dst i + r in
+    Array.unsafe_set dst i (if s >= q then s - q else s)
+  done
+
+(* Per-element Shoup companions for a fixed eval-domain operand (a key
+   digit row): pays the division once at keygen so the keyswitch inner
+   loop runs the two-multiply Shoup reduction instead of Barrett. *)
+let precompute_shoup p b = shoup_of p.modulus b
+
+let pointwise_mul_acc_shoup p dst a b b' =
+  let q = p.modulus in
+  for i = 0 to p.n - 1 do
+    let r =
+      mul_shoup (Array.unsafe_get a i) (Array.unsafe_get b i) (Array.unsafe_get b' i) q
+    in
+    let s = Array.unsafe_get dst i + r in
+    Array.unsafe_set dst i (if s >= q then s - q else s)
+  done
+
+let pointwise_mul_acc_gather_shoup p dst a perm b b' =
+  let q = p.modulus in
+  for i = 0 to p.n - 1 do
+    let x = Array.unsafe_get a (Array.unsafe_get perm i) in
+    let r = mul_shoup x (Array.unsafe_get b i) (Array.unsafe_get b' i) q in
     let s = Array.unsafe_get dst i + r in
     Array.unsafe_set dst i (if s >= q then s - q else s)
   done

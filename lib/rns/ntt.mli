@@ -42,6 +42,25 @@ val pointwise_mul_acc_gather : plan -> int array -> int array -> int array -> in
     rotation step. [perm] must be a permutation of [0 .. n-1]; [dst] must
     not alias [a]. *)
 
+val precompute_shoup : plan -> int array -> int array
+(** [precompute_shoup p b] returns the per-element Shoup companions
+    [floor (b.(i) * 2^31 / q)] for a fixed eval-domain operand. Pay the
+    divisions once (e.g. per key digit at keygen) and feed the result to
+    the [_shoup] multiply-accumulate variants below. *)
+
+val pointwise_mul_acc_shoup : plan -> int array -> int array -> int array -> int array -> unit
+(** [pointwise_mul_acc_shoup p dst a b b'] is {!pointwise_mul_acc} with
+    [b'] the companions from [precompute_shoup p b]: the inner loop drops
+    Barrett's quotient estimate for the cheaper two-multiply Shoup
+    reduction. Exact (canonical residues, bit-identical to the Barrett
+    path) for every supported modulus. *)
+
+val pointwise_mul_acc_gather_shoup :
+  plan -> int array -> int array -> int array -> int array -> int array -> unit
+(** Gather variant of {!pointwise_mul_acc_shoup}; argument order
+    [p dst a perm b b'] mirrors {!pointwise_mul_acc_gather}. [dst] must
+    not alias [a]. *)
+
 val reduce_scalar : plan -> int -> int
 (** Exact reduction of any native int (possibly negative) into [0, q). *)
 

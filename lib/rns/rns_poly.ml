@@ -395,6 +395,49 @@ let rescale t =
   in
   { t with chain_idx = Array.sub t.chain_idx 0 (l - 1); data }
 
+(* Eval-domain rescale: only the dropped top limb needs coefficient form
+   (its centered lift is what every other limb subtracts), so transform
+   that one row, re-reduce the lift into each remaining prime, NTT it
+   there, and do the subtract + q_top^{-1} scalar multiply pointwise in
+   the eval domain. The NTT is a linear map over Z_q and scalar
+   multiplication commutes with it, so the residues are bit-identical to
+   [rescale] on the coefficient form — at 1 INTT + (l-1) NTTs instead of
+   the l INTTs + (l-1) NTTs of a to_coeff/rescale/ntt round trip. *)
+let rescale_in_eval t =
+  if t.domain <> Eval then invalid_arg "Rns_poly.rescale_in_eval: need Eval domain";
+  let l = num_limbs t in
+  if l < 2 then invalid_arg "Rns_poly.rescale_in_eval: single limb";
+  let top_ci = t.chain_idx.(l - 1) in
+  let q_top = Crt.modulus t.ctx top_ci in
+  let half = q_top / 2 in
+  let n = ring_degree t in
+  let top = Array.copy t.data.(l - 1) in
+  Ntt.inverse (Crt.plan t.ctx top_ci) top;
+  let invs =
+    Array.init (l - 1) (fun k -> Crt.inv_mod t.ctx ~num:top_ci ~target:t.chain_idx.(k))
+  in
+  let data =
+    Domain_pool.init (l - 1) (fun k ->
+        let ci = t.chain_idx.(k) in
+        let plan = Crt.plan t.ctx ci in
+        let q = Crt.modulus t.ctx ci in
+        let inv = invs.(k) in
+        let x = t.data.(k) in
+        let row =
+          Array.init n (fun i ->
+              let v = Array.unsafe_get top i in
+              let c = if v > half then v - q_top else v in
+              Ntt.reduce_scalar plan c)
+        in
+        Ntt.forward plan row;
+        for i = 0 to n - 1 do
+          let d = Modarith.sub (Array.unsafe_get x i) (Array.unsafe_get row i) ~modulus:q in
+          Array.unsafe_set row i (Modarith.mul d inv ~modulus:q)
+        done;
+        row)
+  in
+  { t with chain_idx = Array.sub t.chain_idx 0 (l - 1); data }
+
 let extend_limb t ~target_chain_idx =
   if t.domain <> Coeff then invalid_arg "Rns_poly.extend_limb: need Coeff domain";
   if num_limbs t <> 1 then invalid_arg "Rns_poly.extend_limb: not a digit";

@@ -123,6 +123,14 @@ val rescale : t -> t
 (** Divide by the top limb's modulus with rounding and drop that limb;
     input must be [Coeff] with at least two limbs; output is [Coeff]. *)
 
+val rescale_in_eval : t -> t
+(** [rescale] for an [Eval]-domain polynomial without the full domain
+    round trip: only the dropped top limb is inverse-transformed, its
+    centered lift is re-reduced and forward-transformed into each
+    remaining prime, and the subtraction/inverse-multiply run pointwise
+    in the eval domain. Bit-identical residues to [rescale] (the NTT is
+    linear over each Z_q); output is [Eval]. *)
+
 val extend_limb : t -> target_chain_idx:int -> int array
 (** For a single-limb [Coeff] polynomial (a key-switch digit): re-reduce the
     centered integer residues modulo another chain prime. Exact, because a

@@ -31,10 +31,10 @@ type outcome = {
   min_budget_bits : float;
 }
 
-let prepare ?cfg ~seed () =
+let prepare ?cfg ?(strategy = Pipeline.ace) ~seed () =
   let graph = Graph_gen.generate ?cfg ~seed () in
   let nn = Import.import graph in
-  let compiled = Pipeline.compile Pipeline.ace nn in
+  let compiled = Pipeline.compile strategy nn in
   let keys = Pipeline.make_keys compiled ~seed:(0x5eed_0000 + seed) in
   let rng = Rng.create (0x1234 + seed) in
   let input =

@@ -42,9 +42,11 @@ type outcome = {
   min_budget_bits : float;  (** smallest headroom any op left, in bits *)
 }
 
-val prepare : ?cfg:Graph_gen.cfg -> seed:int -> unit -> case
-(** Generate, import, compile (ACE strategy) and keygen; deterministic in
-    [seed]. *)
+val prepare :
+  ?cfg:Graph_gen.cfg -> ?strategy:Ace_driver.Pipeline.strategy -> seed:int -> unit -> case
+(** Generate, import, compile (ACE strategy unless [?strategy] says
+    otherwise — the lazy on/off tier compiles both ways) and keygen;
+    deterministic in [seed]. *)
 
 val run_case :
   scheduler:Ace_driver.Pipeline.scheduler -> domains:int -> case -> outcome

@@ -8,6 +8,8 @@ type cfg = {
   activation_prob : float;
   residual_prob : float;
   conv_prob : float;
+  mul_tree_prob : float;
+  mul_tree_width : int;
 }
 
 let default =
@@ -17,6 +19,19 @@ let default =
     activation_prob = 0.6;
     residual_prob = 0.35;
     conv_prob = 0.25;
+    mul_tree_prob = 0.2;
+    mul_tree_width = 4;
+  }
+
+let accumulation =
+  {
+    max_gemm_layers = 2;
+    dims = [| 8 |];
+    activation_prob = 0.3;
+    residual_prob = 0.2;
+    conv_prob = 0.0;
+    mul_tree_prob = 1.0;
+    mul_tree_width = 6;
   }
 
 let pick rng arr = arr.(Rng.int rng (Array.length arr))
@@ -33,6 +48,38 @@ let gemm b rng ~name ~src ~in_dim ~out_dim =
   Builder.init_normal b (name ^ ".b") [| out_dim |] ~seed:(Rng.int rng 1_000_000) ~std:0.05;
   Builder.node b ~op:"Gemm" ~inputs:[ src; name ^ ".w"; name ^ ".b" ] name;
   name
+
+(* Accumulation-tree block: [width] sibling products p_i = G_i(x) * G'_i(x)
+   (elementwise Mul of two width-preserving Gemms, a ct*ct multiply under
+   CKKS) summed by a balanced Add tree. This is the shape lazy
+   relinearisation collapses — degree-2 products flow through the Adds
+   and a single relin lands at the reduction root. *)
+let mul_tree b rng ~name ~src ~dim ~width =
+  let prods =
+    List.init width (fun i ->
+        let g1 =
+          gemm b rng ~name:(Printf.sprintf "%s.l%d" name i) ~src ~in_dim:dim ~out_dim:dim
+        in
+        let g2 =
+          gemm b rng ~name:(Printf.sprintf "%s.r%d" name i) ~src ~in_dim:dim ~out_dim:dim
+        in
+        let p = Printf.sprintf "%s.p%d" name i in
+        Builder.node b ~op:"Mul" ~inputs:[ g1; g2 ] p;
+        p)
+  in
+  let rec reduce lvl = function
+    | [ root ] -> root
+    | xs ->
+      let rec pair k = function
+        | u :: v :: tl ->
+          let s = Printf.sprintf "%s.s%d_%d" name lvl k in
+          Builder.node b ~op:"Add" ~inputs:[ u; v ] s;
+          s :: pair (k + 1) tl
+        | tl -> tl
+      in
+      reduce (lvl + 1) (pair 0 xs)
+  in
+  reduce 0 prods
 
 let activation b rng ~src ~name =
   let op =
@@ -85,7 +132,9 @@ let generate ?(cfg = default) ~seed () =
   let src = ref src and dim = ref dim in
   for l = 0 to layers - 1 do
     let name = Printf.sprintf "fc%d" l in
-    if !dim = pick rng cfg.dims && chance rng cfg.residual_prob then begin
+    if chance rng cfg.mul_tree_prob then
+      src := mul_tree b rng ~name ~src:!src ~dim:!dim ~width:cfg.mul_tree_width
+    else if !dim = pick rng cfg.dims && chance rng cfg.residual_prob then begin
       (* Residual block: y = x + G2(act(G1(x))), both Gemms width-preserving. *)
       let block_in = !src in
       let g1 = gemm b rng ~name:(name ^ "a") ~src:block_in ~in_dim:!dim ~out_dim:!dim in

@@ -17,11 +17,23 @@ type cfg = {
   activation_prob : float;  (** chance a layer gets an activation *)
   residual_prob : float;  (** chance a width-preserving block closes with Add *)
   conv_prob : float;  (** chance the graph opens with a Conv stem *)
+  mul_tree_prob : float;
+      (** chance a trunk layer is an accumulation tree: sibling
+          [Gemm * Gemm] elementwise products (ct*ct multiplies) summed by
+          a balanced Add tree — the shape lazy relinearisation collapses
+          to a single relin at the reduction root *)
+  mul_tree_width : int;  (** products per accumulation tree (>= 1) *)
 }
 
 val default : cfg
 (** Up to 3 Gemm layers over widths {4, 8, 16}, activations 60% (sigmoid /
-    tanh / relu at 40/40/20), residual 35%, conv stem 25%. *)
+    tanh / relu at 40/40/20), residual 35%, conv stem 25%, accumulation
+    trees 20% at width 4. *)
+
+val accumulation : cfg
+(** Every trunk layer an accumulation tree (width 6 over dimension 8):
+    the deg-2 heavy workload for the lazy-relinearisation differential
+    tier and the BENCH accumulation rows. *)
 
 val generate : ?cfg:cfg -> seed:int -> unit -> Ace_onnx.Model.graph
 (** Equal seeds (and configs) give equal graphs, including weights. *)

@@ -389,6 +389,10 @@ let lower cfg src =
         let la = layout ctx args.(0) and lb = layout ctx args.(1) in
         if not (Layout.equal la lb) then fail "residual add: layouts differ";
         define n.Irfunc.id (emit ctx Op.V_add [| vec_id ctx args.(0); vec_id ctx args.(1) |]) la
+      | Op.Nn Op.Mul ->
+        let la = layout ctx args.(0) and lb = layout ctx args.(1) in
+        if not (Layout.equal la lb) then fail "elementwise mul: layouts differ";
+        define n.Irfunc.id (emit ctx Op.V_mul [| vec_id ctx args.(0); vec_id ctx args.(1) |]) la
       | Op.Nn Op.Global_average_pool ->
         let out, lay = lower_global_average_pool ctx ~x_nn:args.(0) in
         define n.Irfunc.id out lay

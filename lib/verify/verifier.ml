@@ -287,11 +287,18 @@ let ckks ~pass ?plan ctx f =
             report c Diagnostic.Level_mismatch ~node:id
               "%s: level annotated %d, derived %d" (Op.name n.Irfunc.op) n.Irfunc.node_level
               l);
-    (* A bundle is an internal value: it must not escape as a return. *)
+    (* A bundle is an internal value: it must not escape as a return, and
+       neither may a degree-2 ciphertext — decryption handles (c0, c1)
+       only, so lazy relinearisation must have closed every output. *)
     List.iter
       (fun r ->
-        if r >= 0 && r < num && is_batch.(r) then
-          report c Diagnostic.Batch_aliasing ~node:r "rotate_batch bundle is returned")
+        if r >= 0 && r < num then begin
+          if is_batch.(r) then
+            report c Diagnostic.Batch_aliasing ~node:r "rotate_batch bundle is returned";
+          if Types.equal (Irfunc.node f r).Irfunc.ty Types.Cipher3 then
+            report c Diagnostic.Type_mismatch ~node:r
+              "degree-2 ciphertext is returned; relinearise before output"
+        end)
       (Irfunc.returns f);
     finish c
   end

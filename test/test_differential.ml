@@ -66,6 +66,65 @@ let run_seed seed () =
       rest
   | [] -> assert false
 
+(* Lazy-relinearisation tier: accumulation-tree graphs (wide Adds over
+   ct*ct Mul products) compiled twice — lazy passes on (the ace default)
+   and off — and run under every executor config. Within each lazy
+   setting all four configs must be bit-identical and inside the noise
+   bounds; across the settings only the op counts are compared (merging
+   rescales reassociates RNS roundings, so bit-equality across settings
+   is not a property), and on these graphs the lazy compile must
+   actually eliminate relinearisations. *)
+let run_lazy_seed seed () =
+  Verifier.set_enabled true;
+  let cfg = Graph_gen.accumulation in
+  let eager_strategy =
+    { Pipeline.ace with Pipeline.strategy_name = "ace-eager"; lazy_passes = false }
+  in
+  let check_setting label case =
+    let outcomes =
+      List.map
+        (fun (scheduler, domains) -> Differential.run_case ~scheduler ~domains case)
+        configs
+    in
+    List.iter
+      (fun (o : Differential.outcome) ->
+        match Differential.check case o with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "%s setting: %s" label msg)
+      outcomes;
+    match outcomes with
+    | baseline :: rest ->
+      List.iter
+        (fun (o : Differential.outcome) ->
+          if not (Differential.ct_equal baseline.Differential.ct_out o.Differential.ct_out)
+          then
+            Alcotest.failf "seed %d (%s setting): %s diverges bit-wise from %s" seed label
+              (Differential.describe o)
+              (Differential.describe baseline))
+        rest
+    | [] -> assert false
+  in
+  let lazy_case = Differential.prepare ~cfg ~seed () in
+  let eager_case = Differential.prepare ~cfg ~strategy:eager_strategy ~seed () in
+  check_setting "lazy" lazy_case;
+  check_setting "eager" eager_case;
+  let stats (c : Differential.case) = c.Differential.compiled.Pipeline.lazy_stats in
+  let on = stats lazy_case and off = stats eager_case in
+  let open Ace_ckks_ir.Ckks_lazy in
+  Alcotest.(check int)
+    "eager compile keeps every relin" off.relins_eager off.relins_lazy;
+  Alcotest.(check int)
+    "both compiles start from the same eager schedule" off.relins_eager on.relins_eager;
+  Alcotest.(check bool)
+    (Printf.sprintf "lazy compile drops relins (%d -> %d)" on.relins_eager on.relins_lazy)
+    true
+    (on.relins_lazy < on.relins_eager);
+  Alcotest.(check bool)
+    (Printf.sprintf "lazy compile does not add rescales (%d -> %d)" on.rescales_eager
+       on.rescales_lazy)
+    true
+    (on.rescales_lazy <= on.rescales_eager)
+
 let graph_generator_deterministic () =
   let a = Graph_gen.generate ~seed:11 () and b = Graph_gen.generate ~seed:11 () in
   Alcotest.(check bool) "same graph" true (a = b);
@@ -102,6 +161,15 @@ let () =
           Alcotest.test_case "shape coverage over 25 seeds" `Quick graphs_cover_shapes;
         ] );
       ("quick-tier", List.map seed_case quick_seeds);
+      ( "lazy-tier",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf
+                 "seed %d: accumulation trees, lazy on/off (bit-identity within setting)"
+                 seed)
+              `Slow (run_lazy_seed seed))
+          [ 100; 101 ] );
     ]
     @ if full_tier_on () then [ ("full-tier", List.map seed_case full_seeds) ] else []
   in

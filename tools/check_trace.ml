@@ -9,7 +9,13 @@
    wavefront scheduler really spread per-node "vm." spans over more than
    one worker domain, independently of the limb-level "fhe.worker" spans.
 
-     check_trace TRACE.json [--min-tids N] [--min-tids-for PREFIX N] [--require NAME] *)
+   --count-of NAME validates as usual but then prints only the number of
+   events named exactly NAME, so shell scripts can compare op counts
+   across traces (CI asserts the fhe.relinearize count drops between an
+   ACE_LAZY=0 and an ACE_LAZY=1 run of the same model).
+
+     check_trace TRACE.json [--min-tids N] [--min-tids-for PREFIX N]
+                 [--require NAME] [--count-of NAME] *)
 
 module Json = Ace_telemetry.Json_lite
 
@@ -20,6 +26,7 @@ let () =
   let min_tids = ref 1 in
   let min_tids_for = ref [] in
   let required = ref [] in
+  let count_of = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--min-tids" :: v :: rest ->
@@ -30,6 +37,9 @@ let () =
       parse_args rest
     | "--require" :: name :: rest ->
       required := name :: !required;
+      parse_args rest
+    | "--count-of" :: name :: rest ->
+      count_of := Some name;
       parse_args rest
     | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
       path := Some arg;
@@ -68,7 +78,9 @@ let () =
         | _ -> die "%s: event %d: missing number %s" path i k
       in
       if str "ph" <> "X" then die "%s: event %d: ph <> X" path i;
-      Hashtbl.replace names (str "name") ();
+      (let name = str "name" in
+       Hashtbl.replace names name
+         (1 + Option.value ~default:0 (Hashtbl.find_opt names name)));
       ignore (str "cat");
       if num "ts" < 0.0 then die "%s: event %d: negative ts" path i;
       if num "dur" < 0.0 then die "%s: event %d: negative dur" path i;
@@ -89,5 +101,9 @@ let () =
   List.iter
     (fun name -> if not (Hashtbl.mem names name) then die "%s: no span named %s" path name)
     !required;
-  Printf.printf "check_trace: %s OK (%d events, %d tids, %d span names)\n" path
-    (List.length events) distinct_tids (Hashtbl.length names)
+  match !count_of with
+  | Some name ->
+    Printf.printf "%d\n" (Option.value ~default:0 (Hashtbl.find_opt names name))
+  | None ->
+    Printf.printf "check_trace: %s OK (%d events, %d tids, %d span names)\n" path
+      (List.length events) distinct_tids (Hashtbl.length names)

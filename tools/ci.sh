@@ -43,6 +43,31 @@ dune exec tools/check_trace.exe -- "$trace" --min-tids 2 \
   --min-tids-for vm. 2 \
   --require sched.wavefront --require fhe.rotate --require compile.ckks
 
+# Lazy-pass smoke matrix: the accumulation-tree model (the degree-2
+# workload) at every {ACE_LAZY} x {ACE_DOMAINS} combination with the
+# verifier on, each run traced.
+for lz in 0 1; do
+  for d in 1 4; do
+    echo "== lazy smoke, ACE_LAZY=$lz ACE_DOMAINS=$d =="
+    trace="/tmp/ace_trace_lazy${lz}_d${d}.json"
+    rm -f "$trace"
+    ACE_VERIFY=1 ACE_LAZY=$lz ACE_DOMAINS=$d ACE_TRACE="$trace" \
+      dune exec examples/accum_infer.exe >/dev/null
+    dune exec tools/check_trace.exe -- "$trace" --require fhe.relinearize >/dev/null
+  done
+done
+
+# The executed relinearize count must strictly drop when the lazy passes
+# are on (same model, same pool width) — the compile-time stats say so,
+# this proves the runtime actually performed fewer key switches.
+n_eager=$(dune exec tools/check_trace.exe -- /tmp/ace_trace_lazy0_d1.json --count-of fhe.relinearize)
+n_lazy=$(dune exec tools/check_trace.exe -- /tmp/ace_trace_lazy1_d1.json --count-of fhe.relinearize)
+echo "fhe.relinearize spans: eager=$n_eager lazy=$n_lazy"
+if [ "$n_lazy" -ge "$n_eager" ]; then
+  echo "ci: lazy run did not reduce executed relinearizations" >&2
+  exit 1
+fi
+
 # Verifier smoke: the cross-level IR verifier (default-on, ACE_VERIFY)
 # must accept every example model with zero diagnostics — an explicit
 # ACE_VERIFY=1 run so a future default change can't silently skip it, and
