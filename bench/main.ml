@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- table10      -- selected security parameters
      dune exec bench/main.exe -- table11 -n K -- accuracy under encryption
      dune exec bench/main.exe -- micro        -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- batch        -- slot-batching k-sweep + complex packing
 
    Expected shapes (EXPERIMENTS.md records measured numbers):
      fig5  : seconds per model; VECTOR dominates the breakdown
@@ -411,22 +412,213 @@ let micro () =
       | _ -> Printf.printf "%-30s (no estimate)\n" name)
     results
 
-(* ---------- --json: machine-readable artifact (BENCH_pr6.json) ---------- *)
+(* ---------- PR7: cross-request slot batching + complex packing ---------- *)
+
+(* One conv net, ONE execution context sized for the largest batch factor,
+   one compiled schedule per k: the homomorphic op multiset is asserted
+   identical for every k (batching changes only mask contents), so the
+   amortized per-request latency must fall near-linearly in k. Per-request
+   outputs at k=8 are asserted against unbatched encrypted runs — the
+   throughput may not be bought with wrong answers. The complex-packing
+   pair measures requests/s on a pack-friendly (rotation-free) program
+   with the pass off and on: two real streams per slot double the
+   requests per ciphertext for the same schedule. *)
+
+let make_batch_bench_nn () =
+  let f =
+    Irfunc.create ~name:"batchnet" ~level:Level.Nn
+      ~params:[ ("x", Types.Tensor [| 2; 4; 4 |]) ]
+  in
+  let x = Irfunc.param f 0 in
+  let wname =
+    Irfunc.fresh_const f ~prefix:"w" ~dims:[| 4; 2; 3; 3 |]
+      (Array.init (4 * 2 * 3 * 3) (fun i -> 0.05 *. float_of_int ((i mod 7) - 3)))
+  in
+  let bname = Irfunc.fresh_const f ~prefix:"b" [| 0.1; -0.2; 0.05; 0.0 |] in
+  let w = Irfunc.add f (Op.Weight wname) [||] (Types.Tensor [| 4; 2; 3; 3 |]) in
+  let b = Irfunc.add f (Op.Weight bname) [||] (Types.Tensor [| 4 |]) in
+  let conv =
+    Irfunc.add f
+      (Op.Nn
+         (Op.Conv { Op.out_channels = 4; in_channels = 2; kernel = 3; stride = 1; pad = 1 }))
+      [| x; w; b |]
+      (Types.Tensor [| 4; 4; 4 |])
+  in
+  let relu = Irfunc.add f (Op.Nn Op.Relu) [| conv |] (Types.Tensor [| 4; 4; 4 |]) in
+  let gap = Irfunc.add f (Op.Nn Op.Global_average_pool) [| relu |] (Types.Tensor [| 4 |]) in
+  let gw =
+    Irfunc.fresh_const f ~prefix:"gw" ~dims:[| 3; 4 |]
+      (Array.init 12 (fun i -> 0.3 *. float_of_int ((i mod 5) - 2)))
+  in
+  let gb = Irfunc.fresh_const f ~prefix:"gb" [| 0.01; 0.02; -0.01 |] in
+  let wg = Irfunc.add f (Op.Weight gw) [||] (Types.Tensor [| 3; 4 |]) in
+  let bg = Irfunc.add f (Op.Weight gb) [||] (Types.Tensor [| 3 |]) in
+  let gemm =
+    Irfunc.add f (Op.Nn (Op.Gemm { Op.rows = 3; cols = 4 })) [| gap; wg; bg |]
+      (Types.Tensor [| 3 |])
+  in
+  Irfunc.set_returns f [ gemm ];
+  Verify.verify f;
+  f
+
+let make_lin_bench_nn ~h ~w () =
+  let f =
+    Irfunc.create ~name:"lin" ~level:Level.Nn ~params:[ ("x", Types.Tensor [| 1; h; w |]) ]
+  in
+  let x = Irfunc.param f 0 in
+  let wname = Irfunc.fresh_const f ~prefix:"w" ~dims:[| 1; 1; 1; 1 |] [| 0.7 |] in
+  let bname = Irfunc.fresh_const f ~prefix:"b" [| 0.25 |] in
+  let wt = Irfunc.add f (Op.Weight wname) [||] (Types.Tensor [| 1; 1; 1; 1 |]) in
+  let b = Irfunc.add f (Op.Weight bname) [||] (Types.Tensor [| 1 |]) in
+  let conv =
+    Irfunc.add f
+      (Op.Nn
+         (Op.Conv { Op.out_channels = 1; in_channels = 1; kernel = 1; stride = 1; pad = 0 }))
+      [| x; wt; b |]
+      (Types.Tensor [| 1; h; w |])
+  in
+  Irfunc.set_returns f [ conv ];
+  Verify.verify f;
+  f
+
+(* Op multiset by category ("CKKS.rotate[5]" and "[3]" are one category). *)
+let op_signature c =
+  let h = Hashtbl.create 16 in
+  Irfunc.iter c.Pipeline.ckks (fun n ->
+      let full = Op.name n.Irfunc.op in
+      let key =
+        match String.index_opt full '[' with Some i -> String.sub full 0 i | None -> full
+      in
+      Hashtbl.replace h key (1 + Option.value ~default:0 (Hashtbl.find_opt h key)));
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+
+let batch_bench () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  print_endline "[Batch] k requests per ciphertext: shared context, one schedule";
+  hr ();
+  let nn = make_batch_bench_nn () in
+  let kmax = 16 in
+  let slots = Pipeline.slots_needed nn * kmax in
+  let ctx =
+    Param_select.execution_context ~depth:Pipeline.ace.Pipeline.chain_depth ~slots ()
+  in
+  let input r = Array.init 32 (fun i -> 0.3 *. sin (float_of_int (i + (7 * r)))) in
+  let reps = 3 in
+  let c1 = Pipeline.compile ~context:ctx ~batch:1 Pipeline.ace nn in
+  let keys1 = Pipeline.make_keys c1 ~seed:77 in
+  let sig1 = op_signature c1 in
+  let op_invariant = ref true in
+  let rows =
+    List.map
+      (fun k ->
+        let c = if k = 1 then c1 else Pipeline.compile ~context:ctx ~batch:k Pipeline.ace nn in
+        if op_signature c <> sig1 then op_invariant := false;
+        let keys = if k = 1 then keys1 else Pipeline.make_keys c ~seed:77 in
+        let reqs = Array.init k input in
+        let out = ref [||] in
+        let (), dt =
+          time (fun () ->
+              for _ = 1 to reps do
+                out := Pipeline.infer_encrypted_batch c keys ~seed:55 reqs
+              done)
+        in
+        let dt = dt /. float_of_int reps in
+        Printf.printf "batch k=%-2d  %7.3fs  %8.4fs/request  %5.1f%% of slots carrying data\n%!"
+          k dt
+          (dt /. float_of_int k)
+          (100.0 *. (Stats.of_compiled c).Stats.slot_utilization);
+        (k, dt, !out))
+      [ 1; 2; 4; 8; kmax ]
+  in
+  (* accuracy: every k=8 request against its own unbatched encrypted run *)
+  let _, _, out8 = List.find (fun (k, _, _) -> k = 8) rows in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun r img ->
+      let solo = Pipeline.infer_encrypted c1 keys1 ~seed:55 img in
+      Array.iteri (fun i v -> worst := max !worst (abs_float (v -. out8.(r).(i)))) solo)
+    (Array.init 8 input);
+  let outputs_ok = !worst < 1e-2 in
+  let t_of k =
+    let _, t, _ = List.find (fun (k', _, _) -> k' = k) rows in
+    t
+  in
+  let ratio = t_of 8 /. 8.0 /. t_of 1 in
+  Printf.printf "k=8: worst |batched - solo| = %.2e; per-request %.3fx of k=1 (bound 0.25)%s\n%!"
+    !worst ratio
+    (if op_invariant.contents && outputs_ok && ratio <= 0.25 then "" else "  <-- FAIL");
+  (* complex packing: two real streams per slot on a rotation-free program *)
+  let lin = make_lin_bench_nn ~h:8 ~w:8 () in
+  let lctx =
+    Param_select.execution_context ~depth:Pipeline.ace.Pipeline.chain_depth
+      ~slots:(Pipeline.slots_needed lin * 8) ()
+  in
+  let cplx_pair =
+    List.map
+      (fun complex ->
+        let c = Pipeline.compile ~context:lctx ~batch:8 ~complex Pipeline.ace lin in
+        let keys = Pipeline.make_keys c ~seed:77 in
+        let n = Pipeline.requests_per_ct c in
+        let reqs =
+          Array.init n (fun r -> Array.init 64 (fun i -> 0.4 *. cos (float_of_int (i + r))))
+        in
+        let (), dt =
+          time (fun () ->
+              for _ = 1 to reps do
+                ignore (Pipeline.infer_encrypted_batch c keys ~seed:55 reqs)
+              done)
+        in
+        let dt = dt /. float_of_int reps in
+        Printf.printf "cplx %-3s  %2d requests/ct  %7.3fs  %8.4fs/request\n%!"
+          (if complex then "on" else "off")
+          n dt
+          (dt /. float_of_int n);
+        (n, dt))
+      [ false; true ]
+  in
+  let n0, t0, n1, t1 =
+    match cplx_pair with [ (n0, t0); (n1, t1) ] -> (n0, t0, n1, t1) | _ -> assert false
+  in
+  let gain = float_of_int n1 /. t1 /. (float_of_int n0 /. t0) in
+  Printf.printf "cplx throughput gain (requests/s, on vs off): %.2fx\n%!" gain;
+  let row_json =
+    String.concat ", "
+      (List.map
+         (fun (k, t, _) ->
+           Printf.sprintf "{\"batch\": %d, \"seconds\": %.4f, \"per_request_seconds\": %.4f}"
+             k t
+             (t /. float_of_int k))
+         rows)
+  in
+  let json =
+    Printf.sprintf
+      "{\"model\": \"batchnet\", \"slots\": %d, \"rows\": [%s], \"op_invariant\": %b, \
+       \"k8_per_request_vs_k1\": %.4f, \"bound\": 0.25, \"k8_worst_vs_solo\": %.2e, \
+       \"cplx\": {\"model\": \"lin-8x8\", \"batch\": 8, \"plain_requests_per_ct\": %d, \
+       \"plain_seconds\": %.4f, \"complex_requests_per_ct\": %d, \"complex_seconds\": %.4f, \
+       \"throughput_gain\": %.3f}}"
+      slots row_json op_invariant.contents ratio !worst n0 t0 n1 t1 gain
+  in
+  (json, op_invariant.contents && outputs_ok && ratio <= 0.25)
+
+(* ---------- --json: machine-readable artifact (BENCH_pr7.json) ---------- *)
 
 (* One JSON blob per run so CI and the growth driver can diff numbers across
-   PRs without scraping the human tables. New in pr6: lazy-pass op-count
-   rows per workload (eager vs surviving relins/rescales — resnet's sign
-   towers rescale every product immediately so they keep their relins,
-   while accumulation trees collapse to one relin per reduction root: the
-   regime split EXPERIMENTS.md documents), the accumulation end-to-end
-   lazy on/off timing, the headline resnet20 comparison against the
-   BENCH_pr4 artifact at equal domain count (the runtime gains: Harvey
-   lazy-reduction NTT, Shoup-precomputed key-switch companions), and a
-   key-switch tail-latency gate (max/p50) guarding the keygen warm-up
-   against the 0.178 s first-switch spike BENCH_pr4 recorded. *)
-let json_schema_version = 6
+   PRs without scraping the human tables. New in pr7: the cross-request
+   slot-batching sweep (k in {1,2,4,8,16} against ONE shared context, with
+   the op-multiset-invariance and k=8 amortized-latency gates) and the
+   complex-packing requests/s pair, plus efficiency-per-core columns in a
+   scheduler sweep auto-sized to the detected host cores. Carried from
+   pr6: lazy-pass op-count rows per workload, the accumulation end-to-end
+   lazy on/off timing, the resnet20 comparison against BENCH_pr4, and the
+   key-switch tail-latency gate (max/p50) guarding the keygen warm-up. *)
+let json_schema_version = 7
 
-let json_bench ?(path = "BENCH_pr6.json") () =
+let json_bench ?(path = "BENCH_pr7.json") () =
   let module Domain_pool = Ace_util.Domain_pool in
   let module Json = Ace_telemetry.Json_lite in
   let default_domains = Domain_pool.size () in
@@ -669,6 +861,7 @@ let json_bench ?(path = "BENCH_pr6.json") () =
       (t_eager /. t_lazy);
     (t_lazy, t_eager)
   in
+  let batch_json, batch_ok = batch_bench () in
   (* Headline comparison against the committed BENCH_pr4 artifact (same
      model, same domain count — both artifacts record it). *)
   let pr4_resnet20 =
@@ -727,13 +920,20 @@ let json_bench ?(path = "BENCH_pr6.json") () =
     prerr_endline
       "bench: warning: scheduler sweep running on a 1-core host — multi-domain rows \
        measure scheduling overhead, not parallel speedup (host_cores records this)";
+  (* Auto-sized to the detected cores: the powers of two up to
+     max(8, host_cores), plus host_cores itself when it is not one of
+     them — so real hardware always gets a row at its own width. *)
+  let sweep_domains =
+    List.sort_uniq compare
+      (List.filter (fun d -> d >= 1 && d <= 64) [ 1; 2; 4; 8; host_cores ])
+  in
   let sweep_rows =
     List.concat_map
       (fun d ->
         List.map
           (fun s -> (d, s, sweep_run ~domains:d ~scheduler:s))
           [ Pipeline.Seq; Pipeline.Wavefront ])
-      [ 1; 2; 4; 8 ]
+      sweep_domains
   in
   let sweep_seconds ~domains ~scheduler =
     let _, _, t =
@@ -794,7 +994,7 @@ let json_bench ?(path = "BENCH_pr6.json") () =
   let buf = Buffer.create 2048 in
   let obj rows = String.concat ", " rows in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr6-lazy-relin\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr7-slot-batching\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"schema_version\": %d,\n" json_schema_version);
   Buffer.add_string buf (Printf.sprintf "  \"domains_default\": %d,\n" default_domains);
   Buffer.add_string buf (Printf.sprintf "  \"domains_parallel\": %d,\n" par_domains);
@@ -829,13 +1029,22 @@ let json_bench ?(path = "BENCH_pr6.json") () =
        "  \"keyswitch_tail\": {\"max_s\": %.5f, \"p50_s\": %.5f, \"ratio\": %.2f, \
         \"bound\": %.1f},\n"
        ks_max ks_p50 ks_ratio tail_bound);
+  Buffer.add_string buf (Printf.sprintf "  \"batch_sweep\": %s,\n" batch_json);
   Buffer.add_string buf
     (Printf.sprintf "  \"scheduler_sweep\": [%s],\n"
        (String.concat ", "
           (List.map
              (fun (d, s, t) ->
-               Printf.sprintf "{\"domains\": %d, \"scheduler\": \"%s\", \"seconds\": %.4f}" d
-                 (Pipeline.scheduler_name s) t)
+               (* efficiency_per_core = t(1)/(d * t(d)) for the same
+                  scheduler: 1.0 is perfect scaling. On a 1-core host
+                  (sweep_single_core above) extra domains only add
+                  scheduling overhead, so the column honestly degrades. *)
+               let base = sweep_seconds ~domains:1 ~scheduler:s in
+               Printf.sprintf
+                 "{\"domains\": %d, \"scheduler\": \"%s\", \"seconds\": %.4f, \
+                  \"efficiency_per_core\": %.4f}"
+                 d (Pipeline.scheduler_name s) t
+                 (base /. (float_of_int d *. t)))
              sweep_rows)));
   Buffer.add_string buf
     (Printf.sprintf "  \"busy\": [%s, %s],\n" busy_seq busy_wf);
@@ -869,6 +1078,13 @@ let json_bench ?(path = "BENCH_pr6.json") () =
       "bench: key-switch tail regression: max/p50 = %.1f exceeds bound %.1f\n%!"
       ks_ratio tail_bound;
     exit 1
+  end;
+  (* Batching acceptance gate: op multiset identical across k, per-request
+     outputs within crypto tolerance of unbatched runs, and k=8 amortized
+     per-request latency at most 0.25x the k=1 latency. *)
+  if not batch_ok then begin
+    prerr_endline "bench: batch throughput/invariance gate failed (see [Batch] rows above)";
+    exit 1
   end
 
 (* ---------- driver ---------- *)
@@ -894,6 +1110,7 @@ let () =
     | "table10" -> table10 ()
     | "table11" -> table11 ~n:(get_n 4) ()
     | "micro" -> micro ()
+    | "batch" -> ignore (batch_bench ())
     | "ablation" -> ablation ()
     | other -> Printf.eprintf "unknown benchmark %s\n" other
   in

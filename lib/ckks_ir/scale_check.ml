@@ -19,7 +19,7 @@ let check ctx f =
       let expect_scale, expect_level =
         match n.Irfunc.op with
         | Op.Param _ -> (Some delta, Some chain)
-        | Op.C_encode -> (None, None) (* free choice, recorded for the VM *)
+        | Op.C_encode | Op.C_encode_pair -> (None, None) (* free choice, recorded for the VM *)
         | Op.C_add | Op.C_sub ->
           let x = a 0 and y = a 1 in
           if is_cipher y then begin
@@ -44,7 +44,8 @@ let check ctx f =
               y.Irfunc.node_level;
           if x.Irfunc.node_level < 1 then fail "node %%%d: mul at level 0" n.Irfunc.id;
           (Some (x.Irfunc.scale *. y.Irfunc.scale), Some x.Irfunc.node_level)
-        | Op.C_relin | Op.C_neg | Op.C_rotate _ | Op.C_rotate_batch _ | Op.C_batch_get _ ->
+        | Op.C_relin | Op.C_neg | Op.C_rotate _ | Op.C_rotate_batch _ | Op.C_batch_get _
+        | Op.C_conj | Op.C_mul_i ->
           (* Rotations (hoisted or not) neither rescale nor change level;
              a batch bundle and every element read from it inherit the
              source ciphertext's annotations. *)
@@ -79,5 +80,5 @@ let check ctx f =
 let max_encode_bits f =
   Irfunc.fold f ~init:0.0 ~f:(fun acc n ->
       match n.Irfunc.op with
-      | Op.C_encode -> max acc (Float.log2 n.Irfunc.scale)
+      | Op.C_encode | Op.C_encode_pair -> max acc (Float.log2 n.Irfunc.scale)
       | _ -> acc)

@@ -35,7 +35,7 @@ let max_width t =
 let node_cost (n : Irfunc.node) =
   let limbs = float_of_int (max 1 (n.Irfunc.node_level + 1)) in
   match n.Irfunc.op with
-  | Op.C_relin | Op.C_rotate _ ->
+  | Op.C_relin | Op.C_rotate _ | Op.C_conj ->
     (* gadget decompose: limbs digits x (lift + NTT) per basis row, then
        the mod-down — quadratic in limbs, the dominant runtime op *)
     ((limbs +. 1.0) *. limbs *. 2.0) +. (4.0 *. limbs)
@@ -45,8 +45,9 @@ let node_cost (n : Irfunc.node) =
     ((limbs +. 1.0) *. limbs *. 2.0)
     +. (float_of_int (Array.length steps) *. 4.0 *. limbs)
   | Op.C_mul -> 8.0 *. limbs (* 4 NTT-domain tensor products + flips *)
+  | Op.C_mul_i -> 1.0 *. limbs (* pointwise monomial product per component *)
   | Op.C_rescale -> 4.0 *. limbs (* coeff flip, exact division, NTT flip *)
-  | Op.C_encode -> 3.0 *. limbs (* embed + round + forward NTT *)
+  | Op.C_encode | Op.C_encode_pair -> 3.0 *. limbs (* embed + round + forward NTT *)
   | Op.C_upscale _ -> 4.0 *. limbs (* encode ones + mul_plain *)
   | Op.C_add | Op.C_sub | Op.C_neg -> 0.5 *. limbs
   | Op.C_mod_switch | Op.C_downscale _ | Op.C_batch_get _ -> 0.05
@@ -60,8 +61,10 @@ let node_cost (n : Irfunc.node) =
 let node_width (n : Irfunc.node) =
   let limbs = max 1 (n.Irfunc.node_level + 1) in
   match n.Irfunc.op with
-  | Op.C_relin | Op.C_rotate _ | Op.C_rotate_batch _ -> limbs + 1
-  | Op.C_mul | Op.C_rescale | Op.C_encode | Op.C_upscale _ | Op.C_bootstrap _ -> limbs
+  | Op.C_relin | Op.C_rotate _ | Op.C_rotate_batch _ | Op.C_conj -> limbs + 1
+  | Op.C_mul | Op.C_rescale | Op.C_encode | Op.C_encode_pair | Op.C_upscale _
+  | Op.C_bootstrap _ | Op.C_mul_i ->
+    limbs
   | _ -> 1 (* light ops run inline under the RNS grain floors *)
 
 let analyze f =

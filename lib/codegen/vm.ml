@@ -6,6 +6,7 @@ module Context = Fhe.Context
 module Cost = Fhe.Cost
 module Domain_pool = Ace_util.Domain_pool
 module Telemetry = Ace_telemetry.Telemetry
+module Cplx = Fhe.Cplx
 open Ace_ir
 
 type bootstrap_impl = node:int -> target_level:int -> Ciphertext.ct -> Ciphertext.ct
@@ -122,9 +123,15 @@ let exec_node t values inputs (n : Irfunc.node) =
     V_clear (Array.init slice_len (fun i -> v.(start + (i * stride))))
   | Op.V_broadcast _ | Op.V_pad _ | Op.V_reshape _ | Op.V_tile _ | Op.V_nonlinear _ ->
     invalid_arg ("Vm.run: unsupported clear op " ^ Op.name n.Irfunc.op)
-  | Op.C_encode -> (
+  | (Op.C_encode | Op.C_encode_pair) as enc_op -> (
     let encode () =
-      Encoder.encode ctx ~level:n.Irfunc.node_level ~scale:n.Irfunc.scale (clear 0)
+      match enc_op with
+      | Op.C_encode_pair ->
+        (* v + i*v: the plaintext addend of a complex-packed region must
+           shift both streams (see Ckks_cplx). *)
+        Encoder.encode_complex ctx ~level:n.Irfunc.node_level ~scale:n.Irfunc.scale
+          (Array.map (fun x -> { Cplx.re = x; im = x }) (clear 0))
+      | _ -> Encoder.encode ctx ~level:n.Irfunc.node_level ~scale:n.Irfunc.scale (clear 0)
     in
     match t.pt_cache with
     | None -> V_pt (encode ())
@@ -165,6 +172,8 @@ let exec_node t values inputs (n : Irfunc.node) =
   | Op.C_relin -> V_ct (Eval.relinearize t.keys (ct 0))
   | Op.C_neg -> V_ct (Eval.neg (ct 0))
   | Op.C_rotate k -> V_ct (Eval.rotate t.keys (ct 0) k)
+  | Op.C_conj -> V_ct (Eval.conjugate t.keys (ct 0))
+  | Op.C_mul_i -> V_ct (Eval.mul_i (ct 0))
   | Op.C_rotate_batch steps -> V_ct_batch (Eval.rotate_batch t.keys (ct 0) steps)
   | Op.C_batch_get i -> (
     match values.(n.Irfunc.args.(0)) with

@@ -86,7 +86,7 @@ let shadow_eval (f : Irfunc.t) ~slots input =
         | Op.V_slice { Op.start; slice_len; stride } ->
           let v = vec 0 n in
           S_vec (Array.init slice_len (fun i -> v.(start + (i * stride))))
-        | Op.C_encode -> S_vec (pad (vec 0 n))
+        | Op.C_encode | Op.C_encode_pair -> S_vec (pad (vec 0 n))
         | Op.C_add -> S_vec (Array.map2 ( +. ) (vec 0 n) (vec 1 n))
         | Op.C_sub -> S_vec (Array.map2 ( -. ) (vec 0 n) (vec 1 n))
         | Op.C_mul -> S_vec (Array.map2 ( *. ) (vec 0 n) (vec 1 n))

@@ -4,6 +4,7 @@ module Lower_vec = Ace_sihe.Lower_vec
 module Lower_sihe = Ace_ckks_ir.Lower_sihe
 module Ckks_fusion = Ace_ckks_ir.Ckks_fusion
 module Ckks_lazy = Ace_ckks_ir.Ckks_lazy
+module Ckks_cplx = Ace_ckks_ir.Ckks_cplx
 module Keygen_plan = Ace_ckks_ir.Keygen_plan
 module Param_select = Ace_ckks_ir.Param_select
 module Poly_ir = Ace_poly_ir.Poly_ir
@@ -71,6 +72,8 @@ let library_default =
 
 type compiled = {
   strategy : strategy;
+  batch : int;
+  cplx : Ckks_cplx.info option;
   context : Fhe.Context.t;
   nn : Irfunc.t;
   vec : Irfunc.t;
@@ -96,6 +99,27 @@ let lazy_enabled strategy =
     match String.lowercase_ascii (String.trim s) with
     | "0" | "off" | "false" | "no" -> false
     | _ -> true)
+
+(* [ACE_BATCH] sets the default cross-request batch factor; an explicit
+   [?batch] argument to [compile] overrides it, mirroring ACE_DOMAINS. *)
+let default_batch () =
+  match Sys.getenv_opt "ACE_BATCH" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some k when k >= 1 -> k
+    | _ -> invalid_arg ("ACE_BATCH must be a positive integer, got " ^ s))
+
+(* [ACE_CPLX] turns on complex packing: two request streams per slot
+   (real/imaginary parts), on top of the slot-region batch axis. *)
+let default_complex () =
+  match Sys.getenv_opt "ACE_CPLX" with
+  | None -> false
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "" | "0" | "off" | "false" | "no" -> false
+    | "1" | "on" | "true" | "yes" -> true
+    | other -> invalid_arg ("ACE_CPLX must be 0 or 1, got " ^ other))
 
 let next_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
@@ -133,19 +157,26 @@ let slots_needed nn =
    [level_seconds]) and recorded as a compile-phase span when tracing. *)
 let timed name f = Ace_telemetry.Telemetry.timed ~cat:"compile" ("compile." ^ name) f
 
-let compile ?context strategy nn_input =
+let compile ?context ?batch ?complex strategy nn_input =
+  let batch = match batch with Some k -> k | None -> default_batch () in
+  let complex = match complex with Some b -> b | None -> default_complex () in
+  let need = slots_needed nn_input * batch in
   let slots =
     match context with
     | Some c -> Fhe.Context.slots c
-    | None -> slots_needed nn_input
+    | None -> need
   in
   let context =
     match context with
     | Some c -> c
     | None -> Param_select.execution_context ~depth:strategy.chain_depth ~slots ()
   in
-  if Fhe.Context.slots context < slots then
-    invalid_arg "Pipeline.compile: context has too few slots for the model layout";
+  if Fhe.Context.slots context < need then
+    invalid_arg
+      (Printf.sprintf
+         "Pipeline.compile: context has %d slots but the model layout needs %d (%d per \
+          request x batch %d)"
+         (Fhe.Context.slots context) need (need / batch) batch);
   let slots = Fhe.Context.slots context in
   (* NN level: import-side cleanups. *)
   let nn, t_nn =
@@ -160,7 +191,12 @@ let compile ?context strategy nn_input =
   let (vec, out_layouts, in_layout), t_vec =
     timed "vector" (fun () ->
         let cfg =
-          { Lower_nn.slots; conv_regroup = strategy.conv_regroup; gemm_bsgs = strategy.gemm_bsgs }
+          {
+            Lower_nn.slots;
+            batch;
+            conv_regroup = strategy.conv_regroup;
+            gemm_bsgs = strategy.gemm_bsgs;
+          }
         in
         let vf, outs = Lower_nn.lower cfg nn in
         (vf, outs, Lower_nn.input_layout cfg nn))
@@ -191,9 +227,21 @@ let compile ?context strategy nn_input =
         let f, lazy_stats =
           if lazy_enabled strategy then Ckks_lazy.run f else (f, Ckks_lazy.observe f)
         in
+        (* Complex packing rewrites AFTER the lazy passes (it wants final
+           relin/rescale placement to classify regions) and BEFORE key
+           planning, so the plan and the hoisted bundles see the final
+           rotation structure of the split stretches. *)
+        let f, cplx_info =
+          if complex then begin
+            let f, info = Ckks_cplx.run f in
+            (f, Some info)
+          end
+          else (f, None)
+        in
         Ace_ckks_ir.Scale_check.check context f;
-        (f, lazy_stats))
+        ((f, cplx_info), lazy_stats))
   in
+  let ckks, cplx_info = ckks in
   (* No keygen plan yet: the plan is derived from this function below, so
      this stage checks well-formedness and the abstract (scale, level,
      limbs) interpretation plus both execution schedules. *)
@@ -240,6 +288,8 @@ let compile ?context strategy nn_input =
   let _, t_other = timed "other" (fun () -> Ace_codegen.C_backend.emit_weights_file ckks) in
   {
     strategy;
+    batch;
+    cplx = cplx_info;
     context;
     nn;
     vec;
@@ -290,13 +340,57 @@ let make_keys c ~seed =
   Fhe.Eval.warm keys;
   keys
 
-let encrypt_input c keys ~seed image =
-  let packed = Layout.vector_of_tensor c.input_layout image in
+let requests_per_ct c = c.batch * if c.cplx <> None then 2 else 1
+
+let encrypt_packed c keys ~seed packed =
   let pt =
     Fhe.Encoder.encode c.context ~level:(Fhe.Context.max_level c.context)
       ~scale:(Fhe.Context.scale c.context) packed
   in
   Fhe.Eval.encrypt keys ~rng:(Ace_util.Rng.create seed) pt
+
+(* Complex packing: stream A in the real parts, stream B in the imaginary
+   parts, encoded as (a+ib)/2 so the conjugation-based unpacks inside the
+   rewritten function are exact (see Ckks_cplx). *)
+let encrypt_packed_cplx c keys ~seed va vb =
+  let z =
+    Array.init (Array.length va) (fun i ->
+        { Fhe.Cplx.re = 0.5 *. va.(i); im = 0.5 *. vb.(i) })
+  in
+  let pt =
+    Fhe.Encoder.encode_complex c.context ~level:(Fhe.Context.max_level c.context)
+      ~scale:(Fhe.Context.scale c.context) z
+  in
+  Fhe.Eval.encrypt keys ~rng:(Ace_util.Rng.create seed) pt
+
+let encrypt_input c keys ~seed image =
+  let v = Layout.vector_of_tensor c.input_layout image in
+  match c.cplx with
+  | None -> encrypt_packed c keys ~seed v
+  | Some _ -> encrypt_packed_cplx c keys ~seed v (Array.map (fun _ -> 0.0) v)
+
+(* Batched requests: each image lands in its own slot region; everything
+   past encryption runs the identical schedule regardless of [batch]. *)
+let encrypt_batch c keys ~seed images =
+  match c.cplx with
+  | None -> encrypt_packed c keys ~seed (Layout.vector_of_batch c.input_layout images)
+  | Some _ ->
+    let n = Array.length images in
+    if n <> 2 * c.batch then
+      invalid_arg
+        (Printf.sprintf
+           "Pipeline.encrypt_batch: complex packing carries %d requests (2 per region), got %d"
+           (2 * c.batch) n)
+    else begin
+      let va =
+        Layout.vector_of_batch c.input_layout (Array.init c.batch (fun r -> images.(2 * r)))
+      in
+      let vb =
+        Layout.vector_of_batch c.input_layout
+          (Array.init c.batch (fun r -> images.((2 * r) + 1)))
+      in
+      encrypt_packed_cplx c keys ~seed va vb
+    end
 
 (* A missing Galois key at execution time means the compile-time key plan
    and the runtime key set disagree — a planning bug or keys generated
@@ -327,12 +421,44 @@ let run_encrypted ?scheduler c keys ~seed ct =
   let vm = Ace_codegen.Vm.prepare ~keys ~bootstrap:(make_bootstrap keys ~seed) c.ckks in
   run_vm ~scheduler c vm ct
 
+(* Under complex packing the decrypted slots hold m*(a + i*b); divide by
+   the multiplier the cplx pass recorded for this output. *)
+let output_mult c =
+  match c.cplx with
+  | None -> 1.0
+  | Some info -> (
+    match info.Ckks_cplx.output_mults with m :: _ -> m | [] -> 1.0)
+
 let decrypt_output c keys ct =
-  let decoded = Fhe.Encoder.decode c.context (Fhe.Eval.decrypt keys ct) in
-  Layout.tensor_of_vector (List.hd c.output_layouts) decoded
+  match c.cplx with
+  | None ->
+    let decoded = Fhe.Encoder.decode c.context (Fhe.Eval.decrypt keys ct) in
+    Layout.tensor_of_vector (List.hd c.output_layouts) decoded
+  | Some _ ->
+    let m = output_mult c in
+    let z = Fhe.Encoder.decode_complex c.context (Fhe.Eval.decrypt keys ct) in
+    Layout.tensor_of_vector (List.hd c.output_layouts)
+      (Array.map (fun v -> v.Fhe.Cplx.re /. m) z)
+
+let decrypt_batch c keys ct =
+  match c.cplx with
+  | None ->
+    let decoded = Fhe.Encoder.decode c.context (Fhe.Eval.decrypt keys ct) in
+    Layout.batch_of_vector (List.hd c.output_layouts) decoded
+  | Some _ ->
+    let m = output_mult c in
+    let z = Fhe.Encoder.decode_complex c.context (Fhe.Eval.decrypt keys ct) in
+    let layout = List.hd c.output_layouts in
+    let ra = Layout.batch_of_vector layout (Array.map (fun v -> v.Fhe.Cplx.re /. m) z) in
+    let rb = Layout.batch_of_vector layout (Array.map (fun v -> v.Fhe.Cplx.im /. m) z) in
+    Array.init (2 * c.batch) (fun i -> if i mod 2 = 0 then ra.(i / 2) else rb.(i / 2))
 
 let infer_encrypted c keys ~seed image =
   decrypt_output c keys (run_encrypted c keys ~seed (encrypt_input c keys ~seed image))
+
+let infer_encrypted_batch ?scheduler c keys ~seed images =
+  decrypt_batch c keys
+    (run_encrypted ?scheduler c keys ~seed (encrypt_batch c keys ~seed images))
 
 (* A resident runtime: the prepared VM lives across inferences, so weight
    plaintexts are encoded (embed + round + forward NTT) once ever instead

@@ -47,6 +47,13 @@ val library_default : strategy
 
 type compiled = {
   strategy : strategy;
+  batch : int;
+      (** cross-request batch factor: this many independent requests share
+          one ciphertext, one per slot region (see {!Ace_vector.Layout}) *)
+  cplx : Ace_ckks_ir.Ckks_cplx.info option;
+      (** [Some] when compiled with complex packing: two request streams
+          per slot (real/imaginary), doubling {!requests_per_ct}; carries
+          the region stats and per-output multipliers the decryptor needs *)
   context : Ace_fhe.Context.t;
   nn : Ace_ir.Irfunc.t;
   vec : Ace_ir.Irfunc.t;
@@ -68,9 +75,31 @@ val lazy_enabled : strategy -> bool
 (** Whether [compile] will run the lazy passes: the [ACE_LAZY] environment
     knob if set, the strategy's [lazy_passes] field otherwise. *)
 
-val compile : ?context:Ace_fhe.Context.t -> strategy -> Ace_ir.Irfunc.t -> compiled
+val default_batch : unit -> int
+(** The [ACE_BATCH] environment knob (default 1): how many independent
+    requests share one ciphertext when [compile] is not given [?batch]. *)
+
+val default_complex : unit -> bool
+(** The [ACE_CPLX] environment knob (default off): complex packing — two
+    request streams per slot via {!Ace_ckks_ir.Ckks_cplx} — when [compile]
+    is not given [?complex]. *)
+
+val compile :
+  ?context:Ace_fhe.Context.t ->
+  ?batch:int -> ?complex:bool -> strategy -> Ace_ir.Irfunc.t -> compiled
 (** Default context: {!Ace_ckks_ir.Param_select.execution_context} sized
-    to the model's slot needs. *)
+    to the model's slot needs times [batch]. [?batch] (default
+    {!default_batch}[ ()]) replicates the layout across that many slot
+    regions; the compiled schedule — rotation amounts, keygen plan, scale
+    management, homomorphic op count — is identical for every batch
+    factor, only encode/encrypt/decrypt fan out per request. [?complex]
+    (default {!default_complex}[ ()]) additionally packs two request
+    streams per slot via {!Ace_ckks_ir.Ckks_cplx}. *)
+
+val requests_per_ct : compiled -> int
+(** Independent requests one ciphertext carries: [batch], doubled under
+    complex packing. The batch helpers below expect exactly this many
+    images. *)
 
 val slots_needed : Ace_ir.Irfunc.t -> int
 (** Smallest power-of-two slot vector the NN function's layouts fit in. *)
@@ -101,7 +130,15 @@ val make_keys : compiled -> seed:int -> Ace_fhe.Keys.t
 
 val encrypt_input :
   compiled -> Ace_fhe.Keys.t -> seed:int -> float array -> Ace_fhe.Ciphertext.ct
-(** The generated encryptor: pack with the input layout, encode, encrypt. *)
+(** The generated encryptor: pack with the input layout, encode, encrypt.
+    With [batch > 1] the single image is replicated into every region. *)
+
+val encrypt_batch :
+  compiled -> Ace_fhe.Keys.t -> seed:int -> float array array -> Ace_fhe.Ciphertext.ct
+(** Pack {!requests_per_ct} independent images into one ciphertext, one
+    per slot region — under complex packing, one PAIR per region, images
+    [2r] and [2r+1] in region [r]'s real and imaginary parts, encoded as
+    [(a+ib)/2]. @raise Invalid_argument on a count mismatch. *)
 
 val run_encrypted :
   ?scheduler:scheduler ->
@@ -112,9 +149,21 @@ val decrypt_output : compiled -> Ace_fhe.Keys.t -> Ace_fhe.Ciphertext.ct -> floa
 (** The generated decryptor: decrypt, decode, unpack to the NN output
     tensor. *)
 
+val decrypt_batch :
+  compiled -> Ace_fhe.Keys.t -> Ace_fhe.Ciphertext.ct -> float array array
+(** Per-request output tensors ({!requests_per_ct} of them), inverse of
+    {!encrypt_batch} — under complex packing each slot region yields two,
+    divided by the recorded output multiplier. *)
+
 val infer_encrypted :
   compiled -> Ace_fhe.Keys.t -> seed:int -> float array -> float array
 (** encrypt -> run -> decrypt, one image. *)
+
+val infer_encrypted_batch :
+  ?scheduler:scheduler ->
+  compiled -> Ace_fhe.Keys.t -> seed:int -> float array array -> float array array
+(** encrypt -> run -> decrypt for {!requests_per_ct} independent images
+    sharing one ciphertext; one homomorphic execution total. *)
 
 (** {1 Resident runtime (multi-inference serving)} *)
 

@@ -18,6 +18,12 @@ type t = {
   rescales_eliminated : int;
   deg2_high_water : int;
   runtime_domains : int;
+  batch : int;
+  requests_per_ct : int;
+  slot_utilization : float;
+  cplx_regions : int;
+  cplx_packed_ops : int;
+  cplx_split_ops : int;
 }
 
 let count_op f pred = Irfunc.fold f ~init:0 ~f:(fun acc n -> if pred n.Irfunc.op then acc + 1 else acc)
@@ -83,6 +89,28 @@ let of_compiled (c : Pipeline.compiled) =
       - c.Pipeline.lazy_stats.Ace_ckks_ir.Ckks_lazy.rescales_lazy;
     deg2_high_water = c.Pipeline.lazy_stats.Ace_ckks_ir.Ckks_lazy.deg2_high_water;
     runtime_domains = Pipeline.runtime_domains ();
+    batch = c.Pipeline.batch;
+    requests_per_ct = Pipeline.requests_per_ct c;
+    slot_utilization =
+      (* data slots actually carrying request payload vs the ring's slot
+         capacity: batching fills idle regions, complex packing doubles
+         each slot's payload *)
+      (let l = c.Pipeline.input_layout in
+       let data = l.Ace_vector.Layout.channels * l.Ace_vector.Layout.height * l.Ace_vector.Layout.width in
+       let slots = Ace_fhe.Context.slots c.Pipeline.context in
+       float_of_int (data * Pipeline.requests_per_ct c) /. float_of_int slots);
+    cplx_regions =
+      (match c.Pipeline.cplx with
+      | None -> 0
+      | Some i -> i.Ace_ckks_ir.Ckks_cplx.stats.Ace_ckks_ir.Ckks_cplx.regions);
+    cplx_packed_ops =
+      (match c.Pipeline.cplx with
+      | None -> 0
+      | Some i -> i.Ace_ckks_ir.Ckks_cplx.stats.Ace_ckks_ir.Ckks_cplx.packed_nodes);
+    cplx_split_ops =
+      (match c.Pipeline.cplx with
+      | None -> 0
+      | Some i -> i.Ace_ckks_ir.Ckks_cplx.stats.Ace_ckks_ir.Ckks_cplx.split_nodes);
   }
 
 let to_json s =
@@ -97,13 +125,14 @@ let to_json s =
         \"poly_stmts\": %d, \"c_lines\": %d, \"const_floats\": %d, \"rotations\": %d, \
         \"distinct_rotation_steps\": %d, \"bootstraps\": %d, \"ct_mults\": %d, \"pt_mults\": %d, \
         \"rescales\": %d, \"relins\": %d, \"relins_eliminated\": %d, \
-        \"rescales_eliminated\": %d, \"deg2_high_water\": %d, \"runtime_domains\": %d}"
+        \"rescales_eliminated\": %d, \"deg2_high_water\": %d, \"runtime_domains\": %d,         \"batch\": %d, \"requests_per_ct\": %d, \"slot_utilization\": %.4f,         \"cplx_regions\": %d, \"cplx_packed_ops\": %d, \"cplx_split_ops\": %d}"
        (String.escaped s.model)
        (level_list s.nodes_per_level)
        (level_list s.lines_per_level)
        s.poly_stmts s.c_lines s.const_floats s.rotations s.distinct_rotation_steps s.bootstraps
        s.ct_mults s.pt_mults s.rescales s.relins s.relins_eliminated s.rescales_eliminated
-       s.deg2_high_water s.runtime_domains);
+       s.deg2_high_water s.runtime_domains s.batch s.requests_per_ct s.slot_utilization
+       s.cplx_regions s.cplx_packed_ops s.cplx_split_ops);
   Buffer.contents buf
 
 let pp fmt s =
@@ -119,4 +148,8 @@ let pp fmt s =
   Format.fprintf fmt
     "  relins=%d (eliminated %d), rescales eliminated=%d, deg2 high-water=%d@," s.relins
     s.relins_eliminated s.rescales_eliminated s.deg2_high_water;
+  Format.fprintf fmt
+    "  batch=%d (requests/ct %d), slot utilization=%.1f%%, cplx regions=%d (packed %d / split %d)@,"
+    s.batch s.requests_per_ct (100.0 *. s.slot_utilization) s.cplx_regions s.cplx_packed_ops
+    s.cplx_split_ops;
   Format.fprintf fmt "  runtime domains=%d@,@]" s.runtime_domains

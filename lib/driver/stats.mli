@@ -22,6 +22,14 @@ type t = {
       (** peak simultaneously-live degree-2 ciphertexts in program order *)
   runtime_domains : int;
       (** domain-pool size the encrypted run will use ([ACE_DOMAINS]) *)
+  batch : int;  (** slot regions = independent requests per ciphertext *)
+  requests_per_ct : int;  (** batch, doubled under complex packing *)
+  slot_utilization : float;
+      (** payload slots x requests / ring slot capacity, in [0, 1+]:
+          batching fills idle regions, complex packing doubles payload *)
+  cplx_regions : int;  (** complex-packed regions (0 when [ACE_CPLX] off) *)
+  cplx_packed_ops : int;  (** cipher ops executed once on packed streams *)
+  cplx_split_ops : int;  (** cipher ops duplicated per stream *)
 }
 
 val of_compiled : Pipeline.compiled -> t

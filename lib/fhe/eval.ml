@@ -427,6 +427,50 @@ let conjugate keys (ct : ct) =
   let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
   record_flight "conjugate" { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
 
+(* NTT image of the monomial X^(N/2) over the full modulus chain, cached
+   per CRT context (physical equality — one live context per process in
+   practice). X^(N/2) evaluates to the imaginary unit in *every* CKKS slot:
+   the slot roots are zeta^(5^j) with 5^j = 1 (mod 4), so
+   (zeta^(5^j))^(N/2) = i^(5^j) = i. Multiplying by it is therefore an
+   exact slot-wise multiply-by-i — integer coefficients, no scale change,
+   no noise growth beyond a coefficient permutation. *)
+let monomial_i_cache : (Ace_rns.Crt.t * Rns_poly.t) list ref = ref []
+let monomial_i_lock = Mutex.create ()
+
+let ntt_monomial_i crt =
+  let find () = List.find_opt (fun (c, _) -> c == crt) !monomial_i_cache in
+  match find () with
+  | Some (_, m) -> m
+  | None ->
+    Mutex.lock monomial_i_lock;
+    let m =
+      match find () with
+      | Some (_, m) -> m
+      | None ->
+        let n = Ace_rns.Crt.ring_degree crt in
+        let coeffs = Array.make n 0 in
+        coeffs.(n / 2) <- 1;
+        let m =
+          Rns_poly.to_ntt
+            (Rns_poly.of_centered_coeffs crt
+               ~chain_idx:(Rns_poly.prefix_idx ~limbs:(Ace_rns.Crt.num_moduli crt))
+               coeffs)
+        in
+        monomial_i_cache := (crt, m) :: !monomial_i_cache;
+        m
+    in
+    Mutex.unlock monomial_i_lock;
+    m
+
+let mul_i (ct : ct) =
+  Cost.timed Cost.Mult_plain @@ fun () ->
+  let crt = ct.polys.(0).Rns_poly.ctx in
+  let m =
+    Rns_poly.restrict (ntt_monomial_i crt) ~chain_idx:ct.polys.(0).Rns_poly.chain_idx
+  in
+  let polys = Array.map (fun p -> Rns_poly.mul (Rns_poly.to_ntt p) m) ct.polys in
+  record_flight "mul_i" { ct with polys }
+
 let rescale (ct : ct) =
   Cost.timed Cost.Rescale @@ fun () ->
   let l = level ct in

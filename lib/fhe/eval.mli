@@ -61,6 +61,13 @@ val rotate_batch : Keys.t -> Ciphertext.ct -> int array -> Ciphertext.ct array
     @raise Missing_rotation_key when any step lacks its key. *)
 
 val conjugate : Keys.t -> Ciphertext.ct -> Ciphertext.ct
+(** Slot-wise complex conjugation: the Galois automorphism [X -> X^(2N-1)]
+    plus a key switch against the conjugation key (always generated). *)
+
+val mul_i : Ciphertext.ct -> Ciphertext.ct
+(** Multiply every slot by the imaginary unit — multiplication by the
+    monomial [X^(N/2)], which evaluates to [i] in every slot. Exact: no
+    key switch, no rescale, scale and level unchanged. *)
 
 val rescale : Ciphertext.ct -> Ciphertext.ct
 (** Drop the top prime and divide the scale by it. *)

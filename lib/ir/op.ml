@@ -61,6 +61,9 @@ type t =
   | C_upscale of float
   | C_downscale of float
   | C_bootstrap of int
+  | C_conj
+  | C_mul_i
+  | C_encode_pair
 
 let nn_name = function
   | Conv _ -> "conv"
@@ -109,6 +112,7 @@ let name = function
   | C_mul -> "CKKS.mul"
   | C_neg -> "CKKS.neg"
   | C_encode -> "CKKS.encode"
+  | C_encode_pair -> "CKKS.encode_pair"
   | C_decode -> "CKKS.decode"
   | C_relin -> "CKKS.relin"
   | C_rescale -> "CKKS.rescale"
@@ -116,6 +120,8 @@ let name = function
   | C_upscale f -> Printf.sprintf "CKKS.upscale[2^%.1f]" (Float.log2 f)
   | C_downscale f -> Printf.sprintf "CKKS.downscale[2^%.1f]" (Float.log2 f)
   | C_bootstrap l -> Printf.sprintf "CKKS.bootstrap[->L%d]" l
+  | C_conj -> "CKKS.conjugate"
+  | C_mul_i -> "CKKS.mul_i"
 
 let level = function
   | Param _ | Weight _ | Const_scalar _ -> None
@@ -126,7 +132,7 @@ let level = function
   | S_rotate _ | S_add | S_sub | S_mul | S_neg | S_encode | S_decode -> Some Level.Sihe
   | C_rotate _ | C_rotate_batch _ | C_batch_get _ | C_add | C_sub | C_mul | C_neg
   | C_encode | C_decode | C_relin | C_rescale | C_mod_switch | C_upscale _
-  | C_downscale _ | C_bootstrap _ ->
+  | C_downscale _ | C_bootstrap _ | C_conj | C_mul_i | C_encode_pair ->
     Some Level.Ckks
 
 let arity = function
@@ -144,5 +150,6 @@ let arity = function
   | S_rotate _ | S_neg | S_encode | S_decode -> Some 1
   | C_add | C_sub | C_mul -> Some 2
   | C_rotate _ | C_rotate_batch _ | C_batch_get _ | C_neg | C_encode | C_decode | C_relin
-  | C_rescale | C_mod_switch | C_upscale _ | C_downscale _ | C_bootstrap _ ->
+  | C_rescale | C_mod_switch | C_upscale _ | C_downscale _ | C_bootstrap _ | C_conj
+  | C_mul_i | C_encode_pair ->
     Some 1

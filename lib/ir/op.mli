@@ -79,6 +79,19 @@ type t =
   | C_upscale of float
   | C_downscale of float
   | C_bootstrap of int (** target level *)
+  | C_conj
+      (** Slot-wise complex conjugation (the Galois automorphism
+          [X -> X^(2N-1)] plus a key switch). Scale- and level-preserving;
+          the boundary op of complex-packed regions. *)
+  | C_mul_i
+      (** Multiply every slot by the imaginary unit: multiplication by the
+          monomial [X^(N/2)], which evaluates to [i] in every slot. Exact,
+          scale-free and noise-free — a coefficient permutation. *)
+  | C_encode_pair
+      (** Encode a clear real vector [v] into the complex slot vector
+          [v + i*v]: a plaintext addend that reaches BOTH streams of a
+          complex-packed ciphertext (a real plaintext would only shift the
+          real parts). Same scale/level discipline as [C_encode]. *)
 
 val name : t -> string
 (** Dotted mnemonic, e.g. ["VECTOR.roll"], matching the paper's listings. *)

@@ -103,11 +103,17 @@ let check_node f (n : Irfunc.node) =
     match (ty 0, n.ty) with
     | Types.Cipher3, Types.Cipher -> ()
     | _ -> fail n.id "CKKS.relin: cipher3 -> cipher")
-  | Op.C_neg | Op.C_rescale | Op.C_mod_switch | Op.C_upscale _ | Op.C_downscale _ ->
+  | Op.C_neg | Op.C_rescale | Op.C_mod_switch | Op.C_upscale _ | Op.C_downscale _
+  | Op.C_mul_i ->
     (* Degree-preserving unops: componentwise on however many polynomials
-       the ciphertext has. *)
+       the ciphertext has ([C_mul_i] is a monomial multiply, also
+       componentwise). *)
     if not (Types.is_ciphertext (ty 0)) then fail n.id "CKKS unop needs cipher";
     if not (Types.equal n.ty (ty 0)) then fail n.id "CKKS unop preserves operand degree"
+  | Op.C_conj ->
+    (* Conjugation key-switches, so like rotation it needs degree 1. *)
+    if not (Types.equal (ty 0) Types.Cipher && Types.equal n.ty Types.Cipher) then
+      fail n.id "CKKS.conjugate needs a degree-1 cipher"
   | Op.C_rotate _ | Op.C_bootstrap _ ->
     (* Key-switching ops require a relinearised operand. *)
     if not (Types.equal (ty 0) Types.Cipher && Types.equal n.ty Types.Cipher) then
@@ -123,7 +129,7 @@ let check_node f (n : Irfunc.node) =
           (Array.length steps);
       if not (is_cipher n.ty) then fail n.id "CKKS.batch_get result must be cipher"
     | op -> fail n.id "CKKS.batch_get argument must be a rotate_batch, got %s" (Op.name op))
-  | Op.C_encode -> (
+  | Op.C_encode | Op.C_encode_pair -> (
     match (ty 0, n.ty) with
     | Types.Vec _, Types.Plain -> ()
     | _ -> fail n.id "CKKS.encode: clear -> plain")

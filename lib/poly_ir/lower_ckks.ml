@@ -70,6 +70,22 @@ let lower f =
                    Printf.sprintf "level=%d" n.Irfunc.node_level;
                  ];
              })
+      | Op.C_encode_pair ->
+        (* same encoder path; the slot vector is v + i*v so the addend
+           reaches both streams of a complex-packed operand *)
+        push
+          (Call
+             {
+               c_dst = v id;
+               c_op = P_encode;
+               c_args =
+                 [
+                   v n.Irfunc.args.(0);
+                   "pair";
+                   Printf.sprintf "scale=2^%.2f" (Float.log2 n.Irfunc.scale);
+                   Printf.sprintf "level=%d" n.Irfunc.node_level;
+                 ];
+             })
       | Op.C_decode -> push (Comment "decode (decryptor side)")
       | Op.C_add -> binop_loop id Hw_modadd (parts_of id)
       | Op.C_sub -> binop_loop id Hw_modsub (parts_of id)
@@ -149,6 +165,31 @@ let lower f =
         push (Call { c_dst = v id ^ ".r1"; c_op = P_automorphism k; c_args = [ limb (v n.Irfunc.args.(0)) 1 ] });
         keyswitch ~dst:(v id) ~src:(v id ^ ".r1") ~tag:(Printf.sprintf "rotate %d" k)
           ~limbs:(limbs_of n.Irfunc.args.(0))
+      | Op.C_conj ->
+        push (Call { c_dst = v id ^ ".r0"; c_op = P_conjugate; c_args = [ limb (v n.Irfunc.args.(0)) 0 ] });
+        push (Call { c_dst = v id ^ ".r1"; c_op = P_conjugate; c_args = [ limb (v n.Irfunc.args.(0)) 1 ] });
+        keyswitch ~dst:(v id) ~src:(v id ^ ".r1") ~tag:"conjugate"
+          ~limbs:(limbs_of n.Irfunc.args.(0))
+      | Op.C_mul_i ->
+        (* Multiply by the monomial X^(N/2): pointwise in the eval domain
+           against its precomputed NTT image — no key switch, no rescale. *)
+        let a = v n.Irfunc.args.(0) in
+        push
+          (For
+             {
+               idx = "i";
+               bound = Num_q (limb a 0, limbs_of n.Irfunc.args.(0));
+               body =
+                 List.map
+                   (fun part ->
+                     Hw
+                       {
+                         h_dst = limb (v id) part;
+                         h_op = Hw_modmul;
+                         h_args = [ limb a part; "ntt_monomial_i" ];
+                       })
+                   (parts_of id);
+             })
       | Op.C_rotate_batch steps ->
         (* Hoisted key-switching: one decompose + mod-up of the shared
            source; per step only an eval-domain automorphism of the digits

@@ -16,6 +16,8 @@ type call_op =
   | P_decomp_modup
   | P_rescale
   | P_automorphism of int
+  | P_conjugate
+  | P_mul_i
   | P_batch_get of int
   | P_encode
   | P_bootstrap of int
@@ -77,6 +79,8 @@ let call_name = function
   | P_decomp_modup -> "decomp_modup"
   | P_rescale -> "rescale"
   | P_automorphism g -> Printf.sprintf "automorphism<%d>" g
+  | P_conjugate -> "conjugate"
+  | P_mul_i -> "mul_i"
   | P_batch_get i -> Printf.sprintf "batch_get<%d>" i
   | P_encode -> "encode"
   | P_bootstrap l -> Printf.sprintf "bootstrap<L%d>" l

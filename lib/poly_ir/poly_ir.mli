@@ -29,6 +29,8 @@ type call_op =
   | P_decomp_modup (** fused, the Op_fusion target *)
   | P_rescale
   | P_automorphism of int
+  | P_conjugate
+  | P_mul_i
   | P_batch_get of int
       (** select rotation [i] from a hoisted [C_rotate_batch] bundle *)
   | P_encode

@@ -138,6 +138,83 @@ let ct_equal (a : Ciphertext.ct) (b : Ciphertext.ct) =
   && Array.length a.Ciphertext.polys = Array.length b.Ciphertext.polys
   && Array.for_all2 Rns_poly.equal a.Ciphertext.polys b.Ciphertext.polys
 
+(* ---- batch tier: k requests in one ciphertext vs k solo runs ---- *)
+
+type batch_case = {
+  bc_seed : int;
+  bc_batch : int;
+  bc_compiled : Pipeline.compiled;
+  bc_keys : Ace_fhe.Keys.t;
+  bc_inputs : float array array;
+  bc_solo : float array array;
+}
+
+type batch_outcome = {
+  b_scheduler : Pipeline.scheduler;
+  b_domains : int;
+  b_ct_out : Ciphertext.ct;
+  b_outputs : float array array;
+  b_worst_vs_solo : float;
+}
+
+let prepare_batch ?cfg ?(strategy = Pipeline.ace) ~seed ~batch () =
+  let graph = Graph_gen.generate ?cfg ~seed () in
+  let nn = Import.import graph in
+  let compiled = Pipeline.compile ~batch strategy nn in
+  let keys = Pipeline.make_keys compiled ~seed:(0x5eed_0000 + seed) in
+  let rng = Rng.create (0xba7c4 + seed) in
+  let dim = Graph_gen.input_dim graph in
+  let inputs =
+    Array.init batch (fun _ -> Array.init dim (fun _ -> Rng.float rng 1.6 -. 0.8))
+  in
+  (* Unbatched reference: a separate batch-1 compile with its own default
+     context, run encrypted once per request. Differing ring parameters
+     mean the comparison is numeric (crypto tolerance), not bit-level. *)
+  let solo_c = Pipeline.compile ~batch:1 strategy nn in
+  let solo_keys = Pipeline.make_keys solo_c ~seed:(0x5010 + seed) in
+  let solo = Array.map (fun x -> Pipeline.infer_encrypted solo_c solo_keys ~seed:9 x) inputs in
+  { bc_seed = seed; bc_batch = batch; bc_compiled = compiled; bc_keys = keys;
+    bc_inputs = inputs; bc_solo = solo }
+
+let run_batch_case ~scheduler ~domains bc =
+  Domain_pool.set_num_domains domains;
+  Fun.protect ~finally:(fun () -> Domain_pool.set_num_domains 1) @@ fun () ->
+  let ct = Pipeline.encrypt_batch bc.bc_compiled bc.bc_keys ~seed:7 bc.bc_inputs in
+  let ct_out = Pipeline.run_encrypted ~scheduler bc.bc_compiled bc.bc_keys ~seed:8 ct in
+  let outputs = Pipeline.decrypt_batch bc.bc_compiled bc.bc_keys ct_out in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun r out ->
+      Array.iteri
+        (fun i v -> worst := max !worst (abs_float (v -. bc.bc_solo.(r).(i))))
+        out)
+    outputs;
+  {
+    b_scheduler = scheduler;
+    b_domains = domains;
+    b_ct_out = ct_out;
+    b_outputs = outputs;
+    b_worst_vs_solo = !worst;
+  }
+
+(* Both runs share the polynomial approximations and differ only in ring
+   parameters and noise draws, so the per-request gap is crypto-scale;
+   bootstrapped graphs get the oracle's refresh tolerance. *)
+let check_batch bc o =
+  let tol = 1e-2 in
+  if Array.length o.b_outputs <> bc.bc_batch then
+    Error
+      (Printf.sprintf "seed %d: %d batched outputs for batch %d" bc.bc_seed
+         (Array.length o.b_outputs) bc.bc_batch)
+  else if o.b_worst_vs_solo > tol then
+    Error
+      (Printf.sprintf
+         "seed %d (%s, %d domains, batch %d): worst per-request gap %.2e vs unbatched exceeds %.0e"
+         bc.bc_seed
+         (Pipeline.scheduler_name o.b_scheduler)
+         o.b_domains bc.bc_batch o.b_worst_vs_solo tol)
+  else Ok ()
+
 let describe o =
   Printf.sprintf "%s x%d: err %.5f (tol %.5f), crypto err %.2e (tol %.2e), budget %.1f bits"
     (Pipeline.scheduler_name o.scheduler)

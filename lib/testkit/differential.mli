@@ -59,5 +59,49 @@ val check : case -> outcome -> (unit, string) result
 val ct_equal : Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct -> bool
 (** Component-wise bit identity (sizes, scale, every RNS limb). *)
 
+(** {1 Batch tier}
+
+    Cross-request slot batching: the same random graph compiled with
+    [~batch:k], fed [k] independent random inputs in ONE ciphertext, and
+    each request's decrypted output compared against an unbatched
+    (batch-1) encrypted run of the same input. The two compiles use their
+    own default contexts — the property is per-request output agreement
+    within crypto tolerance, plus bit-identity across executor configs of
+    the batched run itself. *)
+
+type batch_case = {
+  bc_seed : int;
+  bc_batch : int;
+  bc_compiled : Ace_driver.Pipeline.compiled;  (** compiled with [~batch] *)
+  bc_keys : Ace_fhe.Keys.t;
+  bc_inputs : float array array;  (** [batch] independent random inputs *)
+  bc_solo : float array array;
+      (** per-request unbatched encrypted outputs (the reference) *)
+}
+
+type batch_outcome = {
+  b_scheduler : Ace_driver.Pipeline.scheduler;
+  b_domains : int;
+  b_ct_out : Ace_fhe.Ciphertext.ct;
+  b_outputs : float array array;
+  b_worst_vs_solo : float;
+      (** worst per-request |batched - unbatched| across all requests *)
+}
+
+val prepare_batch :
+  ?cfg:Graph_gen.cfg ->
+  ?strategy:Ace_driver.Pipeline.strategy ->
+  seed:int -> batch:int -> unit -> batch_case
+(** Deterministic in [seed]; runs the [batch] unbatched references at
+    preparation time. *)
+
+val run_batch_case :
+  scheduler:Ace_driver.Pipeline.scheduler ->
+  domains:int -> batch_case -> batch_outcome
+
+val check_batch : batch_case -> batch_outcome -> (unit, string) result
+(** [Error] when any request's batched output strays more than the crypto
+    tolerance from its unbatched reference. *)
+
 val describe : outcome -> string
 (** One line for test logs: scheduler/domains/error/tolerance/budget. *)

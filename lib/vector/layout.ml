@@ -6,15 +6,53 @@ type t = {
   phys_h : int;
   phys_w : int;
   slots : int;
+  batch : int;
 }
 
 let block_size t = t.phys_h * t.phys_w
+let region t = t.slots / t.batch
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let with_batch t batch =
+  if batch < 1 || not (is_pow2 batch) then
+    invalid_arg
+      (Printf.sprintf "Layout.with_batch: batch %d must be a positive power of two" batch);
+  if batch > t.slots || t.slots mod batch <> 0 then
+    invalid_arg
+      (Printf.sprintf "Layout.with_batch: batch %d does not divide %d slots" batch t.slots);
+  let t' = { t with batch } in
+  if t.channels * block_size t > region t' then
+    invalid_arg
+      (Printf.sprintf
+         "Layout.with_batch: tensor channels=%d height=%d width=%d needs %d slots per \
+          request but only %d are available (slots=%d / batch=%d)"
+         t.channels t.height t.width
+         (t.channels * block_size t)
+         (region t') t.slots batch);
+  t'
 
 let create ~channels ~height ~width ~slots =
-  let t = { channels; height; width; gap = 1; phys_h = height; phys_w = width; slots } in
+  if channels < 1 || height < 1 || width < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Layout.create: tensor dimensions must be positive (channels=%d height=%d width=%d)"
+         channels height width);
+  if not (is_pow2 slots) then
+    invalid_arg
+      (Printf.sprintf
+         "Layout.create: slots %d must be a power of two (CKKS ring slot capacity)" slots);
+  let t =
+    { channels; height; width; gap = 1; phys_h = height; phys_w = width; slots; batch = 1 }
+  in
   if channels * block_size t > slots then
     invalid_arg
-      (Printf.sprintf "Layout.create: %dx%dx%d does not fit %d slots" channels height width slots);
+      (Printf.sprintf
+         "Layout.create: tensor channels=%d height=%d width=%d needs %d slots but only %d \
+          are available"
+         channels height width
+         (channels * block_size t)
+         slots);
   t
 
 let scalar_per_channel ~channels ~like =
@@ -26,18 +64,37 @@ let pos t ~c ~h ~w =
   (c * block_size t) + (h * t.gap * t.phys_w) + (w * t.gap)
 
 let with_stride t s =
-  {
-    t with
-    gap = t.gap * s;
-    height = (t.height + s - 1) / s;
-    width = (t.width + s - 1) / s;
-  }
+  let t' =
+    {
+      t with
+      gap = t.gap * s;
+      height = (t.height + s - 1) / s;
+      width = (t.width + s - 1) / s;
+    }
+  in
+  if t'.height > 0 && (t'.height - 1) * t'.gap >= t.phys_h then
+    invalid_arg
+      (Printf.sprintf
+         "Layout.with_stride: stride %d would push gap to %d, but %d rows at that gap \
+          exceed the physical block height %d (stride chain too deep for a %dx%d block)"
+         s t'.gap t'.height t.phys_h t.phys_h t.phys_w);
+  if t'.width > 0 && (t'.width - 1) * t'.gap >= t.phys_w then
+    invalid_arg
+      (Printf.sprintf
+         "Layout.with_stride: stride %d would push gap to %d, but %d columns at that gap \
+          exceed the physical block width %d"
+         s t'.gap t'.width t.phys_w);
+  t'
 
 let with_channels t c =
-  if c * block_size t > t.slots then invalid_arg "Layout.with_channels: does not fit";
+  if c * block_size t > region t then
+    invalid_arg
+      (Printf.sprintf
+         "Layout.with_channels: %d channels of block %d do not fit the %d-slot region"
+         c (block_size t) (region t));
   { t with channels = c }
 
-let blocks t = t.slots / block_size t
+let blocks t = region t / block_size t
 
 let tensor_of_vector t v =
   let out = Array.make (t.channels * t.height * t.width) 0.0 in
@@ -52,17 +109,54 @@ let tensor_of_vector t v =
 
 let vector_of_tensor t x =
   let v = Array.make t.slots 0.0 in
+  let l = region t in
   for c = 0 to t.channels - 1 do
     for h = 0 to t.height - 1 do
       for w = 0 to t.width - 1 do
-        v.(pos t ~c ~h ~w) <- x.((c * t.height * t.width) + (h * t.width) + w)
+        let p = pos t ~c ~h ~w in
+        let e = x.((c * t.height * t.width) + (h * t.width) + w) in
+        for r = 0 to t.batch - 1 do
+          v.((r * l) + p) <- e
+        done
       done
     done
   done;
   v
 
+let vector_of_batch t xs =
+  if Array.length xs <> t.batch then
+    invalid_arg
+      (Printf.sprintf "Layout.vector_of_batch: %d tensors for batch %d" (Array.length xs)
+         t.batch);
+  let v = Array.make t.slots 0.0 in
+  let l = region t in
+  Array.iteri
+    (fun r x ->
+      for c = 0 to t.channels - 1 do
+        for h = 0 to t.height - 1 do
+          for w = 0 to t.width - 1 do
+            v.((r * l) + pos t ~c ~h ~w) <- x.((c * t.height * t.width) + (h * t.width) + w)
+          done
+        done
+      done)
+    xs;
+  v
+
+let batch_of_vector t v =
+  let l = region t in
+  Array.init t.batch (fun r ->
+      let out = Array.make (t.channels * t.height * t.width) 0.0 in
+      for c = 0 to t.channels - 1 do
+        for h = 0 to t.height - 1 do
+          for w = 0 to t.width - 1 do
+            out.((c * t.height * t.width) + (h * t.width) + w) <- v.((r * l) + pos t ~c ~h ~w)
+          done
+        done
+      done;
+      out)
+
 let equal a b = a = b
 
 let pp fmt t =
-  Format.fprintf fmt "layout{c=%d %dx%d gap=%d block=%d slots=%d}" t.channels t.height t.width
-    t.gap (block_size t) t.slots
+  Format.fprintf fmt "layout{c=%d %dx%d gap=%d block=%d slots=%d batch=%d}" t.channels
+    t.height t.width t.gap (block_size t) t.slots t.batch

@@ -9,7 +9,14 @@
     rotation amounts layer-independent (the multiplexed-packing idea of
     Lee et al. [35] that the paper's expert baseline also uses). The
     vector length is the full slot count so that block arithmetic is
-    cyclic in the same group as homomorphic rotations. *)
+    cyclic in the same group as homomorphic rotations.
+
+    The [batch] axis (nGraph-HE2-style cross-request batching) splits the
+    slot vector into [batch] contiguous regions of [slots / batch] slots.
+    Request [r] occupies region [r]; the CHW lattice above is replicated
+    identically in every region. All layout coordinates ([pos], [blocks],
+    fit checks) are region-local, so a schedule compiled against one region
+    is valid for all of them and batching changes no rotation amount. *)
 
 type t = {
   channels : int;
@@ -19,38 +26,61 @@ type t = {
   phys_h : int;
   phys_w : int;
   slots : int; (** total vector length; a power of two *)
+  batch : int; (** independent requests sharing the vector; power of two *)
 }
 
 val block_size : t -> int
 
-val create :
-  channels:int -> height:int -> width:int -> slots:int -> t
-(** Gap-1 layout for a fresh [channels x height x width] tensor.
-    @raise Invalid_argument if it does not fit in [slots]. *)
+val region : t -> int
+(** Slots owned by one request: [slots / batch]. *)
+
+val create : channels:int -> height:int -> width:int -> slots:int -> t
+(** Gap-1, batch-1 layout for a fresh [channels x height x width] tensor.
+    @raise Invalid_argument with the offending dimensions when any
+    dimension is non-positive, [slots] is not a power of two, or the
+    tensor does not fit in [slots]. *)
+
+val with_batch : t -> int -> t
+(** Replicate the layout across [batch] requests ([region = slots/batch]).
+    @raise Invalid_argument when [batch] is not a power of two dividing
+    [slots], or when one region cannot hold the tensor. *)
 
 val scalar_per_channel : channels:int -> like:t -> t
 (** Layout of a [channels]-vector (e.g. after GlobalAveragePool): one value
     per channel, stored at each block's slot 0. *)
 
 val pos : t -> c:int -> h:int -> w:int -> int
-(** Physical slot of logical element (c, h, w). *)
+(** Physical slot of logical element (c, h, w) within a region; request [r]
+    holds the same element at [r * region t + pos t ~c ~h ~w]. *)
 
 val with_stride : t -> int -> t
 (** The layout after a stride-[s] spatial operator: gap multiplied,
-    logical dims divided. *)
+    logical dims divided.
+    @raise Invalid_argument when the doubled gap would push the strided
+    lattice past the physical block bounds — i.e. the stride chain is too
+    deep for the input's spatial size. *)
 
 val with_channels : t -> int -> t
 (** Same grid, different channel count (convolution output). *)
 
 val blocks : t -> int
-(** Number of channel blocks the slot vector can hold. *)
+(** Number of channel blocks one region can hold. *)
 
 val tensor_of_vector : t -> float array -> float array
-(** Extract the logical CHW tensor from a packed vector (testing and the
-    generated decryptor). *)
+(** Extract the logical CHW tensor of request 0 from a packed vector
+    (testing and the generated decryptor). *)
 
 val vector_of_tensor : t -> float array -> float array
-(** Pack a CHW tensor (the generated encryptor's layout step). *)
+(** Pack a CHW tensor, replicated into every batch region (the generated
+    encryptor's layout step; with [batch = 1] this is the classic packing). *)
+
+val vector_of_batch : t -> float array array -> float array
+(** Pack [batch] independent CHW tensors, one per region.
+    @raise Invalid_argument when the number of tensors differs from
+    [batch]. *)
+
+val batch_of_vector : t -> float array -> float array array
+(** Extract every request's CHW tensor, one per region. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

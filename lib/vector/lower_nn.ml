@@ -1,6 +1,10 @@
 open Ace_ir
 
-type config = { slots : int; conv_regroup : bool; gemm_bsgs : bool }
+type config = { slots : int; batch : int; conv_regroup : bool; gemm_bsgs : bool }
+
+(* Slots owned by one request. With [batch = 1] this is the whole vector
+   and every formula below reduces to the classic single-request lowering. *)
+let region cfg = cfg.slots / cfg.batch
 
 exception Unsupported of string
 
@@ -27,7 +31,7 @@ let first_input_dims f =
 
 let input_layout cfg f =
   let c, h, w = first_input_dims f in
-  Layout.create ~channels:c ~height:h ~width:w ~slots:cfg.slots
+  Layout.with_batch (Layout.create ~channels:c ~height:h ~width:w ~slots:cfg.slots) cfg.batch
 
 (* Lowering context: per-NN-node the VECTOR node id and its layout. *)
 type ctx = {
@@ -53,7 +57,18 @@ let mask_const ctx ~prefix m =
 
 let emit ctx op args = Irfunc.add ctx.dst op args ctx.vty
 
-let emit_weight ctx ~prefix m = emit ctx (Op.Weight (mask_const ctx ~prefix m)) [||]
+(* Masks and biases are built in the logical region space (one request's
+   [slots/batch] slots) and tiled across the batch regions here. Because the
+   region length divides the slot count, tiling commutes with [pre_rotate]
+   and with every roll the lowering emits: tile(pre_rotate_L(m, t)) =
+   pre_rotate_slots(tile(m), t). With [batch = 1] the mask is emitted as-is,
+   byte-identical to the unbatched lowering. *)
+let emit_weight ctx ~prefix m =
+  let m =
+    let l = Array.length m in
+    if l = ctx.cfg.slots then m else Array.init ctx.cfg.slots (fun i -> m.(i mod l))
+  in
+  emit ctx (Op.Weight (mask_const ctx ~prefix m)) [||]
 
 let emit_roll ctx x k =
   let k = ((k mod ctx.cfg.slots) + ctx.cfg.slots) mod ctx.cfg.slots in
@@ -77,24 +92,41 @@ let lower_conv ctx ~x_nn (attrs : Op.conv_attrs) ~w ~b =
   let blocks = Layout.blocks lin in
   let g = lin.Layout.gap in
   let w0 = lin.Layout.phys_w in
-  (* Distinct channel-block deltas actually used. *)
+  (* Distinct channel-block deltas actually used.
+
+     With [batch = 1] the delta is wrapped cyclically over the region's
+     channel blocks — a negative channel distance reuses the wrap-around
+     roll, which can collapse two logical deltas onto one physical roll
+     when [ic + oc - 1 > blocks]. With [batch > 1] that wrap would read the
+     *next request's* blocks, so deltas stay signed: the roll amount
+     [delta * bs] never moves a selected slot across a region boundary
+     (reads land on [pos lin ~c ..], which is region-local by
+     construction). When no wrap-collapse occurs the two forms emit the
+     same number of rolls — which is why batching adds zero homomorphic
+     ops. *)
+  let signed = ctx.cfg.batch > 1 in
   let deltas =
     let seen = Hashtbl.create 64 in
     for o = 0 to oc - 1 do
       for c = 0 to ic - 1 do
-        Hashtbl.replace seen (((c - o) mod blocks + blocks) mod blocks) ()
+        let d = if signed then c - o else ((c - o) mod blocks + blocks) mod blocks in
+        Hashtbl.replace seen d ()
       done
     done;
     Hashtbl.fold (fun d () acc -> d :: acc) seen [] |> List.sort compare
   in
+  let chan delta o =
+    if signed then o + delta
+    else (o + delta) mod blocks
+  in
   let inner_offset dy dx = (((dy - p) * g * w0) + ((dx - p) * g)) in
   (* Mask for one (delta, dy, dx): weight value at every valid destination. *)
   let mask delta dy dx =
-    let m = Array.make ctx.cfg.slots 0.0 in
+    let m = Array.make (region ctx.cfg) 0.0 in
     let any = ref false in
     for o = 0 to oc - 1 do
-      let c = (o + delta) mod blocks in
-      if c < ic then
+      let c = chan delta o in
+      if c >= 0 && c < ic then
         for y = 0 to lout.Layout.height - 1 do
           for xx = 0 to lout.Layout.width - 1 do
             let iy = (y * s) + dy - p and ix = (xx * s) + dx - p in
@@ -156,7 +188,7 @@ let lower_conv ctx ~x_nn (attrs : Op.conv_attrs) ~w ~b =
     end
   in
   (* Bias: a plaintext vector addition. *)
-  let bias = Array.make ctx.cfg.slots 0.0 in
+  let bias = Array.make (region ctx.cfg) 0.0 in
   for o = 0 to oc - 1 do
     for y = 0 to lout.Layout.height - 1 do
       for xx = 0 to lout.Layout.width - 1 do
@@ -175,22 +207,25 @@ let lower_conv ctx ~x_nn (attrs : Op.conv_attrs) ~w ~b =
    mask per input channel, run once. This is the data-layout selection the
    paper ascribes to the VECTOR level. *)
 let compact_channels ctx ~lin x ~rows =
-  let slots = ctx.cfg.slots in
+  let l = region ctx.cfg in
   let bs = Layout.block_size lin in
   let cols = lin.Layout.channels in
   let max_c = max rows cols in
-  let rec stride s = if max_c * s * 2 <= slots && s * 2 < bs then stride (s * 2) else s in
+  let rec stride s = if max_c * s * 2 <= l && s * 2 < bs then stride (s * 2) else s in
   let s = stride 1 in
-  if max_c * s > slots then fail "gemm: %d outputs cannot fit %d slots" rows slots;
+  if max_c * s > l then fail "gemm: %d outputs cannot fit %d slots per request" rows l;
   let terms =
     List.init cols (fun c ->
         let rolled = emit_roll ctx x (c * (bs - s)) in
-        let m = Array.make slots 0.0 in
+        let m = Array.make l 0.0 in
         m.(c * s) <- 1.0;
         emit_mul_mask ctx ~prefix:"gemm.compact" rolled m)
   in
   let packed = emit_sum ctx terms in
-  (packed, Layout.create ~channels:cols ~height:1 ~width:s ~slots)
+  ( packed,
+    Layout.with_batch
+      (Layout.create ~channels:cols ~height:1 ~width:s ~slots:ctx.cfg.slots)
+      ctx.cfg.batch )
 
 let lower_gemm ctx ~x_nn (g : Op.gemm_attrs) ~w ~b =
   let lin = layout ctx x_nn in
@@ -200,7 +235,7 @@ let lower_gemm ctx ~x_nn (g : Op.gemm_attrs) ~w ~b =
   let { Op.rows; cols } = g in
   if cols <> lin.Layout.channels then fail "gemm: cols != channels";
   let x, lin =
-    if rows * Layout.block_size lin > ctx.cfg.slots then compact_channels ctx ~lin x ~rows
+    if rows * Layout.block_size lin > region ctx.cfg then compact_channels ctx ~lin x ~rows
     else (x, lin)
   in
   let bs = Layout.block_size lin in
@@ -209,7 +244,7 @@ let lower_gemm ctx ~x_nn (g : Op.gemm_attrs) ~w ~b =
      deltas are negative rolls, no cyclic wrap needed. *)
   let lo = -(rows - 1) and hi = cols - 1 in
   let diag delta =
-    let m = Array.make ctx.cfg.slots 0.0 in
+    let m = Array.make (region ctx.cfg) 0.0 in
     let any = ref false in
     for o = 0 to rows - 1 do
       let c = o + delta in
@@ -260,7 +295,7 @@ let lower_gemm ctx ~x_nn (g : Op.gemm_attrs) ~w ~b =
       emit_sum ctx terms
     end
   in
-  let bias = Array.make ctx.cfg.slots 0.0 in
+  let bias = Array.make (region ctx.cfg) 0.0 in
   for o = 0 to rows - 1 do
     bias.(Layout.pos lout ~c:o ~h:0 ~w:0) <- b.(o)
   done;
@@ -283,7 +318,7 @@ let lower_global_average_pool ctx ~x_nn =
     acc := emit ctx Op.V_add [| !acc; emit_roll ctx !acc (g * w0 * (1 lsl t)) |]
   done;
   let lout = Layout.scalar_per_channel ~channels:lin.Layout.channels ~like:lin in
-  let m = Array.make ctx.cfg.slots 0.0 in
+  let m = Array.make (region ctx.cfg) 0.0 in
   for c = 0 to lin.Layout.channels - 1 do
     m.(Layout.pos lout ~c ~h:0 ~w:0) <- 1.0 /. float_of_int (h * w)
   done;
@@ -302,7 +337,7 @@ let lower_average_pool ctx ~x_nn (a : Op.pool_attrs) =
     done
   done;
   let lout = Layout.with_stride lin k in
-  let m = Array.make ctx.cfg.slots 0.0 in
+  let m = Array.make (region ctx.cfg) 0.0 in
   for c = 0 to lout.Layout.channels - 1 do
     for y = 0 to lout.Layout.height - 1 do
       for xx = 0 to lout.Layout.width - 1 do
@@ -362,7 +397,11 @@ let lower cfg src =
           | Types.Tensor [| c |] | Types.Tensor [| c; 1 |] -> (c, 1, 1)
           | t -> fail "unsupported parameter type %s" (Types.to_string t)
         in
-        let lay = Layout.create ~channels:c ~height:h ~width:wdim ~slots:cfg.slots in
+        let lay =
+          Layout.with_batch
+            (Layout.create ~channels:c ~height:h ~width:wdim ~slots:cfg.slots)
+            cfg.batch
+        in
         define n.Irfunc.id (Irfunc.param dst i) lay
       | Op.Weight _ | Op.Const_scalar _ -> () (* consumed by their users *)
       | Op.Nn (Op.Conv attrs) ->
@@ -409,7 +448,7 @@ let lower cfg src =
         let bs = Layout.block_size lin in
         let rolled = emit_roll ctx (vec_id ctx args.(0)) (start * bs) in
         let lout = Layout.scalar_per_channel ~channels:slice_len ~like:lin in
-        let m = Array.make cfg.slots 0.0 in
+        let m = Array.make (region cfg) 0.0 in
         for c = 0 to slice_len - 1 do
           m.(Layout.pos lout ~c ~h:0 ~w:0) <- 1.0
         done;

@@ -15,9 +15,23 @@
       ([~2 sqrt B] instead of [B] rotations) — "Matrix Multiplication
       Optimization".
 
-    The expert baseline runs with both disabled. *)
+    The expert baseline runs with both disabled.
 
-type config = { slots : int; conv_regroup : bool; gemm_bsgs : bool }
+    [batch] (cross-request slot batching, nGraph-HE2): the slot vector is
+    split into [batch] regions of [slots / batch] slots, each carrying one
+    independent request through the identical schedule. Masks, biases and
+    diagonals are built in region space and tiled across regions; roll
+    amounts are unchanged, so the emitted program (and hence keygen plan,
+    scale management and homomorphic op count) is batch-invariant — only
+    encode/encrypt/decrypt fan out per request. Convolutions switch from
+    cyclically-wrapped channel deltas to signed deltas when [batch > 1]
+    (a wrap would read the next request's blocks); when no wrap-collapse
+    occurs both forms emit the same number of rolls. *)
+
+type config = { slots : int; batch : int; conv_regroup : bool; gemm_bsgs : bool }
+
+val region : config -> int
+(** Slots owned by one request: [slots / batch]. *)
 
 exception Unsupported of string
 

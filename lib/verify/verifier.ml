@@ -138,7 +138,7 @@ let ckks ~pass ?plan ctx f =
            it: a level outside [0, chain] indexes past the CRT basis. *)
         let carries_state =
           Types.is_ciphertext n.Irfunc.ty
-          || (match n.Irfunc.op with Op.C_encode -> true | _ -> false)
+          || (match n.Irfunc.op with Op.C_encode | Op.C_encode_pair -> true | _ -> false)
         in
         if carries_state then begin
           if n.Irfunc.node_level < 0 then
@@ -208,7 +208,7 @@ let ckks ~pass ?plan ctx f =
           try
             match n.Irfunc.op with
             | Op.Param _ -> Some (delta, chain)
-            | Op.C_encode ->
+            | Op.C_encode | Op.C_encode_pair ->
               (* Scale is the encoder's free choice; slot capacity is not. *)
               (match (a 0).Irfunc.ty with
               | Types.Vec len when len > slots ->
@@ -239,7 +239,7 @@ let ckks ~pass ?plan ctx f =
                   "mul at level %d: no prime left to rescale away" x.Irfunc.node_level;
               Some (x.Irfunc.scale *. y.Irfunc.scale, x.Irfunc.node_level)
             | Op.C_relin | Op.C_neg | Op.C_rotate _ | Op.C_rotate_batch _ | Op.C_batch_get _
-              ->
+            | Op.C_conj | Op.C_mul_i ->
               Some ((a 0).Irfunc.scale, (a 0).Irfunc.node_level)
             | Op.C_rescale ->
               let x = a 0 in

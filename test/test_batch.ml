@@ -1,0 +1,232 @@
+(* Cross-request slot batching: layout validation, region tiling, and the
+   batch-invariance of the compiled schedule (identical homomorphic op
+   multiset for every batch factor under a shared context). *)
+
+module P = Ace_driver.Pipeline
+module Layout = Ace_vector.Layout
+open Ace_ir
+
+let contains msg frag =
+  let n = String.length msg and m = String.length frag in
+  let rec go i = i + m <= n && (String.sub msg i m = frag || go (i + 1)) in
+  go 0
+
+let expect_invalid what frags f =
+  match f () with
+  | exception Invalid_argument msg ->
+    List.iter
+      (fun frag ->
+        if not (contains msg frag) then
+          Alcotest.failf "%s: error %S does not mention %S" what msg frag)
+      frags
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+
+(* --- Layout.create names the offending dimensions --- *)
+
+let test_create_errors () =
+  expect_invalid "tensor too large" [ "channels=8"; "slots" ] (fun () ->
+      Layout.create ~channels:8 ~height:4 ~width:4 ~slots:64);
+  expect_invalid "non-pow2 slots" [ "slots"; "power of two" ] (fun () ->
+      Layout.create ~channels:1 ~height:2 ~width:2 ~slots:12);
+  expect_invalid "bad height" [ "height=0" ] (fun () ->
+      Layout.create ~channels:1 ~height:0 ~width:2 ~slots:16)
+
+let test_with_batch_errors () =
+  let l = Layout.create ~channels:2 ~height:4 ~width:4 ~slots:64 in
+  expect_invalid "batch not pow2" [ "batch" ] (fun () -> Layout.with_batch l 3);
+  expect_invalid "batch too large for region" [ "batch" ] (fun () -> Layout.with_batch l 4);
+  let b2 = Layout.with_batch l 2 in
+  Alcotest.(check int) "region halves" 32 (Layout.region b2);
+  Alcotest.(check int) "slots unchanged" 64 b2.Layout.slots
+
+(* --- gap-doubling through stride-2 must stay inside the block --- *)
+
+let test_stride_gap_bounds () =
+  let l = Layout.create ~channels:1 ~height:8 ~width:8 ~slots:64 in
+  let s2 = Layout.with_stride l 2 in
+  Alcotest.(check int) "gap doubles" 2 s2.Layout.gap;
+  Alcotest.(check int) "height halves" 4 s2.Layout.height;
+  let s4 = Layout.with_stride s2 2 in
+  Alcotest.(check int) "gap doubles again" 4 s4.Layout.gap;
+  (* gap-doubling keeps the strided lattice inside the physical block for
+     any chain starting at gap 1 — last logical row sits at (h-1)*gap *)
+  Alcotest.(check bool) "lattice in bounds" true
+    ((s4.Layout.height - 1) * s4.Layout.gap < s4.Layout.phys_h);
+  (* the guard itself: a layout whose gap is already at the block edge *)
+  let bad =
+    { Layout.channels = 1; height = 4; width = 1; gap = 2; phys_h = 4; phys_w = 1;
+      slots = 16; batch = 1 }
+  in
+  expect_invalid "stride past block bounds" [ "gap" ] (fun () -> Layout.with_stride bad 2)
+
+(* --- region replication / extraction --- *)
+
+let test_batch_pack_roundtrip () =
+  let l = Layout.with_batch (Layout.create ~channels:2 ~height:2 ~width:2 ~slots:32) 2 in
+  let imgs = Array.init 2 (fun r -> Array.init 8 (fun i -> float_of_int ((10 * r) + i))) in
+  let v = Layout.vector_of_batch l imgs in
+  Alcotest.(check int) "full vector" 32 (Array.length v);
+  let back = Layout.batch_of_vector l v in
+  Array.iteri
+    (fun r img ->
+      Array.iteri
+        (fun i x ->
+          if x <> back.(r).(i) then
+            Alcotest.failf "request %d elem %d: %.1f <> %.1f" r i x back.(r).(i))
+        img)
+    imgs;
+  expect_invalid "count mismatch" [ "batch" ] (fun () ->
+      Layout.vector_of_batch l [| imgs.(0) |]);
+  (* single-image replication fills every region *)
+  let rep = Layout.vector_of_tensor l imgs.(0) in
+  let per = Layout.batch_of_vector l rep in
+  Array.iter
+    (fun t ->
+      Array.iteri
+        (fun i x ->
+          if x <> imgs.(0).(i) then Alcotest.failf "replication: elem %d differs" i)
+        t)
+    per
+
+(* --- schedule is batch-invariant; only the client side fans out --- *)
+
+let make_nn () =
+  let f =
+    Irfunc.create ~name:"batch_nn" ~level:Level.Nn
+      ~params:[ ("x", Types.Tensor [| 2; 4; 4 |]) ]
+  in
+  let x = Irfunc.param f 0 in
+  let wname =
+    Irfunc.fresh_const f ~prefix:"w" ~dims:[| 4; 2; 3; 3 |]
+      (Array.init (4 * 2 * 3 * 3) (fun i -> 0.05 *. float_of_int ((i mod 7) - 3)))
+  in
+  let bname = Irfunc.fresh_const f ~prefix:"b" [| 0.1; -0.2; 0.05; 0.0 |] in
+  let w = Irfunc.add f (Op.Weight wname) [||] (Types.Tensor [| 4; 2; 3; 3 |]) in
+  let b = Irfunc.add f (Op.Weight bname) [||] (Types.Tensor [| 4 |]) in
+  let conv =
+    Irfunc.add f
+      (Op.Nn
+         (Op.Conv { Op.out_channels = 4; in_channels = 2; kernel = 3; stride = 1; pad = 1 }))
+      [| x; w; b |]
+      (Types.Tensor [| 4; 4; 4 |])
+  in
+  let relu = Irfunc.add f (Op.Nn Op.Relu) [| conv |] (Types.Tensor [| 4; 4; 4 |]) in
+  let gap = Irfunc.add f (Op.Nn Op.Global_average_pool) [| relu |] (Types.Tensor [| 4 |]) in
+  let gw =
+    Irfunc.fresh_const f ~prefix:"gw" ~dims:[| 3; 4 |]
+      (Array.init 12 (fun i -> 0.3 *. float_of_int ((i mod 5) - 2)))
+  in
+  let gb = Irfunc.fresh_const f ~prefix:"gb" [| 0.01; 0.02; -0.01 |] in
+  let wg = Irfunc.add f (Op.Weight gw) [||] (Types.Tensor [| 3; 4 |]) in
+  let bg = Irfunc.add f (Op.Weight gb) [||] (Types.Tensor [| 3 |]) in
+  let gemm =
+    Irfunc.add f (Op.Nn (Op.Gemm { Op.rows = 3; cols = 4 })) [| gap; wg; bg |]
+      (Types.Tensor [| 3 |])
+  in
+  Irfunc.set_returns f [ gemm ];
+  Verify.verify f;
+  f
+
+(* Op multiset by category: "CKKS.rotate[5]" and "CKKS.rotate[3]" are the
+   same category with different parameters — truncate at '['. *)
+let op_counts f =
+  let h = Hashtbl.create 16 in
+  Irfunc.iter f (fun n ->
+      let full = Op.name n.Irfunc.op in
+      let k =
+        match String.index_opt full '[' with Some i -> String.sub full 0 i | None -> full
+      in
+      Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)));
+  h
+
+let test_schedule_batch_invariant () =
+  let nn = make_nn () in
+  (* ONE context for both compiles: parity of the homomorphic schedule is
+     a property at fixed ring parameters. *)
+  let ctx =
+    Ace_ckks_ir.Param_select.execution_context ~depth:P.ace.P.chain_depth
+      ~slots:(P.slots_needed nn * 8) ()
+  in
+  let c1 = P.compile ~context:ctx ~batch:1 P.ace nn in
+  let c8 = P.compile ~context:ctx ~batch:8 P.ace nn in
+  let h1 = op_counts c1.P.ckks and h8 = op_counts c8.P.ckks in
+  List.iter
+    (fun op ->
+      let g h = Option.value ~default:0 (Hashtbl.find_opt h op) in
+      Alcotest.(check int) (op ^ " count is batch-invariant") (g h1) (g h8))
+    [
+      "CKKS.rotate";
+      "CKKS.rotate_batch";
+      "CKKS.batch_get";
+      "CKKS.relin";
+      "CKKS.rescale";
+      "CKKS.bootstrap";
+      "CKKS.mul";
+      "CKKS.add";
+      "CKKS.modswitch";
+      "CKKS.upscale";
+    ];
+  (* rotation steps — not just counts — must agree *)
+  Alcotest.(check (list int))
+    "keygen plan is batch-invariant"
+    c1.P.key_plan.Ace_ckks_ir.Keygen_plan.rotation_steps
+    c8.P.key_plan.Ace_ckks_ir.Keygen_plan.rotation_steps
+
+let test_batched_outputs_match_solo () =
+  let nn = make_nn () in
+  let c4 = P.compile ~batch:4 P.ace nn in
+  Alcotest.(check int) "requests_per_ct" 4 (P.requests_per_ct c4);
+  let keys = P.make_keys c4 ~seed:42 in
+  let images =
+    Array.init 4 (fun r -> Array.init 32 (fun i -> 0.3 *. sin (float_of_int (i + (7 * r)))))
+  in
+  let outs = P.infer_encrypted_batch c4 keys ~seed:42 images in
+  let c1 = P.compile ~batch:1 P.ace nn in
+  let keys1 = P.make_keys c1 ~seed:43 in
+  Array.iteri
+    (fun r img ->
+      let solo = P.infer_encrypted c1 keys1 ~seed:43 img in
+      Array.iteri
+        (fun i v ->
+          if abs_float (v -. outs.(r).(i)) > 1e-2 then
+            Alcotest.failf "request %d elem %d: batched %.5f vs solo %.5f" r i outs.(r).(i) v)
+        solo)
+    images
+
+let test_env_knob () =
+  Alcotest.(check int) "default" 1 (P.default_batch ());
+  Unix.putenv "ACE_BATCH" "8";
+  Alcotest.(check int) "ACE_BATCH=8" 8 (P.default_batch ());
+  Unix.putenv "ACE_BATCH" "0";
+  (match P.default_batch () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ACE_BATCH=0 should be rejected");
+  Unix.putenv "ACE_BATCH" "1";
+  Unix.putenv "ACE_CPLX" "1";
+  Alcotest.(check bool) "ACE_CPLX=1" true (P.default_complex ());
+  Unix.putenv "ACE_CPLX" "off";
+  Alcotest.(check bool) "ACE_CPLX=off" false (P.default_complex ());
+  Unix.putenv "ACE_CPLX" "0"
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "create errors name dimensions" `Quick test_create_errors;
+          Alcotest.test_case "with_batch validation" `Quick test_with_batch_errors;
+          Alcotest.test_case "stride gap stays inside block" `Quick test_stride_gap_bounds;
+          Alcotest.test_case "batch pack/unpack roundtrip" `Quick test_batch_pack_roundtrip;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "op multiset identical k=1 vs k=8" `Quick
+            test_schedule_batch_invariant;
+          Alcotest.test_case "ACE_BATCH knob" `Quick test_env_knob;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "4-batched outputs match solo runs" `Slow
+            test_batched_outputs_match_solo;
+        ] );
+    ]

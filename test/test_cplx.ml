@@ -1,0 +1,311 @@
+(* Complex packing: conjugation primitives, the region plan, and
+   end-to-end two-streams-per-slot inference against unpacked runs. *)
+
+module Rng = Ace_util.Rng
+module P = Ace_driver.Pipeline
+module Ckks_cplx = Ace_ckks_ir.Ckks_cplx
+open Ace_fhe
+open Ace_ir
+
+let test_ctx =
+  lazy
+    (Context.make
+       {
+         Context.log2_n = 10;
+         depth = 4;
+         scale_bits = 25;
+         q0_bits = 29;
+         special_bits = 29;
+         security = Security.Toy;
+         error_sigma = 3.2;
+       })
+
+let test_keys =
+  lazy
+    (let ctx = Lazy.force test_ctx in
+     Keys.generate ctx ~rng:(Rng.create 1234) ~rotations:[])
+
+let random_cplx rng n =
+  Array.init n (fun _ ->
+      { Cplx.re = Rng.float rng 2.0 -. 1.0; im = Rng.float rng 2.0 -. 1.0 })
+
+let check_cplx_close ~eps what expect got =
+  Array.iteri
+    (fun i e ->
+      let g = got.(i) in
+      let d = max (abs_float (e.Cplx.re -. g.Cplx.re)) (abs_float (e.Cplx.im -. g.Cplx.im)) in
+      if d > eps then
+        Alcotest.failf "%s: slot %d: expected %.6f%+.6fi got %.6f%+.6fi (err %.2e)" what i
+          e.Cplx.re e.Cplx.im g.Cplx.re g.Cplx.im d)
+    expect
+
+(* --- the two boundary primitives on live ciphertexts --- *)
+
+let encrypt_cplx keys rng z =
+  let ctx = Lazy.force test_ctx in
+  let pt = Encoder.encode_complex ctx ~level:(Context.max_level ctx) ~scale:(Context.scale ctx) z in
+  Eval.encrypt keys ~rng pt
+
+let decrypt_cplx keys ct =
+  let ctx = Lazy.force test_ctx in
+  Encoder.decode_complex ctx (Eval.decrypt keys ct)
+
+let test_conjugate () =
+  let ctx = Lazy.force test_ctx and keys = Lazy.force test_keys in
+  let rng = Rng.create 31 in
+  let z = random_cplx rng (Context.slots ctx) in
+  let ct = encrypt_cplx keys rng z in
+  let got = decrypt_cplx keys (Eval.conjugate keys ct) in
+  let expect = Array.map (fun x -> { x with Cplx.im = -.x.Cplx.im }) z in
+  check_cplx_close ~eps:2e-3 "conjugate" expect got
+
+let test_mul_i () =
+  let ctx = Lazy.force test_ctx and keys = Lazy.force test_keys in
+  let rng = Rng.create 32 in
+  let z = random_cplx rng (Context.slots ctx) in
+  let ct = encrypt_cplx keys rng z in
+  let got = decrypt_cplx keys (Eval.mul_i ct) in
+  let expect = Array.map (fun x -> { Cplx.re = -.x.Cplx.im; im = x.Cplx.re }) z in
+  check_cplx_close ~eps:2e-3 "mul_i" expect got
+
+let test_unpack_identities () =
+  (* re(z) = (z + conj z) / (2m) and im(z) = i (conj z - z) / (2m): with
+     the client encoding at m = 1/2 the divisor is exactly 1. *)
+  let ctx = Lazy.force test_ctx and keys = Lazy.force test_keys in
+  let rng = Rng.create 33 in
+  let a = Array.init (Context.slots ctx) (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let b = Array.init (Context.slots ctx) (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let packed =
+    Array.init (Context.slots ctx) (fun i ->
+        { Cplx.re = 0.5 *. a.(i); im = 0.5 *. b.(i) })
+  in
+  let z = encrypt_cplx keys rng packed in
+  let cj = Eval.conjugate keys z in
+  let re = Eval.add z cj in
+  let im = Eval.mul_i (Eval.sub cj z) in
+  let got_a = Array.map (fun x -> x.Cplx.re) (decrypt_cplx keys re) in
+  let got_b = Array.map (fun x -> x.Cplx.re) (decrypt_cplx keys im) in
+  Array.iteri
+    (fun i x ->
+      if abs_float (x -. got_a.(i)) > 2e-3 then Alcotest.failf "re stream: slot %d" i)
+    a;
+  Array.iteri
+    (fun i x ->
+      if abs_float (x -. got_b.(i)) > 2e-3 then Alcotest.failf "im stream: slot %d" i)
+    b
+
+(* --- region planning on hand-built CKKS functions --- *)
+
+let cipher_func name build =
+  let f = Irfunc.create ~name ~level:Level.Ckks ~params:[ ("x", Types.Cipher) ] in
+  let ret = build f 0 in
+  Irfunc.set_returns f [ ret ];
+  f
+
+let test_plan_pure_chain () =
+  (* add/sub/neg never mix re and im: the whole chain plans packed *)
+  let f =
+    cipher_func "chain" (fun f x ->
+        let a = Irfunc.add f Op.C_add [| x; x |] Types.Cipher in
+        let s = Irfunc.add f Op.C_sub [| a; x |] Types.Cipher in
+        Irfunc.add f Op.C_neg [| s |] Types.Cipher)
+  in
+  let plan = Ckks_cplx.packed_plan f in
+  Array.iteri
+    (fun i packed ->
+      match (Irfunc.node f i).Irfunc.op with
+      | Op.Param _ | Op.C_add | Op.C_sub | Op.C_neg ->
+        if not packed then Alcotest.failf "node %d should plan packed" i
+      | _ -> ())
+    plan
+
+let test_plan_rotation_blocks () =
+  (* a rotation mixes slots across the two streams' pairing: never packed,
+     and the single add behind it cannot pay the pack boundary *)
+  let f =
+    cipher_func "rot" (fun f x ->
+        let r = Irfunc.add f (Op.C_rotate 1) [| x |] Types.Cipher in
+        Irfunc.add f Op.C_add [| r; r |] Types.Cipher)
+  in
+  let plan = Ckks_cplx.packed_plan f in
+  Irfunc.iter f (fun n ->
+      match n.Irfunc.op with
+      | Op.C_rotate _ -> Alcotest.(check bool) "rotate split" false plan.(n.Irfunc.id)
+      | Op.C_add -> Alcotest.(check bool) "orphan add refused" false plan.(n.Irfunc.id)
+      | _ -> ())
+
+let test_plan_ct_mul_blocks () =
+  (* ct*ct multiply cross-multiplies the components: split, as is relin *)
+  let f =
+    cipher_func "ctmul" (fun f x ->
+        let m = Irfunc.add f Op.C_mul [| x; x |] Types.Cipher3 in
+        Irfunc.add f Op.C_relin [| m |] Types.Cipher)
+  in
+  let plan = Ckks_cplx.packed_plan f in
+  Irfunc.iter f (fun n ->
+      match n.Irfunc.op with
+      | Op.C_mul | Op.C_relin ->
+        Alcotest.(check bool) (Op.name n.Irfunc.op ^ " split") false plan.(n.Irfunc.id)
+      | _ -> ())
+
+let test_plan_profitable_interior_region () =
+  (* a long chain between two rotations outweighs its boundaries — it
+     must also contain a halvable plaintext multiply, since a region
+     entered mid-function (at m=1) can only exit to a split consumer
+     after a constant fold brings it to m=1/2 *)
+  let f =
+    cipher_func "interior" (fun f x ->
+        let wname = Irfunc.fresh_const f ~prefix:"w" [| 0.5 |] in
+        let w = Irfunc.add f (Op.Weight wname) [||] Types.Plain in
+        let r1 = Irfunc.add f (Op.C_rotate 1) [| x |] Types.Cipher in
+        let m = Irfunc.add f Op.C_mul [| r1; w |] Types.Cipher in
+        let v = ref m in
+        for _ = 1 to 20 do
+          v := Irfunc.add f Op.C_add [| !v; !v |] Types.Cipher
+        done;
+        Irfunc.add f (Op.C_rotate 2) [| !v |] Types.Cipher)
+  in
+  let plan = Ckks_cplx.packed_plan f in
+  let packed_adds = ref 0 and mul_packed = ref false in
+  Irfunc.iter f (fun n ->
+      match n.Irfunc.op with
+      | Op.C_add -> if plan.(n.Irfunc.id) then incr packed_adds
+      | Op.C_mul -> mul_packed := plan.(n.Irfunc.id)
+      | Op.C_rotate _ -> Alcotest.(check bool) "rotations split" false plan.(n.Irfunc.id)
+      | _ -> ());
+  Alcotest.(check bool) "halvable multiply packs" true !mul_packed;
+  Alcotest.(check int) "interior region accepted" 20 !packed_adds
+
+(* --- end-to-end: packed inference against unpacked compiles --- *)
+
+let make_linear_nn ~h ~w () =
+  let f =
+    Irfunc.create ~name:"lin" ~level:Level.Nn ~params:[ ("x", Types.Tensor [| 1; h; w |]) ]
+  in
+  let x = Irfunc.param f 0 in
+  let wname = Irfunc.fresh_const f ~prefix:"w" ~dims:[| 1; 1; 1; 1 |] [| 0.7 |] in
+  let bname = Irfunc.fresh_const f ~prefix:"b" [| 0.25 |] in
+  let wt = Irfunc.add f (Op.Weight wname) [||] (Types.Tensor [| 1; 1; 1; 1 |]) in
+  let b = Irfunc.add f (Op.Weight bname) [||] (Types.Tensor [| 1 |]) in
+  let conv =
+    Irfunc.add f
+      (Op.Nn
+         (Op.Conv { Op.out_channels = 1; in_channels = 1; kernel = 1; stride = 1; pad = 0 }))
+      [| x; wt; b |]
+      (Types.Tensor [| 1; h; w |])
+  in
+  Irfunc.set_returns f [ conv ];
+  Verify.verify f;
+  f
+
+let make_relu_nn () =
+  let f =
+    Irfunc.create ~name:"relunet" ~level:Level.Nn
+      ~params:[ ("x", Types.Tensor [| 2; 4; 4 |]) ]
+  in
+  let x = Irfunc.param f 0 in
+  let wname =
+    Irfunc.fresh_const f ~prefix:"w" ~dims:[| 2; 2; 3; 3 |]
+      (Array.init (2 * 2 * 3 * 3) (fun i -> 0.05 *. float_of_int ((i mod 7) - 3)))
+  in
+  let bname = Irfunc.fresh_const f ~prefix:"b" [| 0.1; -0.2 |] in
+  let wt = Irfunc.add f (Op.Weight wname) [||] (Types.Tensor [| 2; 2; 3; 3 |]) in
+  let b = Irfunc.add f (Op.Weight bname) [||] (Types.Tensor [| 2 |]) in
+  let conv =
+    Irfunc.add f
+      (Op.Nn
+         (Op.Conv { Op.out_channels = 2; in_channels = 2; kernel = 3; stride = 1; pad = 1 }))
+      [| x; wt; b |]
+      (Types.Tensor [| 2; 4; 4 |])
+  in
+  let relu = Irfunc.add f (Op.Nn Op.Relu) [| conv |] (Types.Tensor [| 2; 4; 4 |]) in
+  Irfunc.set_returns f [ relu ];
+  Verify.verify f;
+  f
+
+let mk n seed = Array.init n (fun i -> 0.4 *. cos (float_of_int (i + seed)))
+
+(* Worst per-request gap between a complex-packed batched run and solo
+   unpacked encrypted runs of the same requests. *)
+let worst_vs_unpacked c keys reqs =
+  let outs = P.infer_encrypted_batch c keys ~seed:7 reqs in
+  let solo_c = P.compile ~context:c.P.context ~batch:1 ~complex:false P.ace c.P.nn in
+  let solo_keys = P.make_keys solo_c ~seed:11 in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun r img ->
+      let solo = P.infer_encrypted solo_c solo_keys ~seed:11 img in
+      Array.iteri (fun i v -> worst := max !worst (abs_float (v -. outs.(r).(i)))) solo)
+    reqs;
+  !worst
+
+let cplx_info c =
+  match c.P.cplx with
+  | Some info -> info
+  | None -> Alcotest.fail "compile ~complex:true recorded no cplx info"
+
+let test_e2e_linear_n8 () =
+  let nn = make_linear_nn ~h:2 ~w:4 () in
+  let c = P.compile ~batch:1 ~complex:true P.ace nn in
+  Alcotest.(check int) "two requests in one ct" 2 (P.requests_per_ct c);
+  let info = cplx_info c in
+  Alcotest.(check int) "no split ops" 0 info.Ckks_cplx.stats.Ckks_cplx.split_nodes;
+  Alcotest.(check int) "one region" 1 info.Ckks_cplx.stats.Ckks_cplx.regions;
+  Alcotest.(check (list (float 1e-9))) "output at m=1/2" [ 0.5 ] info.Ckks_cplx.output_mults;
+  let keys = P.make_keys c ~seed:7 in
+  let w = worst_vs_unpacked c keys [| mk 8 0; mk 8 5 |] in
+  if w > 1e-3 then Alcotest.failf "lin8: worst gap %.2e vs unpacked" w
+
+let test_e2e_linear_n64_batch2 () =
+  (* complex packing composes with the slot-region batch axis: 4 requests *)
+  let nn = make_linear_nn ~h:8 ~w:8 () in
+  let c = P.compile ~batch:2 ~complex:true P.ace nn in
+  Alcotest.(check int) "four requests in one ct" 4 (P.requests_per_ct c);
+  let keys = P.make_keys c ~seed:7 in
+  let w = worst_vs_unpacked c keys [| mk 64 0; mk 64 3; mk 64 9; mk 64 13 |] in
+  if w > 1e-3 then Alcotest.failf "lin64b2: worst gap %.2e vs unpacked" w
+
+let test_e2e_relunet_split () =
+  (* rotations + ct*ct force split execution: params unpack once, every
+     interior op duplicates per stream, returns repack at m=1 — and the
+     profitability gate refuses the tiny interludes between them *)
+  let nn = make_relu_nn () in
+  let c = P.compile ~batch:1 ~complex:true P.ace nn in
+  let info = cplx_info c in
+  Alcotest.(check int) "nothing packed" 0 info.Ckks_cplx.stats.Ckks_cplx.packed_nodes;
+  Alcotest.(check int) "one return repack" 1 info.Ckks_cplx.stats.Ckks_cplx.pack_ops;
+  Alcotest.(check int) "one param unpack" 1 info.Ckks_cplx.stats.Ckks_cplx.unpack_ops;
+  Alcotest.(check bool) "tiny regions refused" true
+    (info.Ckks_cplx.stats.Ckks_cplx.regions_refused > 0);
+  Alcotest.(check (list (float 1e-9))) "outputs repacked at m=1" [ 1.0 ]
+    info.Ckks_cplx.output_mults;
+  let keys = P.make_keys c ~seed:7 in
+  let w = worst_vs_unpacked c keys [| mk 32 0; mk 32 21 |] in
+  if w > 1e-2 then Alcotest.failf "relunet: worst gap %.2e vs unpacked" w
+
+let () =
+  Alcotest.run "cplx"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "conjugate negates the imaginary part" `Quick test_conjugate;
+          Alcotest.test_case "mul_i rotates slots by pi/2" `Quick test_mul_i;
+          Alcotest.test_case "unpack identities exact at m=1/2" `Quick
+            test_unpack_identities;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "pure add chain packs" `Quick test_plan_pure_chain;
+          Alcotest.test_case "rotation blocks packing" `Quick test_plan_rotation_blocks;
+          Alcotest.test_case "ct*ct multiply blocks packing" `Quick test_plan_ct_mul_blocks;
+          Alcotest.test_case "profitable interior region packs" `Quick
+            test_plan_profitable_interior_region;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "1x1-conv net, n=8, fully packed" `Quick test_e2e_linear_n8;
+          Alcotest.test_case "n=64 with batch=2: 4 requests/ct" `Slow
+            test_e2e_linear_n64_batch2;
+          Alcotest.test_case "conv+relu net runs split" `Slow test_e2e_relunet_split;
+        ] );
+    ]

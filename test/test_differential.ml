@@ -147,6 +147,48 @@ let graphs_cover_shapes () =
   Alcotest.(check bool) "some graph is purely linear" true
     (count (fun g -> Graph_gen.nonlinear_count g = 0) > 0)
 
+(* Batch tier: the same graph compiled with ~batch:k, k independent
+   random inputs in ONE ciphertext, per-request outputs against unbatched
+   encrypted runs — across {seq, wavefront} x {1, 4 domains} and with the
+   lazy passes both on and off. Batched runs of one compile must also stay
+   bit-identical across executor configs. *)
+let run_batch_seed seed () =
+  Verifier.set_enabled true;
+  let batch = 4 in
+  let eager_strategy =
+    { Pipeline.ace with Pipeline.strategy_name = "ace-eager"; lazy_passes = false }
+  in
+  let check_setting label bc =
+    let outcomes =
+      List.map
+        (fun (scheduler, domains) -> Differential.run_batch_case ~scheduler ~domains bc)
+        configs
+    in
+    List.iter
+      (fun (o : Differential.batch_outcome) ->
+        match Differential.check_batch bc o with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "%s setting: %s" label msg)
+      outcomes;
+    match outcomes with
+    | baseline :: rest ->
+      List.iter
+        (fun (o : Differential.batch_outcome) ->
+          if
+            not
+              (Differential.ct_equal baseline.Differential.b_ct_out
+                 o.Differential.b_ct_out)
+          then
+            Alcotest.failf "seed %d (%s setting): batched %s x%d diverges bit-wise" seed
+              label
+              (Pipeline.scheduler_name o.Differential.b_scheduler)
+              o.Differential.b_domains)
+        rest
+    | [] -> assert false
+  in
+  check_setting "lazy" (Differential.prepare_batch ~seed ~batch ());
+  check_setting "eager" (Differential.prepare_batch ~strategy:eager_strategy ~seed ~batch ())
+
 let seed_case seed =
   Alcotest.test_case
     (Printf.sprintf "seed %d: err bound + bit-identity (seq/wavefront x 1/4 domains)" seed)
@@ -161,6 +203,15 @@ let () =
           Alcotest.test_case "shape coverage over 25 seeds" `Quick graphs_cover_shapes;
         ] );
       ("quick-tier", List.map seed_case quick_seeds);
+      ( "batch-tier",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf
+                 "seed %d: 4-batched vs unbatched per-request (seq/wavefront x 1/4 domains, lazy on/off)"
+                 seed)
+              `Slow (run_batch_seed seed))
+          [ 200; 201 ] );
       ( "lazy-tier",
         List.map
           (fun seed ->

@@ -62,7 +62,7 @@ let lower_and_compare ?(tol = 1e-6) ~cfg g =
   if e > tol then Alcotest.failf "lowering diverges from NN reference: %.3e" e;
   vf
 
-let cfg_base = { Lower_nn.slots = 2048; conv_regroup = true; gemm_bsgs = true }
+let cfg_base = { Lower_nn.slots = 2048; batch = 1; conv_regroup = true; gemm_bsgs = true }
 
 let gemv_graph () =
   let b = Builder.create "gemv" in

@@ -68,6 +68,46 @@ if [ "$n_lazy" -ge "$n_eager" ]; then
   exit 1
 fi
 
+# Batched smoke matrix: cross-request slot batching under ACE_BATCH x
+# ACE_DOMAINS, verifier on, each run traced.  batch_infer compiles
+# against a FIXED 16-region context regardless of ACE_BATCH, so the
+# traced homomorphic op counts are directly comparable across batch
+# factors.
+for b in 1 4; do
+  for d in 1 4; do
+    echo "== batched smoke, ACE_BATCH=$b ACE_DOMAINS=$d =="
+    trace="/tmp/ace_trace_batch${b}_d${d}.json"
+    rm -f "$trace"
+    ACE_VERIFY=1 ACE_BATCH=$b ACE_DOMAINS=$d ACE_TRACE="$trace" \
+      dune exec examples/batch_infer.exe >/dev/null
+  done
+done
+echo "== batched smoke, ACE_BATCH=8 ACE_DOMAINS=1 =="
+rm -f /tmp/ace_trace_batch8_d1.json
+ACE_VERIFY=1 ACE_BATCH=8 ACE_DOMAINS=1 ACE_TRACE=/tmp/ace_trace_batch8_d1.json \
+  dune exec examples/batch_infer.exe >/dev/null
+
+# The schedule must be batch-invariant: k requests ride in one ciphertext
+# through the SAME homomorphic program, so the executed op counts at
+# k=4 and k=8 must equal the k=1 counts exactly (batching changes mask
+# contents, never the schedule).
+for op in fhe.rotate fhe.relinearize fhe.rescale fhe.bootstrap; do
+  n1=$(dune exec tools/check_trace.exe -- /tmp/ace_trace_batch1_d1.json --count-of "$op")
+  n4=$(dune exec tools/check_trace.exe -- /tmp/ace_trace_batch4_d1.json --count-of "$op")
+  n8=$(dune exec tools/check_trace.exe -- /tmp/ace_trace_batch8_d1.json --count-of "$op")
+  echo "$op spans: k=1:$n1 k=4:$n4 k=8:$n8"
+  if [ "$n1" -ne "$n4" ] || [ "$n1" -ne "$n8" ]; then
+    echo "ci: batched schedule not op-count invariant for $op" >&2
+    exit 1
+  fi
+done
+
+# Complex packing smoke: the opt-in CKKS region pass (ACE_CPLX) packs two
+# request streams per slot — composed with the batch axis here (2x2 = 4
+# requests per ciphertext), verifier on.
+echo "== complex packing smoke, ACE_CPLX=1 ACE_BATCH=2 =="
+ACE_VERIFY=1 ACE_CPLX=1 ACE_BATCH=2 dune exec examples/batch_infer.exe >/dev/null
+
 # Verifier smoke: the cross-level IR verifier (default-on, ACE_VERIFY)
 # must accept every example model with zero diagnostics — an explicit
 # ACE_VERIFY=1 run so a future default change can't silently skip it, and
