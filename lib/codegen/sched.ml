@@ -27,6 +27,8 @@ let width t id = t.sc_width.(id)
 let max_width t =
   Array.fold_left (fun acc w -> max acc (Array.length w)) 0 t.sc_waves
 
+let wave_weight t w = t.sc_total.(w)
+
 (* Cost model: weights are "limbs of pointwise work" — one unit is one
    O(N) pass over a residue row. Calibrated against the telemetry p50s of
    BENCH_pr3 (key_switch 3.6ms at ~8 limbs ~ limbs^2 units of ~50us; add
@@ -57,6 +59,20 @@ let node_cost (n : Irfunc.node) =
     40.0 *. limbs
   | Op.Param _ | Op.Weight _ | Op.Const_scalar _ -> 0.0
   | _ -> 0.05 (* surviving cleartext vector ops: host float loops *)
+
+(* Calibration buckets: one telemetry metric (calib.<category>) per
+   bucket collects measured-µs / predicted-units ratios, so a drifting
+   constant in [node_cost] shows up as that bucket's ratio diverging from
+   the others'. *)
+let node_category (n : Irfunc.node) =
+  match n.Irfunc.op with
+  | Op.C_relin | Op.C_rotate _ | Op.C_conj | Op.C_rotate_batch _ -> "key_switch"
+  | Op.C_mul | Op.C_mul_i -> "mul"
+  | Op.C_rescale -> "rescale"
+  | Op.C_encode | Op.C_encode_pair | Op.C_upscale _ -> "encode"
+  | Op.C_add | Op.C_sub | Op.C_neg -> "add"
+  | Op.C_bootstrap _ -> "bootstrap"
+  | _ -> "light"
 
 let node_width (n : Irfunc.node) =
   let limbs = max 1 (n.Irfunc.node_level + 1) in

@@ -25,6 +25,20 @@
 
 type t
 
+val node_cost : Ace_ir.Irfunc.node -> float
+(** The cost model itself: estimated work of one node in abstract units
+    (1.0 ~ one limb of pointwise work, i.e. one O(N) pass over a residue
+    row). Pure function of the node's op and level annotation. Exposed so
+    the executor can hold the prediction accountable against measured
+    wall-clock (the [calib.*] telemetry metrics) and so the serving
+    daemon can price a request before running it. *)
+
+val node_category : Ace_ir.Irfunc.node -> string
+(** Calibration bucket of a node's op: ["key_switch"] (relin / rotate /
+    conjugate, incl. hoisted batches), ["mul"], ["rescale"], ["encode"],
+    ["add"], ["bootstrap"], or ["light"] (bookkeeping ops whose cost is
+    epsilon). The telemetry metric is [calib.<category>]. *)
+
 val analyze : Ace_ir.Irfunc.t -> t
 (** Build the wavefront partition, the cost annotations and the per-
     wavefront release sets. O(nodes + edges); safe on any level's function
@@ -58,6 +72,11 @@ val width : t -> int -> int
 (** Internal limb-parallel width of node [id]: how many domains the op
     could occupy on its own through the RNS runtime (key-switch: limbs+1;
     pointwise/transform ops: limbs; cheap ops: 1). *)
+
+val wave_weight : t -> int -> float
+(** Total predicted weight of wavefront [w] in cost-model units — the
+    prediction {!Vm.run_parallel} compares against the wavefront's
+    measured wall-clock ([calib.wavefront]). *)
 
 type mode = Node_parallel | Sequential
 

@@ -195,11 +195,31 @@ let exec_node t values inputs (n : Irfunc.node) =
     V_ct (t.bootstrap ~node:n.Irfunc.id ~target_level:target (ct 0))
   | op -> invalid_arg ("Vm.run: unexpected op " ^ Op.name op)
 
+(* Cost-model accountability: one metric per Sched category collecting
+   measured-µs / predicted-units ratios. Pre-registered so the hot path
+   never takes the registry mutex; light/zero-weight ops are skipped —
+   their measurement is clock noise, not model signal. *)
+let calib_metrics =
+  lazy
+    (List.map
+       (fun c -> (c, Telemetry.metric ("calib." ^ c)))
+       [ "key_switch"; "mul"; "rescale"; "encode"; "add"; "bootstrap" ])
+
+let calib_wavefront = lazy (Telemetry.metric "calib.wavefront")
+
+let observe_calib (n : Irfunc.node) dt =
+  let predicted = Sched.node_cost n in
+  if predicted >= 0.5 then
+    match List.assoc_opt (Sched.node_category n) (Lazy.force calib_metrics) with
+    | Some m -> Telemetry.observe m (dt *. 1e6 /. predicted)
+    | None -> ()
+
 (* Timed wrapper: phase accounting plus the per-node span, recorded on the
    executing domain's shard — under the wavefront scheduler that is the
    worker that claimed the node, so the Chrome trace shows true per-tid
-   occupancy. *)
-let exec_timed t values inputs (n : Irfunc.node) =
+   occupancy. [tag] carries request-attribution args (batch request ids)
+   into every per-node span. *)
+let exec_timed ?(tag = []) t values inputs (n : Irfunc.node) =
   let phase =
     match n.Irfunc.op with
     | Op.C_bootstrap _ -> "bootstrap"
@@ -209,8 +229,9 @@ let exec_timed t values inputs (n : Irfunc.node) =
   let result = exec_node t values inputs n in
   let t1 = Unix.gettimeofday () in
   Cost.add_phase_time phase (t1 -. t0);
+  observe_calib n (t1 -. t0);
   Telemetry.emit_span ~cat:phase
-    ~args:[ ("origin", n.Irfunc.origin) ]
+    ~args:(("origin", n.Irfunc.origin) :: tag)
     ~name:("vm." ^ Op.name n.Irfunc.op) ~t0 ~dur:(t1 -. t0) ();
   result
 
@@ -222,7 +243,7 @@ let collect_returns f values =
       | _ -> invalid_arg "Vm.run: non-ciphertext return")
     (Irfunc.returns f)
 
-let run_observed ~observe t inputs =
+let run_observed ?(tag = []) ~observe t inputs =
   let f = t.func in
   let inputs = Array.of_list inputs in
   let values = Array.make (Irfunc.num_nodes f) V_none in
@@ -252,7 +273,7 @@ let run_observed ~observe t inputs =
         cur_origin := n.Irfunc.origin;
         cur_start := now
       end;
-      let result = exec_timed t values inputs n in
+      let result = exec_timed ~tag t values inputs n in
       values.(n.Irfunc.id) <- result;
       (match result with V_ct c -> observe n c | _ -> ());
       Array.iter
@@ -261,7 +282,7 @@ let run_observed ~observe t inputs =
   flush_origin (Unix.gettimeofday ());
   collect_returns f values
 
-let run t inputs = run_observed ~observe:(fun _ _ -> ()) t inputs
+let run ?tag t inputs = run_observed ?tag ~observe:(fun _ _ -> ()) t inputs
 
 (* Dataflow-parallel execution: one barrier per wavefront, node-level
    work queue inside a wavefront when the cost model votes for it.
@@ -278,7 +299,7 @@ let run t inputs = run_observed ~observe:(fun _ _ -> ()) t inputs
    the main domain, after the barrier: no worker can still be reading
    them, and peak memory stays within one wavefront of the sequential
    executor's live range. *)
-let run_parallel t inputs =
+let run_parallel ?(tag = []) t inputs =
   let f = t.func in
   let sched = schedule t in
   let inputs = Array.of_list inputs in
@@ -288,17 +309,32 @@ let run_parallel t inputs =
   let domains = Domain_pool.size () in
   Array.iteri
     (fun w nodes ->
+      (* Per-wavefront accountability: the predicted limbs-of-work total
+         vs the measured wall-clock, as a µs-per-unit observation — the
+         distribution the serving daemon's admission control will trust,
+         so it is recorded for BOTH execution modes. *)
+      let predicted = Sched.wave_weight sched w in
+      let t0 = Unix.gettimeofday () in
       (match Sched.decide sched w ~domains with
       | Sched.Sequential ->
-        Array.iter (fun id -> values.(id) <- exec_timed t values inputs (Irfunc.node f id)) nodes
+        Array.iter
+          (fun id -> values.(id) <- exec_timed ~tag t values inputs (Irfunc.node f id))
+          nodes
       | Sched.Node_parallel ->
-        Telemetry.span ~cat:"sched"
-          ~args:[ ("nodes", string_of_int (Array.length nodes)) ]
-          "sched.wavefront"
-        @@ fun () ->
         Domain_pool.parallel_each (Array.length nodes) (fun i ->
             let id = nodes.(i) in
-            values.(id) <- exec_timed t values inputs (Irfunc.node f id)));
+            values.(id) <- exec_timed ~tag t values inputs (Irfunc.node f id));
+        let t1 = Unix.gettimeofday () in
+        Telemetry.emit_span ~cat:"sched"
+          ~args:
+            (("nodes", string_of_int (Array.length nodes))
+            :: ("predicted_units", Printf.sprintf "%.1f" predicted)
+            :: ("measured_us", Printf.sprintf "%.1f" ((t1 -. t0) *. 1e6))
+            :: tag)
+          ~name:"sched.wavefront" ~t0 ~dur:(t1 -. t0) ());
+      (if predicted > 0.0 then
+         let dt = Unix.gettimeofday () -. t0 in
+         Telemetry.observe (Lazy.force calib_wavefront) (dt *. 1e6 /. predicted));
       Array.iter (fun id -> values.(id) <- V_none) free.(w))
     waves;
   collect_returns f values

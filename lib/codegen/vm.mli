@@ -29,18 +29,34 @@ val prepare :
     a weight; single-shot runs leave it off to keep peak memory at the
     live-range minimum. *)
 
-val run : t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
+val run :
+  ?tag:(string * string) list -> t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
 (** Execute on encrypted inputs (one per function parameter), one node at a
-    time in program order. *)
+    time in program order. [?tag] (default empty) is appended to every
+    per-node telemetry span's args — the request-attribution hook:
+    {!Ace_driver.Pipeline} passes the batch's request ids so a Chrome
+    trace can be filtered per request.
 
-val run_parallel : t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
+    Every executed node also feeds the cost-accountability metrics: a
+    [calib.<category>] observation of measured-µs / {!Sched.node_cost}
+    units (categories from {!Sched.node_category}; epsilon-weight
+    bookkeeping ops are skipped). *)
+
+val run_parallel :
+  ?tag:(string * string) list -> t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
 (** Dataflow-parallel execution: partition the function into wavefronts
     ({!Sched.analyze}, cached on the VM) and execute each wavefront's nodes
     concurrently across the domain pool when the cost model prefers
     node-level over limb-level parallelism ({!Sched.decide}). Bit-identical
     to {!run} for any [ACE_DOMAINS]; with a pool of 1 it {e is} the
     sequential loop. Per-node telemetry spans land on the worker domain
-    that executed the node. *)
+    that executed the node.
+
+    Additionally records, for every wavefront in either mode, a
+    [calib.wavefront] observation of measured-wall-µs /
+    {!Sched.wave_weight} predicted units; node-parallel wavefronts carry
+    [predicted_units] / [measured_us] args on their [sched.wavefront]
+    span. *)
 
 val schedule : t -> Sched.t
 (** The wavefront schedule {!run_parallel} uses (computed on first demand
@@ -48,6 +64,7 @@ val schedule : t -> Sched.t
     reports. *)
 
 val run_observed :
+  ?tag:(string * string) list ->
   observe:(Ace_ir.Irfunc.node -> Ace_fhe.Ciphertext.ct -> unit) ->
   t -> Ace_fhe.Ciphertext.ct list -> Ace_fhe.Ciphertext.ct list
 (** Like {!run}, but calls [observe node ct] on every node that produces a

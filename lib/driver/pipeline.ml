@@ -392,17 +392,59 @@ let encrypt_batch c keys ~seed images =
       encrypt_packed_cplx c keys ~seed va vb
     end
 
+(* Per-request attribution (nGraph-HE2-style amortized accounting): one
+   homomorphic execution carries requests_per_ct requests, so the span/k
+   amortized latency — not the raw span — is what a request actually
+   cost. The metrics count once PER REQUEST, so their quantiles describe
+   the per-request amortized distribution directly. *)
+let request_latency = lazy (Ace_telemetry.Telemetry.metric "request.latency")
+let request_count = lazy (Ace_telemetry.Telemetry.metric "request.count")
+let request_per_ct = lazy (Ace_telemetry.Telemetry.metric "request.per_ct")
+
+let default_request_ids k = Array.init k (fun i -> "r" ^ string_of_int i)
+
 (* A missing Galois key at execution time means the compile-time key plan
    and the runtime key set disagree — a planning bug or keys generated
    from a different plan — so the error names all three sides. *)
-let run_vm ~scheduler c vm ct =
-  let exec =
-    match scheduler with
-    | Seq -> Ace_codegen.Vm.run
-    | Wavefront -> Ace_codegen.Vm.run_parallel
+let run_vm ?request_ids ~scheduler c vm ct =
+  let k = requests_per_ct c in
+  let ids =
+    match request_ids with
+    | None -> default_request_ids k
+    | Some ids ->
+      if Array.length ids <> k then
+        invalid_arg
+          (Printf.sprintf "Pipeline: %d request ids for a %d-requests-per-ct execution"
+             (Array.length ids) k);
+      ids
   in
+  let tag =
+    [ ("request_ids", String.concat "," (Array.to_list ids)); ("k", string_of_int k) ]
+  in
+  let exec vm cts =
+    match scheduler with
+    | Seq -> Ace_codegen.Vm.run ~tag vm cts
+    | Wavefront -> Ace_codegen.Vm.run_parallel ~tag vm cts
+  in
+  let t0 = Unix.gettimeofday () in
   match exec vm [ ct ] with
-  | [ out ] -> out
+  | [ out ] ->
+    let dur = Unix.gettimeofday () -. t0 in
+    let amortized = dur /. float_of_int k in
+    for _ = 1 to k do
+      Ace_telemetry.Telemetry.incr (Lazy.force request_count);
+      Ace_telemetry.Telemetry.observe (Lazy.force request_latency) amortized
+    done;
+    Ace_telemetry.Telemetry.observe (Lazy.force request_per_ct) (float_of_int k);
+    Ace_telemetry.Telemetry.emit_span ~cat:"request"
+      ~args:
+        (tag
+        @ [
+            ("requests_per_ct", string_of_int k);
+            ("amortized_us", Printf.sprintf "%.1f" (amortized *. 1e6));
+          ])
+      ~name:"request.batch" ~t0 ~dur ();
+    out
   | _ -> invalid_arg "Pipeline.run_encrypted: expected a single output"
   | exception Fhe.Eval.Missing_rotation_key { step; available } ->
     let show l = String.concat "; " (List.map string_of_int l) in
@@ -416,10 +458,10 @@ let run_vm ~scheduler c vm ct =
 let make_bootstrap keys ~seed ~node ~target_level x =
   Fhe.Bootstrap.refresh_impl keys ~seed ~ordinal:node ~target_level x
 
-let run_encrypted ?scheduler c keys ~seed ct =
+let run_encrypted ?scheduler ?request_ids c keys ~seed ct =
   let scheduler = match scheduler with Some s -> s | None -> default_scheduler () in
   let vm = Ace_codegen.Vm.prepare ~keys ~bootstrap:(make_bootstrap keys ~seed) c.ckks in
-  run_vm ~scheduler c vm ct
+  run_vm ?request_ids ~scheduler c vm ct
 
 (* Under complex packing the decrypted slots hold m*(a + i*b); divide by
    the multiplier the cplx pass recorded for this output. *)
@@ -456,9 +498,9 @@ let decrypt_batch c keys ct =
 let infer_encrypted c keys ~seed image =
   decrypt_output c keys (run_encrypted c keys ~seed (encrypt_input c keys ~seed image))
 
-let infer_encrypted_batch ?scheduler c keys ~seed images =
+let infer_encrypted_batch ?scheduler ?request_ids c keys ~seed images =
   decrypt_batch c keys
-    (run_encrypted ?scheduler c keys ~seed (encrypt_batch c keys ~seed images))
+    (run_encrypted ?scheduler ?request_ids c keys ~seed (encrypt_batch c keys ~seed images))
 
 (* A resident runtime: the prepared VM lives across inferences, so weight
    plaintexts are encoded (embed + round + forward NTT) once ever instead
@@ -485,7 +527,8 @@ let make_runtime ?telemetry ?scheduler c keys ~seed =
 let runtime_scheduler rt = rt.rt_scheduler
 let runtime_vm rt = rt.rt_vm
 
-let run_encrypted_rt rt ct = run_vm ~scheduler:rt.rt_scheduler rt.rt_compiled rt.rt_vm ct
+let run_encrypted_rt ?request_ids rt ct =
+  run_vm ?request_ids ~scheduler:rt.rt_scheduler rt.rt_compiled rt.rt_vm ct
 
 let infer_encrypted_rt rt ~seed image =
   decrypt_output rt.rt_compiled rt.rt_keys

@@ -142,8 +142,18 @@ val encrypt_batch :
 
 val run_encrypted :
   ?scheduler:scheduler ->
+  ?request_ids:string array ->
   compiled -> Ace_fhe.Keys.t -> seed:int -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
-(** [?scheduler] defaults to {!default_scheduler}[ ()]. *)
+(** [?scheduler] defaults to {!default_scheduler}[ ()].
+
+    [?request_ids] names the {!requests_per_ct} requests riding in the
+    ciphertext (default ["r0".."r{k-1}"]; @raise Invalid_argument on a
+    count mismatch). Every execution — whatever its batch factor —
+    records per-request attribution: a [request.batch] span whose args
+    carry the ids, [k] and the amortized span/k cost, the same ids
+    tagged onto every per-node VM span, and [request.latency] /
+    [request.count] / [request.per_ct] metrics counted once per request
+    (so their quantiles are per-request amortized latencies). *)
 
 val decrypt_output : compiled -> Ace_fhe.Keys.t -> Ace_fhe.Ciphertext.ct -> float array
 (** The generated decryptor: decrypt, decode, unpack to the NN output
@@ -161,9 +171,11 @@ val infer_encrypted :
 
 val infer_encrypted_batch :
   ?scheduler:scheduler ->
+  ?request_ids:string array ->
   compiled -> Ace_fhe.Keys.t -> seed:int -> float array array -> float array array
 (** encrypt -> run -> decrypt for {!requests_per_ct} independent images
-    sharing one ciphertext; one homomorphic execution total. *)
+    sharing one ciphertext; one homomorphic execution total, attributed
+    per request (see {!run_encrypted}). *)
 
 (** {1 Resident runtime (multi-inference serving)} *)
 
@@ -187,7 +199,10 @@ val runtime_scheduler : runtime -> scheduler
 val runtime_vm : runtime -> Ace_codegen.Vm.t
 (** The resident VM (for {!Ace_codegen.Vm.schedule} occupancy reports). *)
 
-val run_encrypted_rt : runtime -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
+val run_encrypted_rt :
+  ?request_ids:string array -> runtime -> Ace_fhe.Ciphertext.ct -> Ace_fhe.Ciphertext.ct
+(** Serving-loop execution with the same per-request attribution as
+    {!run_encrypted}. *)
 
 val infer_encrypted_rt : runtime -> seed:int -> float array -> float array
 (** encrypt -> run -> decrypt through the resident VM. *)

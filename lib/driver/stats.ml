@@ -135,6 +135,91 @@ let to_json s =
        s.cplx_regions s.cplx_packed_ops s.cplx_split_ops);
   Buffer.contents buf
 
+(* ---------- cost-model calibration (runtime accountability) ---------- *)
+
+module Telemetry = Ace_telemetry.Telemetry
+
+type calibration_row = {
+  cal_category : string;
+  cal_samples : int;
+  cal_us_per_unit_p50 : float;
+  cal_us_per_unit_p99 : float;
+  cal_us_per_unit_mean : float;
+  cal_error_ratio_p50 : float;
+  cal_error_ratio_p99 : float;
+}
+
+type calibration = { cal_reference_us_per_unit : float; cal_rows : calibration_row list }
+
+let calib_prefix = "calib."
+
+let calibration_of_snapshot (snap : Telemetry.snapshot) =
+  let rows =
+    List.filter_map
+      (fun (st : Telemetry.metric_stats) ->
+        let n = String.length calib_prefix in
+        if
+          String.length st.Telemetry.st_name > n
+          && String.sub st.Telemetry.st_name 0 n = calib_prefix
+          && st.Telemetry.st_count > 0
+        then
+          Some
+            ( String.sub st.Telemetry.st_name n (String.length st.Telemetry.st_name - n),
+              st )
+        else None)
+      snap.Telemetry.snap_metrics
+  in
+  (* Reference µs-per-unit: the sample-weighted mean over per-op
+     categories (the wavefront aggregate is a consumer of the model, not
+     a definer of its unit). A perfectly proportional cost model puts
+     every category's error ratio at 1.0. *)
+  let op_rows = List.filter (fun (c, _) -> c <> "wavefront") rows in
+  let wsum, wn =
+    List.fold_left
+      (fun (s, n) ((_, st) : string * Telemetry.metric_stats) ->
+        (s +. st.Telemetry.st_total, n + st.Telemetry.st_count))
+      (0.0, 0) op_rows
+  in
+  let reference = if wn = 0 then 0.0 else wsum /. float_of_int wn in
+  let ratio v = if reference > 0.0 then v /. reference else 0.0 in
+  {
+    cal_reference_us_per_unit = reference;
+    cal_rows =
+      List.map
+        (fun ((cat, st) : string * Telemetry.metric_stats) ->
+          {
+            cal_category = cat;
+            cal_samples = st.Telemetry.st_count;
+            cal_us_per_unit_p50 = st.Telemetry.st_p50;
+            cal_us_per_unit_p99 = st.Telemetry.st_p99;
+            cal_us_per_unit_mean =
+              (if st.Telemetry.st_count = 0 then 0.0
+               else st.Telemetry.st_total /. float_of_int st.Telemetry.st_count);
+            cal_error_ratio_p50 = ratio st.Telemetry.st_p50;
+            cal_error_ratio_p99 = ratio st.Telemetry.st_p99;
+          })
+        (List.sort compare rows);
+  }
+
+let calibration_to_json cal =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"reference_us_per_unit\": %.4f, \"categories\": {"
+       cal.cal_reference_us_per_unit);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\": {\"samples\": %d, \"us_per_unit_p50\": %.4f, \"us_per_unit_p99\": %.4f, \
+            \"us_per_unit_mean\": %.4f, \"error_ratio_p50\": %.4f, \"error_ratio_p99\": %.4f}"
+           (String.escaped r.cal_category) r.cal_samples r.cal_us_per_unit_p50
+           r.cal_us_per_unit_p99 r.cal_us_per_unit_mean r.cal_error_ratio_p50
+           r.cal_error_ratio_p99))
+    cal.cal_rows;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
 let pp fmt s =
   Format.fprintf fmt "@[<v>model %s@," s.model;
   List.iter

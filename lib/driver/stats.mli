@@ -38,3 +38,38 @@ val pp : Format.formatter -> t -> unit
 val to_json : t -> string
 (** One JSON object (no trailing newline), embedded by [bench --json] so
     BENCH artifacts are self-describing. *)
+
+(** {1 Cost-model calibration}
+
+    Runtime accountability of {!Ace_codegen.Sched.node_cost}: the VM
+    records, per op category, the distribution of measured-µs /
+    predicted-units ratios ([calib.<category>] metrics — see
+    {!Ace_codegen.Vm}). A snapshot of those metrics folds into this
+    table: the reference is the sample-weighted mean µs-per-unit across
+    op categories, and each category's error ratio is its own µs-per-unit
+    against that reference — 1.0 everywhere means the model's RATIOS
+    (the only thing {!Ace_codegen.Sched.decide} consumes) are exact. *)
+
+type calibration_row = {
+  cal_category : string;  (** {!Ace_codegen.Sched.node_category}, or ["wavefront"] *)
+  cal_samples : int;
+  cal_us_per_unit_p50 : float;
+  cal_us_per_unit_p99 : float;
+  cal_us_per_unit_mean : float;
+  cal_error_ratio_p50 : float;  (** p50 µs-per-unit / reference *)
+  cal_error_ratio_p99 : float;
+}
+
+type calibration = {
+  cal_reference_us_per_unit : float;
+      (** sample-weighted mean µs-per-unit over op categories (excludes
+          the [wavefront] aggregate); 0 when no samples *)
+  cal_rows : calibration_row list;  (** sorted by category name *)
+}
+
+val calibration_of_snapshot : Ace_telemetry.Telemetry.snapshot -> calibration
+(** Extract every [calib.*] metric from a (possibly windowed) snapshot. *)
+
+val calibration_to_json : calibration -> string
+(** One JSON object (no trailing newline) — the [cost_model_calibration]
+    block of BENCH artifacts. *)

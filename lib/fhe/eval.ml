@@ -22,11 +22,22 @@ let () =
 
 (* Flight recorder: one record per produced ciphertext with a structural
    noise-budget estimate — log2 of the remaining modulus product minus the
-   scale bits, i.e. headroom between message magnitude and modulus. It is
-   monotone non-increasing along mul/rescale chains (rescale trades one
-   prime of modulus for the same factor of scale), which is what the
-   flight-recorder tests assert. Disabled: one atomic flag read. *)
-let record_flight op (ct : ct) =
+   scale bits, i.e. headroom between message magnitude and modulus.
+
+   Degree-2 (Cipher3) ciphertexts from the lazy-relin path carry an extra
+   c2*s^2 term whose noise growth the degree-1 formula misses: decryption
+   multiplies c2's noise by s^2, whose canonical-embedding norm is about
+   sqrt(N)*... — structurally, 0.5*log2(N)+1 bits of extra magnitude for a
+   ternary secret. The same penalty is charged to the relinearization
+   that closes the region (the key switch folds the s^2 term, and its
+   additive noise, into the degree-1 components; the headroom spent does
+   not come back), keeping the estimate monotone non-increasing through a
+   lazy region INCLUDING its closing relin. The subsequent rescale
+   re-baselines as usual. Disabled: one atomic flag read. *)
+let s2_penalty_bits (p0 : Rns_poly.t) =
+  (0.5 *. Float.log2 (float_of_int (Rns_poly.ring_degree p0))) +. 1.0
+
+let record_flight ?(relin_of_deg2 = false) op (ct : ct) =
   if Telemetry.flight_on () then begin
     let p0 = ct.polys.(0) in
     let crt = p0.Rns_poly.ctx in
@@ -36,8 +47,13 @@ let record_flight op (ct : ct) =
         0.0 p0.Rns_poly.chain_idx
     in
     let scale_bits = Float.log2 ct.ct_scale in
-    Telemetry.flight_record ~op ~level:(level ct) ~limbs:(Rns_poly.num_limbs p0) ~scale_bits
-      ~budget_bits:(modulus_bits -. scale_bits)
+    let penalty =
+      if Array.length ct.polys > 2 || relin_of_deg2 then s2_penalty_bits p0 else 0.0
+    in
+    Telemetry.flight_record ~op
+      ~degree:(Array.length ct.polys - 1)
+      ~level:(level ct) ~limbs:(Rns_poly.num_limbs p0) ~scale_bits
+      ~budget_bits:(modulus_bits -. scale_bits -. penalty) ()
   end;
   ct
 
@@ -337,7 +353,7 @@ let relinearize keys (ct : ct) =
   let e0 = Rns_poly.ntt_inplace e0 and e1 = Rns_poly.ntt_inplace e1 in
   let c0 = Rns_poly.add_into ~dst:e0 (Rns_poly.to_ntt ct.polys.(0)) e0 in
   let c1 = Rns_poly.add_into ~dst:e1 (Rns_poly.to_ntt ct.polys.(1)) e1 in
-  record_flight "relinearize" { polys = [| c0; c1 |]; ct_scale = ct.ct_scale }
+  record_flight ~relin_of_deg2:true "relinearize" { polys = [| c0; c1 |]; ct_scale = ct.ct_scale }
 
 let mul keys a b = relinearize keys (mul_raw a b)
 let square keys a = mul keys a a

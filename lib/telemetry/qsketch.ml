@@ -1,0 +1,157 @@
+(* DDSketch-style log-bucketed quantile estimator. Bucket i (1-based)
+   covers (2^((i-1-zero)/sub), 2^((i-zero)/sub)] with sub = 16 buckets
+   per octave over exponents [-32, 32]; bucket 0 is the underflow bin
+   (v <= 2^-32, including zero and negatives). Integer bucket sums make
+   merge exactly commutative/associative, which the mergeability tests
+   rely on bit-for-bit. *)
+
+let sub = 16
+let min_exp = -32
+let max_exp = 32
+let n_log_buckets = (max_exp - min_exp) * sub + 1
+let n_buckets = n_log_buckets + 1 (* + underflow bin at index 0 *)
+let lo_cut = Float.pow 2.0 (float_of_int min_exp)
+let relative_error = Float.pow 2.0 (1.0 /. float_of_int (2 * sub)) -. 1.0
+
+type t = {
+  mutable q_count : int;
+  mutable q_sum : float;
+  mutable q_min : float; (* infinity when empty *)
+  mutable q_max : float; (* neg_infinity when empty *)
+  q_buckets : int array; (* length n_buckets, fixed *)
+}
+
+let create () =
+  { q_count = 0; q_sum = 0.0; q_min = infinity; q_max = neg_infinity;
+    q_buckets = Array.make n_buckets 0 }
+
+let copy t =
+  { q_count = t.q_count; q_sum = t.q_sum; q_min = t.q_min; q_max = t.q_max;
+    q_buckets = Array.copy t.q_buckets }
+
+let bucket_of v =
+  if not (v > lo_cut) then 0 (* catches <=, nan *)
+  else begin
+    (* ceil(sub * log2 v) maps (2^((i-1)/sub), 2^(i/sub)] -> i *)
+    let i = int_of_float (Float.ceil (float_of_int sub *. Float.log2 v)) in
+    let idx = i - (min_exp * sub) + 1 in
+    if idx < 1 then 1 else if idx >= n_buckets then n_buckets - 1 else idx
+  end
+
+(* Bucket idx holds i = ceil(sub * log2 v) = idx - 1 + min_exp*sub, i.e.
+   log2 v in ((i-1)/sub, i/sub]; the geometric midpoint is 2^((i-0.5)/sub). *)
+let value_of idx =
+  if idx = 0 then 0.0
+  else Float.pow 2.0 ((float_of_int (idx - 1 + (min_exp * sub)) -. 0.5) /. float_of_int sub)
+
+let add t v =
+  t.q_count <- t.q_count + 1;
+  t.q_sum <- t.q_sum +. v;
+  if v < t.q_min then t.q_min <- v;
+  if v > t.q_max then t.q_max <- v;
+  let b = bucket_of v in
+  t.q_buckets.(b) <- t.q_buckets.(b) + 1
+
+let count t = t.q_count
+let sum t = t.q_sum
+let min_v t = if t.q_count = 0 then 0.0 else t.q_min
+let max_v t = if t.q_count = 0 then 0.0 else t.q_max
+
+let merge dst src =
+  dst.q_count <- dst.q_count + src.q_count;
+  dst.q_sum <- dst.q_sum +. src.q_sum;
+  if src.q_min < dst.q_min then dst.q_min <- src.q_min;
+  if src.q_max > dst.q_max then dst.q_max <- src.q_max;
+  for i = 0 to n_buckets - 1 do
+    dst.q_buckets.(i) <- dst.q_buckets.(i) + src.q_buckets.(i)
+  done
+
+let diff cur base =
+  let d = create () in
+  d.q_count <- max 0 (cur.q_count - base.q_count);
+  d.q_sum <- cur.q_sum -. base.q_sum;
+  let lo = ref max_int and hi = ref (-1) in
+  for i = 0 to n_buckets - 1 do
+    let c = cur.q_buckets.(i) - base.q_buckets.(i) in
+    let c = if c < 0 then 0 else c in
+    d.q_buckets.(i) <- c;
+    if c > 0 then begin
+      if i < !lo then lo := i;
+      if i > !hi then hi := i
+    end
+  done;
+  if !hi >= 0 then begin
+    (* Window extremes from the outermost nonempty buckets. The true
+       extreme lies somewhere in its bucket, so the geometric midpoint —
+       not the edge, which can be a full bucket width off — keeps the
+       approximation within the relative-error bound. *)
+    d.q_min <- value_of !lo;
+    d.q_max <- value_of !hi
+  end;
+  d
+
+let quantile t q =
+  if t.q_count = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    (* nearest-rank on the merged bucket counts *)
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.q_count)) in
+    let rank = if rank < 1 then 1 else rank in
+    let cum = ref 0 and idx = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + t.q_buckets.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let v = value_of !idx in
+    if v < t.q_min then t.q_min else if v > t.q_max then t.q_max else v
+  end
+
+let live_words t = Obj.reachable_words (Obj.repr t)
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  let num v =
+    if Float.is_nan v || v = infinity || v = neg_infinity then "0"
+    else Printf.sprintf "%.17g" v
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"b\":["
+       t.q_count (num t.q_sum) (num (min_v t)) (num (max_v t)));
+  let first = ref true in
+  for i = 0 to n_buckets - 1 do
+    if t.q_buckets.(i) <> 0 then begin
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf (Printf.sprintf "[%d,%d]" i t.q_buckets.(i))
+    end
+  done;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let of_json j =
+  let fail () = failwith "Qsketch.of_json: not a serialized sketch" in
+  let num = function Some (Json_lite.Num n) -> n | _ -> fail () in
+  let t = create () in
+  t.q_count <- int_of_float (num (Json_lite.member "count" j));
+  t.q_sum <- num (Json_lite.member "sum" j);
+  (match Json_lite.member "b" j with
+  | Some (Json_lite.Arr pairs) ->
+    List.iter
+      (function
+        | Json_lite.Arr [ Json_lite.Num i; Json_lite.Num c ] ->
+          let i = int_of_float i in
+          if i < 0 || i >= n_buckets then fail ();
+          t.q_buckets.(i) <- t.q_buckets.(i) + int_of_float c
+        | _ -> fail ())
+      pairs
+  | _ -> fail ());
+  if t.q_count > 0 then begin
+    t.q_min <- num (Json_lite.member "min" j);
+    t.q_max <- num (Json_lite.member "max" j)
+  end;
+  t

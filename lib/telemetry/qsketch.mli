@@ -1,0 +1,75 @@
+(** Bounded-memory mergeable quantile estimator (DDSketch-style
+    log-bucketed histogram, after OnlineStatsBase's weighted/mergeable
+    reducer design).
+
+    Samples land in geometric buckets with ratio [gamma = 2^(1/16)]
+    (16 buckets per octave). A quantile query returns the geometric
+    midpoint of the bucket holding that rank, so every reported quantile
+    [q] satisfies the {b relative-error bound}
+
+      [|q_est - q_true| <= relative_error *. q_true]
+
+    with [relative_error = sqrt gamma - 1.0 ~= 2.2%], for any positive
+    sample whose magnitude lies in [2^-32 .. 2^32] (seconds-scale
+    latencies span maybe 1e-7..1e4; the range is absurdly generous).
+    Values below the range — including zero and negatives — collapse
+    into an underflow bucket reported as the exact tracked minimum;
+    values above clamp into the top bucket.
+
+    The state is a fixed [int array] plus four scalars: O(1) per
+    estimator, independent of sample count, so a long-running serving
+    worker can feed it forever. Merging adds bucket counts pointwise —
+    an exactly commutative and associative integer sum — so merged
+    results are bit-for-bit independent of merge order, and a windowed
+    delta is just a bucket-wise subtraction ({!diff}). *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val add : t -> float -> unit
+(** O(1): one bucket increment plus scalar updates. *)
+
+val count : t -> int
+val sum : t -> float
+
+val min_v : t -> float
+(** Exact tracked minimum; [0.0] when empty. *)
+
+val max_v : t -> float
+(** Exact tracked maximum; [0.0] when empty. *)
+
+val merge : t -> t -> unit
+(** [merge dst src] accumulates [src] into [dst] (bucket-wise integer
+    add; min/max combine). [src] is not modified. *)
+
+val diff : t -> t -> t
+(** [diff cur base] is the window of samples seen by [cur] after [base]
+    was captured ([base] must be an earlier copy of the same stream, or
+    a bucket-wise lower bound — counts are clamped at zero defensively).
+    Quantiles/count/sum of the returned sketch describe only the window.
+    Window min/max are not recoverable exactly from a subtraction; they
+    are approximated by the geometric midpoints of the outermost
+    nonempty buckets (within the relative-error bound of the true
+    window extremes, which lie somewhere in those buckets). *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]; [0.0] when empty. Monotone in [q];
+    clamped to the tracked [min_v]/[max_v]. *)
+
+val relative_error : float
+(** The documented accuracy bound of {!quantile}: [sqrt gamma - 1.0]. *)
+
+val live_words : t -> int
+(** Heap words reachable from the sketch (constant by construction;
+    exposed so the bounded-memory test can assert it stays flat). *)
+
+val to_json : t -> string
+(** Compact JSON object: [{"count":..,"sum":..,"min":..,"max":..,
+    "b":[[bucket,count],...]}] — only nonzero buckets are listed, so
+    idle metrics serialize small. Round-trips through {!of_json}. *)
+
+val of_json : Json_lite.t -> t
+(** Inverse of {!to_json} (parsed with {!Json_lite}).
+    @raise Failure on a value that is not a serialized sketch. *)

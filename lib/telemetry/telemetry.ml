@@ -2,9 +2,16 @@
    the calling domain's buffers, so pool workers never contend or race
    (PR 1's global Cost arrays dropped increments under ACE_DOMAINS>1).
    Readers merge the shard registry, which only ever grows — a domain's
-   data outlives the domain, so resizing the pool loses nothing. *)
+   data outlives the domain, so resizing the pool loses nothing.
 
-let schema_version = 1
+   Quantiles come from Qsketch: a bounded, mergeable log-bucket estimator
+   (O(1) state per metric per shard, ~2.2% relative error). Merging is a
+   commutative integer bucket sum, so snapshots are independent of shard
+   enumeration order and windowed deltas are bucket-wise subtractions —
+   a long-running serving process reports periodically without the
+   unbounded reservoirs or the reset_metrics races of the PR 3 design. *)
+
+let schema_version = 2
 
 let epoch_s = Unix.gettimeofday ()
 let to_rel_us t = (t -. epoch_s) *. 1e6
@@ -45,21 +52,16 @@ let registered_metrics () =
   Mutex.unlock registry_m;
   List.sort compare l
 
+let num_metrics () =
+  Mutex.lock registry_m;
+  let n = !next_metric in
+  Mutex.unlock registry_m;
+  n
+
 (* ---------- shards ---------- *)
 
-let reservoir_cap = 512
 let event_cap = 262_144
 let flight_cap = 1_048_576
-
-type histo = {
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-  h_res : float array;
-  mutable h_seen : int;
-  mutable h_rng : int; (* deterministic per-shard LCG for reservoir sampling *)
-}
 
 type event = {
   ev_tid : int;
@@ -73,6 +75,7 @@ type event = {
 type flight_record = {
   fl_seq : int;
   fl_op : string;
+  fl_degree : int;
   fl_level : int;
   fl_limbs : int;
   fl_scale_bits : float;
@@ -82,12 +85,12 @@ type flight_record = {
 let dummy_event = { ev_tid = 0; ev_name = ""; ev_cat = ""; ev_ts_us = 0.0; ev_dur_us = 0.0; ev_args = [] }
 
 let dummy_flight =
-  { fl_seq = 0; fl_op = ""; fl_level = 0; fl_limbs = 0; fl_scale_bits = 0.0; fl_budget_bits = 0.0 }
+  { fl_seq = 0; fl_op = ""; fl_degree = 1; fl_level = 0; fl_limbs = 0; fl_scale_bits = 0.0; fl_budget_bits = 0.0 }
 
 type shard = {
   sh_id : int;
   mutable sh_counts : int array; (* indexed by metric id *)
-  mutable sh_histos : histo option array;
+  mutable sh_sketches : Qsketch.t option array;
   mutable sh_events : event array; (* filled prefix [0, sh_ev_len) *)
   mutable sh_ev_len : int;
   mutable sh_ev_dropped : int;
@@ -108,7 +111,7 @@ let shard_key : shard Domain.DLS.key =
         {
           sh_id = id;
           sh_counts = Array.make 32 0;
-          sh_histos = Array.make 32 None;
+          sh_sketches = Array.make 32 None;
           sh_events = [||];
           sh_ev_len = 0;
           sh_ev_dropped = 0;
@@ -136,27 +139,17 @@ let ensure_metric sh id =
     Array.blit sh.sh_counts 0 c 0 n;
     sh.sh_counts <- c;
     let h = Array.make n' None in
-    Array.blit sh.sh_histos 0 h 0 n;
-    sh.sh_histos <- h
+    Array.blit sh.sh_sketches 0 h 0 n;
+    sh.sh_sketches <- h
   end
 
-let histo_for sh id =
-  match sh.sh_histos.(id) with
-  | Some h -> h
+let sketch_for sh id =
+  match sh.sh_sketches.(id) with
+  | Some q -> q
   | None ->
-    let h =
-      {
-        h_count = 0;
-        h_sum = 0.0;
-        h_min = infinity;
-        h_max = neg_infinity;
-        h_res = Array.make reservoir_cap 0.0;
-        h_seen = 0;
-        h_rng = ((id * 2654435761) lxor ((sh.sh_id + 1) * 40503)) lor 1;
-      }
-    in
-    sh.sh_histos.(id) <- Some h;
-    h
+    let q = Qsketch.create () in
+    sh.sh_sketches.(id) <- Some q;
+    q
 
 let incr m =
   let sh = my_shard () in
@@ -166,40 +159,39 @@ let incr m =
 let observe m v =
   let sh = my_shard () in
   ensure_metric sh m;
-  let h = histo_for sh m in
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  (* Vitter's algorithm R with a per-shard deterministic LCG, in the spirit
-     of streaming OnlineStats reducers: O(1) per sample, bounded memory. *)
-  if h.h_seen < reservoir_cap then h.h_res.(h.h_seen) <- v
-  else begin
-    h.h_rng <- ((h.h_rng * 0x5DEECE66D) + 0xB) land max_int;
-    let j = h.h_rng mod (h.h_seen + 1) in
-    if j < reservoir_cap then h.h_res.(j) <- v
-  end;
-  h.h_seen <- h.h_seen + 1
+  Qsketch.add (sketch_for sh m) v
 
 let count_of m =
   List.fold_left
     (fun acc sh -> if m < Array.length sh.sh_counts then acc + sh.sh_counts.(m) else acc)
     0 (shards ())
 
-let fold_histos m ~init ~f =
+let fold_sketches m ~init ~f =
   List.fold_left
     (fun acc sh ->
-      if m < Array.length sh.sh_histos then
-        match sh.sh_histos.(m) with Some h -> f acc h | None -> acc
+      if m < Array.length sh.sh_sketches then
+        match sh.sh_sketches.(m) with Some q -> f acc q | None -> acc
       else acc)
     init (shards ())
 
-let sum_of m = fold_histos m ~init:0.0 ~f:(fun acc h -> acc +. h.h_sum)
+let sum_of m = fold_sketches m ~init:0.0 ~f:(fun acc q -> acc +. Qsketch.sum q)
+
+(* Merged view of one metric's shard sketches; None when no shard ever
+   observed it. Shard order does not matter: bucket sums commute. *)
+let merged_sketch m =
+  fold_sketches m ~init:None ~f:(fun acc q ->
+      match acc with
+      | None -> Some (Qsketch.copy q)
+      | Some dst ->
+        Qsketch.merge dst q;
+        Some dst)
 
 let metric_names () =
   List.filter_map
     (fun (name, id) ->
-      let active = count_of id > 0 || fold_histos id ~init:0 ~f:(fun a h -> a + h.h_count) > 0 in
+      let active =
+        count_of id > 0 || fold_sketches id ~init:0 ~f:(fun a q -> a + Qsketch.count q) > 0
+      in
       if active then Some name else None)
     (registered_metrics ())
 
@@ -314,11 +306,11 @@ let push_flight sh fr =
     sh.sh_fl_len <- sh.sh_fl_len + 1
   end
 
-let flight_record ~op ~level ~limbs ~scale_bits ~budget_bits =
+let flight_record ~op ?(degree = 1) ~level ~limbs ~scale_bits ~budget_bits () =
   if Atomic.get flight_flag then begin
     let seq = Atomic.fetch_and_add flight_seq 1 in
     push_flight (my_shard ())
-      { fl_seq = seq; fl_op = op; fl_level = level; fl_limbs = limbs;
+      { fl_seq = seq; fl_op = op; fl_degree = degree; fl_level = level; fl_limbs = limbs;
         fl_scale_bits = scale_bits; fl_budget_bits = budget_bits }
   end
 
@@ -328,7 +320,7 @@ let flight_records () =
   in
   List.sort (fun a b -> compare a.fl_seq b.fl_seq) recs
 
-(* ---------- snapshot ---------- *)
+(* ---------- snapshot / windows ---------- *)
 
 type metric_stats = {
   st_name : string;
@@ -338,43 +330,86 @@ type metric_stats = {
   st_max : float;
   st_p50 : float;
   st_p99 : float;
+  st_p999 : float;
 }
 
 type snapshot = { snap_domains : int; snap_metrics : metric_stats list; snap_dropped : int }
 
-let quantile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+(* A window baseline: merged counters and sketches captured at one moment,
+   indexed by metric id. Deltas subtract it bucket-wise — no reset, so
+   concurrent recorders are never raced. *)
+type window = {
+  w_counts : int array;
+  w_sketches : Qsketch.t option array;
+  w_dropped : int;
+}
 
-let stats_of (name, id) =
-  let count = count_of id in
-  let samples =
-    fold_histos id ~init:[] ~f:(fun acc h ->
-        Array.to_list (Array.sub h.h_res 0 (min h.h_seen reservoir_cap)) @ acc)
+let capture_window () =
+  let n = num_metrics () in
+  {
+    w_counts = Array.init n count_of;
+    w_sketches = Array.init n merged_sketch;
+    w_dropped = dropped_events ();
+  }
+
+let baseline = capture_window
+
+let window_get w id =
+  if id < Array.length w.w_counts then (w.w_counts.(id), w.w_sketches.(id)) else (0, None)
+
+let empty_window = { w_counts = [||]; w_sketches = [||]; w_dropped = 0 }
+
+let stats_of_sketch ~name ~count q =
+  let scount = match q with Some q -> Qsketch.count q | None -> 0 in
+  if count = 0 && scount = 0 then None
+  else
+    match q with
+    | Some q when Qsketch.count q > 0 ->
+      Some
+        {
+          st_name = name;
+          st_count = max count scount;
+          st_total = Qsketch.sum q;
+          st_min = Qsketch.min_v q;
+          st_max = Qsketch.max_v q;
+          st_p50 = Qsketch.quantile q 0.5;
+          st_p99 = Qsketch.quantile q 0.99;
+          st_p999 = Qsketch.quantile q 0.999;
+        }
+    | _ ->
+      Some
+        {
+          st_name = name;
+          st_count = count;
+          st_total = 0.0;
+          st_min = 0.0;
+          st_max = 0.0;
+          st_p50 = 0.0;
+          st_p99 = 0.0;
+          st_p999 = 0.0;
+        }
+
+(* Delta of one metric between a baseline window and a current capture. *)
+let delta_metric base cur (name, id) =
+  let bc, bq = window_get base id in
+  let cc, cq = window_get cur id in
+  let dq =
+    match (cq, bq) with
+    | None, _ -> None
+    | Some c, None -> Some (Qsketch.copy c)
+    | Some c, Some b -> if Qsketch.count b = 0 then Some (Qsketch.copy c) else Some (Qsketch.diff c b)
   in
-  let hcount = fold_histos id ~init:0 ~f:(fun a h -> a + h.h_count) in
-  if count = 0 && hcount = 0 then None
-  else begin
-    let sorted = Array.of_list samples in
-    Array.sort compare sorted;
-    Some
-      {
-        st_name = name;
-        st_count = max count hcount;
-        st_total = sum_of id;
-        st_min = (if hcount = 0 then 0.0 else fold_histos id ~init:infinity ~f:(fun a h -> min a h.h_min));
-        st_max = (if hcount = 0 then 0.0 else fold_histos id ~init:neg_infinity ~f:(fun a h -> max a h.h_max));
-        st_p50 = quantile sorted 0.5;
-        st_p99 = quantile sorted 0.99;
-      }
-  end
+  stats_of_sketch ~name ~count:(max 0 (cc - bc)) dq
 
-let snapshot () =
+let snapshot_since w =
+  let cur = capture_window () in
   {
     snap_domains = List.length (shards ());
-    snap_metrics = List.filter_map stats_of (registered_metrics ());
-    snap_dropped = dropped_events ();
+    snap_metrics = List.filter_map (delta_metric w cur) (registered_metrics ());
+    snap_dropped = max 0 (cur.w_dropped - w.w_dropped);
   }
+
+let snapshot () = snapshot_since empty_window
 
 let find_stats snap name = List.find_opt (fun s -> s.st_name = name) snap.snap_metrics
 
@@ -399,13 +434,14 @@ let json_num v =
   (* JSON has no infinities; clamp sentinel min/max of empty histograms. *)
   if Float.is_nan v || v = infinity || v = neg_infinity then "0" else Printf.sprintf "%.6g" v
 
-let to_json () =
-  let snap = snapshot () in
+let snapshot_json snap =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"schema_version\": %d,\n" schema_version);
   Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" snap.snap_domains);
   Buffer.add_string buf (Printf.sprintf "  \"dropped_events\": %d,\n" snap.snap_dropped);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quantile_relative_error\": %s,\n" (json_num Qsketch.relative_error));
   Buffer.add_string buf "  \"metrics\": {";
   List.iteri
     (fun i s ->
@@ -417,17 +453,20 @@ let to_json () =
         Buffer.add_string buf
           (Printf.sprintf
              "\n    \"%s\": {\"count\": %d, \"total_s\": %s, \"min_s\": %s, \"max_s\": %s, \
-              \"p50_s\": %s, \"p99_s\": %s}"
+              \"p50_s\": %s, \"p99_s\": %s, \"p999_s\": %s}"
              (json_escape s.st_name) s.st_count (json_num s.st_total) (json_num s.st_min)
-             (json_num s.st_max) (json_num s.st_p50) (json_num s.st_p99)))
+             (json_num s.st_max) (json_num s.st_p50) (json_num s.st_p99) (json_num s.st_p999)))
     snap.snap_metrics;
   Buffer.add_string buf "\n  }\n}\n";
   Buffer.contents buf
+
+let to_json () = snapshot_json (snapshot ())
 
 let trace_json () =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"schemaVersion\": ";
   Buffer.add_string buf (string_of_int schema_version);
+  Buffer.add_string buf (Printf.sprintf ", \"droppedEvents\": %d" (dropped_events ()));
   Buffer.add_string buf ", \"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   List.iteri
     (fun i ev ->
@@ -456,14 +495,124 @@ let write_trace path =
   output_string oc (trace_json ());
   close_out oc
 
+(* ---------- periodic JSONL metrics flush ---------- *)
+
+(* One line per flush: the WINDOW since the previous flush, as counter
+   deltas plus serialized sketches. Sketch lines are mergeable across
+   flushes, shards and processes (tools/ace_report.exe does exactly
+   that), so a fleet's JSONL files aggregate to exact counts/sums and
+   within-bound quantiles. All flush state lives behind [flush_m]; the
+   flusher runs on its own domain so serving work is never blocked. *)
+
+let flush_m = Mutex.create ()
+let flush_stop = Atomic.make false
+let flush_domain : unit Domain.t option ref = ref None
+let flush_base = ref empty_window
+let flush_seq = ref 0
+let flush_path = ref ""
+
+let flush_line_locked () =
+  let cur = capture_window () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema_version\":%d,\"ts\":%.6f,\"pid\":%d,\"seq\":%d,\"dropped_events\":%d,\"metrics\":{"
+       schema_version (Unix.gettimeofday ()) (Unix.getpid ()) !flush_seq
+       (max 0 (cur.w_dropped - !flush_base.w_dropped)));
+  let first = ref true in
+  List.iter
+    (fun (name, id) ->
+      let bc, bq = window_get !flush_base id in
+      let cc, cq = window_get cur id in
+      let dcount = max 0 (cc - bc) in
+      let dq =
+        match (cq, bq) with
+        | None, _ -> None
+        | Some c, None -> Some (Qsketch.copy c)
+        | Some c, Some b ->
+          if Qsketch.count b = 0 then Some (Qsketch.copy c) else Some (Qsketch.diff c b)
+      in
+      let has_samples = match dq with Some q -> Qsketch.count q > 0 | None -> false in
+      if dcount > 0 || has_samples then begin
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf (Printf.sprintf "\"%s\":{\"count\":%d" (json_escape name) dcount);
+        (match dq with
+        | Some q when Qsketch.count q > 0 ->
+          Buffer.add_string buf ",\"sketch\":";
+          Buffer.add_string buf (Qsketch.to_json q)
+        | _ -> ());
+        Buffer.add_char buf '}'
+      end)
+    (registered_metrics ());
+  Buffer.add_string buf "}}\n";
+  flush_base := cur;
+  flush_seq := !flush_seq + 1;
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 !flush_path
+  in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let flush_now () =
+  Mutex.lock flush_m;
+  let have_path = !flush_path <> "" in
+  (try if have_path then flush_line_locked ()
+   with e ->
+     Mutex.unlock flush_m;
+     raise e);
+  Mutex.unlock flush_m
+
+let flusher_loop interval =
+  let slice = 0.05 in
+  let rec go () =
+    if not (Atomic.get flush_stop) then begin
+      let remaining = ref interval in
+      while !remaining > 0.0 && not (Atomic.get flush_stop) do
+        let dt = if !remaining < slice then !remaining else slice in
+        Unix.sleepf dt;
+        remaining := !remaining -. dt
+      done;
+      if not (Atomic.get flush_stop) then begin
+        (try flush_now () with _ -> ());
+        go ()
+      end
+    end
+  in
+  go ()
+
+let stop_metrics_flush () =
+  match !flush_domain with
+  | None -> ()
+  | Some d ->
+    Atomic.set flush_stop true;
+    Domain.join d;
+    flush_domain := None;
+    (try flush_now () with _ -> ());
+    Atomic.set flush_stop false
+
+let metrics_flush ~interval ~path =
+  if interval <= 0.0 then invalid_arg "Telemetry.metrics_flush: interval must be > 0";
+  stop_metrics_flush ();
+  Mutex.lock flush_m;
+  flush_path := path;
+  flush_base := capture_window ();
+  Mutex.unlock flush_m;
+  flush_domain := Some (Domain.spawn (fun () -> flusher_loop interval))
+
+let metrics_flush_active () = !flush_domain <> None
+
 (* ---------- reset ---------- *)
 
 let reset_metrics () =
   List.iter
     (fun sh ->
       Array.fill sh.sh_counts 0 (Array.length sh.sh_counts) 0;
-      Array.fill sh.sh_histos 0 (Array.length sh.sh_histos) None)
-    (shards ())
+      Array.fill sh.sh_sketches 0 (Array.length sh.sh_sketches) None)
+    (shards ());
+  (* a pre-reset flush baseline would produce negative (clamped) windows *)
+  Mutex.lock flush_m;
+  flush_base := empty_window;
+  Mutex.unlock flush_m
 
 let reset_trace () =
   List.iter
@@ -490,7 +639,20 @@ let () =
   let flight = truthy (Sys.getenv_opt "ACE_FLIGHT") in
   if trace <> None || metrics || flight then
     configure { cfg_trace = trace; cfg_metrics_dump = metrics; cfg_flight = flight };
+  (match Sys.getenv_opt "ACE_METRICS_INTERVAL" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some dt when dt > 0.0 ->
+      let path =
+        match Sys.getenv_opt "ACE_METRICS_PATH" with
+        | Some p when String.trim p <> "" -> p
+        | _ -> "ace_metrics.jsonl"
+      in
+      metrics_flush ~interval:dt ~path
+    | _ -> invalid_arg ("ACE_METRICS_INTERVAL must be a positive number of seconds, got " ^ s))
+  | None -> ());
   at_exit (fun () ->
+      (try stop_metrics_flush () with _ -> ());
       (match !trace_path with
       | Some p -> ( try write_trace p with _ -> ())
       | None -> ());

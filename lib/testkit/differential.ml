@@ -84,8 +84,17 @@ let run_case ~scheduler ~domains case =
   let ct_out = Pipeline.run_encrypted ~scheduler case.compiled case.keys ~seed:8 ct in
   let output = Pipeline.decrypt_output case.compiled case.keys ct_out in
   let min_budget_bits =
+    (* Degree-2 records (anything touched inside a lazy-relin region) and
+       the relinearization closing it carry the s^2-term penalty (see
+       Eval.record_flight): they describe transient Cipher3 headroom, not
+       a state the decryptor ever sees — the decode tolerance is governed
+       by decryptable degree-1 records, so the penalized records are
+       excluded here (the flight-monotonicity test in test_telemetry
+       covers them). *)
     List.fold_left
-      (fun acc (r : Telemetry.flight_record) -> min acc r.Telemetry.fl_budget_bits)
+      (fun acc (r : Telemetry.flight_record) ->
+        if r.Telemetry.fl_degree >= 2 || r.Telemetry.fl_op = "relinearize" then acc
+        else min acc r.Telemetry.fl_budget_bits)
       infinity (Telemetry.flight_records ())
   in
   let worst_against reference =

@@ -1,0 +1,176 @@
+(* Merge JSONL metric snapshots flushed by Ace_telemetry's periodic
+   flusher (ACE_METRICS_INTERVAL) into one cross-process report. Each
+   input line is a disjoint window — counter deltas plus serialized
+   Qsketch states — so summing counts and merging sketches recovers the
+   union stream exactly (bucket sums are commutative integer adds; the
+   result is independent of file order and of how work was sharded
+   across processes).
+
+     ace_report FILE.jsonl [FILE.jsonl ...]
+                [--require NAME]        fail unless metric NAME was seen
+                [--require-prefix P]    fail unless some metric starts with P
+                [--min-count NAME N]    fail unless NAME's count >= N
+                [--json]                machine-readable merged output
+
+   The default output is one line per metric: count, sum, and p50/p99/
+   p999 from the merged sketch. Gate flags exit nonzero with a message
+   on stderr, so CI can assert on flushed telemetry without a JSON
+   parser in shell. *)
+
+module Json = Ace_telemetry.Json_lite
+module Qsketch = Ace_telemetry.Qsketch
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("ace_report: " ^ m); exit 1) fmt
+
+type acc = { mutable a_count : int; mutable a_sketch : Qsketch.t option }
+
+let () =
+  let files = ref [] in
+  let required = ref [] in
+  let required_prefixes = ref [] in
+  let min_counts = ref [] in
+  let json_out = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--require" :: name :: rest ->
+      required := name :: !required;
+      parse_args rest
+    | "--require-prefix" :: p :: rest ->
+      required_prefixes := p :: !required_prefixes;
+      parse_args rest
+    | "--min-count" :: name :: n :: rest ->
+      min_counts := (name, int_of_string n) :: !min_counts;
+      parse_args rest
+    | "--json" :: rest ->
+      json_out := true;
+      parse_args rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+      files := arg :: !files;
+      parse_args rest
+    | arg :: _ -> die "unknown argument %s" arg
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  if files = [] then die "usage: ace_report FILE.jsonl [...]";
+  let metrics : (string, acc) Hashtbl.t = Hashtbl.create 64 in
+  let lines = ref 0 in
+  let dropped = ref 0 in
+  let merge_line path lineno line =
+    if String.trim line <> "" then begin
+      let doc =
+        try Json.parse line
+        with Json.Parse_error m -> die "%s:%d: bad JSON: %s" path lineno m
+      in
+      (match Json.member "schema_version" doc with
+      | Some (Json.Num v) when int_of_float v = Ace_telemetry.Telemetry.schema_version -> ()
+      | Some (Json.Num v) ->
+        die "%s:%d: schema_version %d, this tool speaks %d" path lineno (int_of_float v)
+          Ace_telemetry.Telemetry.schema_version
+      | _ -> die "%s:%d: no schema_version — not a metrics flush line" path lineno);
+      (match Json.member "dropped_events" doc with
+      | Some (Json.Num n) -> dropped := !dropped + int_of_float n
+      | _ -> ());
+      (match Json.member "metrics" doc with
+      | Some (Json.Obj entries) ->
+        List.iter
+          (fun (name, entry) ->
+            let acc =
+              match Hashtbl.find_opt metrics name with
+              | Some a -> a
+              | None ->
+                let a = { a_count = 0; a_sketch = None } in
+                Hashtbl.add metrics name a;
+                a
+            in
+            (match Json.member "count" entry with
+            | Some (Json.Num c) -> acc.a_count <- acc.a_count + int_of_float c
+            | _ -> die "%s:%d: metric %s has no count" path lineno name);
+            match Json.member "sketch" entry with
+            | Some sk ->
+              let q =
+                try Qsketch.of_json sk
+                with Failure m -> die "%s:%d: metric %s: %s" path lineno name m
+              in
+              (match acc.a_sketch with
+              | None -> acc.a_sketch <- Some q
+              | Some dst -> Qsketch.merge dst q)
+            | None -> ())
+          entries
+      | _ -> die "%s:%d: no metrics object" path lineno);
+      incr lines
+    end
+  in
+  List.iter
+    (fun path ->
+      let ic = try open_in path with Sys_error m -> die "%s" m in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           merge_line path !lineno (input_line ic)
+         done
+       with End_of_file -> ());
+      close_in ic)
+    files;
+  if !lines = 0 then die "no flush lines in %s" (String.concat ", " files);
+  let rows =
+    List.sort compare (Hashtbl.fold (fun name acc l -> (name, acc) :: l) metrics [])
+  in
+  let sample_count a = match a.a_sketch with Some q -> Qsketch.count q | None -> 0 in
+  let effective_count a = max a.a_count (sample_count a) in
+  (* gates before output, so a failing CI step says why *)
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem metrics name) then die "required metric %s never flushed" name)
+    !required;
+  List.iter
+    (fun p ->
+      let n = String.length p in
+      let hit =
+        List.exists (fun (name, _) -> String.length name >= n && String.sub name 0 n = p) rows
+      in
+      if not hit then die "no flushed metric matches prefix %s" p)
+    !required_prefixes;
+  List.iter
+    (fun (name, floor) ->
+      match Hashtbl.find_opt metrics name with
+      | None -> die "metric %s never flushed (need count >= %d)" name floor
+      | Some a ->
+        if effective_count a < floor then
+          die "metric %s: count %d < required %d" name (effective_count a) floor)
+    !min_counts;
+  if !json_out then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"schema_version\":%d,\"lines\":%d,\"dropped_events\":%d,\"metrics\":{"
+         Ace_telemetry.Telemetry.schema_version !lines !dropped);
+    List.iteri
+      (fun i (name, a) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":{\"count\":%d" (String.escaped name) a.a_count);
+        (match a.a_sketch with
+        | Some q when Qsketch.count q > 0 ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\"samples\":%d,\"sum\":%.6f,\"min\":%.6f,\"max\":%.6f,\"p50\":%.6f,\"p99\":%.6f,\"p999\":%.6f"
+               (Qsketch.count q) (Qsketch.sum q) (Qsketch.min_v q) (Qsketch.max_v q)
+               (Qsketch.quantile q 0.5) (Qsketch.quantile q 0.99) (Qsketch.quantile q 0.999))
+        | _ -> ());
+        Buffer.add_char buf '}')
+      rows;
+    Buffer.add_string buf "}}";
+    print_endline (Buffer.contents buf)
+  end
+  else begin
+    Printf.printf "ace_report: %d flush lines from %d file(s), %d metrics, %d dropped events\n"
+      !lines (List.length files) (List.length rows) !dropped;
+    List.iter
+      (fun (name, a) ->
+        match a.a_sketch with
+        | Some q when Qsketch.count q > 0 ->
+          Printf.printf "  %-32s count=%-8d samples=%-8d p50=%-12.4f p99=%-12.4f p999=%-12.4f\n"
+            name a.a_count (Qsketch.count q) (Qsketch.quantile q 0.5) (Qsketch.quantile q 0.99)
+            (Qsketch.quantile q 0.999)
+        | _ -> Printf.printf "  %-32s count=%-8d\n" name a.a_count)
+      rows
+  end

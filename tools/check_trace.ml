@@ -14,8 +14,13 @@
    across traces (CI asserts the fhe.relinearize count drops between an
    ACE_LAZY=0 and an ACE_LAZY=1 run of the same model).
 
+   --no-drops fails the check when the trace's top-level droppedEvents
+   member is nonzero (a shard's span buffer hit its cap, so the artifact
+   is silently truncated). Traces from before the member existed count
+   as zero drops.
+
      check_trace TRACE.json [--min-tids N] [--min-tids-for PREFIX N]
-                 [--require NAME] [--count-of NAME] *)
+                 [--require NAME] [--count-of NAME] [--no-drops] *)
 
 module Json = Ace_telemetry.Json_lite
 
@@ -27,6 +32,7 @@ let () =
   let min_tids_for = ref [] in
   let required = ref [] in
   let count_of = ref None in
+  let no_drops = ref false in
   let rec parse_args = function
     | [] -> ()
     | "--min-tids" :: v :: rest ->
@@ -40,6 +46,9 @@ let () =
       parse_args rest
     | "--count-of" :: name :: rest ->
       count_of := Some name;
+      parse_args rest
+    | "--no-drops" :: rest ->
+      no_drops := true;
       parse_args rest
     | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
       path := Some arg;
@@ -56,6 +65,16 @@ let () =
     | None -> die "%s: no traceEvents member" path
   in
   if events = [] then die "%s: empty traceEvents" path;
+  if !no_drops then begin
+    let dropped =
+      match Json.member "droppedEvents" doc with
+      | Some (Json.Num n) -> int_of_float n
+      | Some _ -> die "%s: droppedEvents is not a number" path
+      | None -> 0
+    in
+    if dropped > 0 then
+      die "%s: %d spans dropped (event buffer overflow) — trace is truncated" path dropped
+  end;
   let tids = Hashtbl.create 8 in
   let names = Hashtbl.create 64 in
   let prefix_tids =

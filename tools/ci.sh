@@ -25,7 +25,7 @@ for d in 1 4; do
   ACE_DOMAINS=$d ACE_TRACE="$trace" dune exec examples/quickstart.exe >/dev/null
   min_tids=1
   [ "$d" -ge 2 ] && min_tids=2
-  dune exec tools/check_trace.exe -- "$trace" --min-tids "$min_tids" \
+  dune exec tools/check_trace.exe -- "$trace" --min-tids "$min_tids" --no-drops \
     --require fhe.rotate --require key_switch.basis --require compile.ckks
 done
 
@@ -39,7 +39,7 @@ trace="/tmp/ace_trace_wavefront.json"
 rm -f "$trace"
 ACE_SCHED=wavefront ACE_DOMAINS=2 ACE_TRACE="$trace" \
   dune exec examples/quickstart.exe >/dev/null
-dune exec tools/check_trace.exe -- "$trace" --min-tids 2 \
+dune exec tools/check_trace.exe -- "$trace" --min-tids 2 --no-drops \
   --min-tids-for vm. 2 \
   --require sched.wavefront --require fhe.rotate --require compile.ckks
 
@@ -101,6 +101,28 @@ for op in fhe.rotate fhe.relinearize fhe.rescale fhe.bootstrap; do
     exit 1
   fi
 done
+
+# Serving-telemetry smoke: batched inference with the periodic JSONL
+# metrics flusher on.  ace_report merges the flushed windows back together
+# and gates on the new serving metrics: per-request amortized latency
+# spans at k=4 (one request.latency sample per request riding the
+# ciphertext) and non-empty cost-model calibration stats (calib.* filled
+# by the VM from Sched.node_cost predictions vs measured wall-clock).
+echo "== metrics flush smoke, ACE_BATCH=4 ACE_METRICS_INTERVAL=0.2 =="
+mfile="/tmp/ace_metrics_ci.jsonl"
+rm -f "$mfile"
+ACE_SCHED=wavefront ACE_BATCH=4 ACE_METRICS_INTERVAL=0.2 ACE_METRICS_PATH="$mfile" \
+  dune exec examples/batch_infer.exe >/dev/null
+dune exec tools/ace_report.exe -- "$mfile" \
+  --require request.latency --require request.per_ct \
+  --require-prefix calib. --require calib.wavefront \
+  --min-count request.latency 4 --min-count request.count 4
+
+# Cross-process merge: a second flushed run appends to the same JSONL (a
+# new pid); the merged report must cover both runs' requests.
+ACE_BATCH=4 ACE_METRICS_INTERVAL=0.2 ACE_METRICS_PATH="$mfile" \
+  dune exec examples/batch_infer.exe >/dev/null
+dune exec tools/ace_report.exe -- "$mfile" --min-count request.latency 8 >/dev/null
 
 # Complex packing smoke: the opt-in CKKS region pass (ACE_CPLX) packs two
 # request streams per slot — composed with the batch axis here (2x2 = 4
