@@ -606,22 +606,22 @@ let batch_bench () =
   let per_request = List.map (fun (k, t, _) -> (k, t /. float_of_int k)) rows in
   (json, op_invariant.contents && outputs_ok && ratio <= 0.25, per_request)
 
-(* ---------- --json: machine-readable artifact (BENCH_pr8.json) ---------- *)
+(* ---------- --json: machine-readable artifact (BENCH_pr9.json) ---------- *)
 
 (* One JSON blob per run so CI and the growth driver can diff numbers across
-   PRs without scraping the human tables. New in pr8: per-request amortized
-   latency at k in {1,4,8} (from the batch sweep), the cost-model
-   calibration table (calib.* metrics folded by Stats.calibration_of_
-   snapshot over the resnet20 inference window), the top-level
-   dropped_events count, and an instrumentation-overhead gate holding
-   fhe.rotate / fhe.relinearize p50 within 3% (plus the quantile sketch's
-   quantization) of the committed BENCH_pr7 artifact. Carried from pr7:
-   the slot-batching k-sweep with its invariance/latency gates, the
-   complex-packing pair, the scheduler sweep with efficiency-per-core,
-   lazy-pass rows, and the key-switch tail gate. *)
-let json_schema_version = 8
+   PRs without scraping the human tables. New in pr9: the steady-state GC
+   A/B (gc_steady_state) — a resident resnet20 runtime run with the slab
+   pool on and off, gated on a >= 5x drop in per-inference major-heap
+   words, bit-identical outputs, and a no-worse pooled fhe.add p999/p50
+   tail — plus the pool's own hit/miss/drop counters. Carried from pr8:
+   per-request amortized latency at k in {1,4,8}, the cost-model
+   calibration table, the dropped_events count, the instrumentation-
+   overhead gate against BENCH_pr7, the slot-batching k-sweep, the
+   scheduler sweep with efficiency-per-core, lazy-pass rows, and the
+   key-switch tail gate. *)
+let json_schema_version = 9
 
-let json_bench ?(path = "BENCH_pr8.json") () =
+let json_bench ?(path = "BENCH_pr9.json") () =
   let module Domain_pool = Ace_util.Domain_pool in
   let module Json = Ace_telemetry.Json_lite in
   let default_domains = Domain_pool.size () in
@@ -1062,10 +1062,73 @@ let json_bench ?(path = "BENCH_pr8.json") () =
   let busy_seq = busy_json ~domains:4 ~scheduler:Pipeline.Seq in
   let busy_wf = busy_json ~domains:4 ~scheduler:Pipeline.Wavefront in
   Domain_pool.set_num_domains default_domains;
+  (* PR9 steady-state GC A/B: a resident runtime (cached weight
+     plaintexts, persistent VM) re-running the same resnet20 inference is
+     the serving steady state; with the slab pool on, every ciphertext
+     buffer the run allocates should come back recycled. Gates: per-
+     inference major-heap words pooled must be >= [gc_ratio_bound]x
+     smaller than unpooled, outputs bit-identical, and the pooled fhe.add
+     tail (p999/p50) no worse than unpooled. Sequential at 1 domain — the
+     A/B isolates allocator behaviour, not scheduling. *)
+  let gc_ratio_bound = 5.0 in
+  let gc_reps = 3 in
+  let gc_measure ~pooled =
+    Ace_rns.Limb_pool.set_enabled pooled;
+    Domain_pool.set_num_domains 1;
+    let rt = Pipeline.make_runtime ~scheduler:Pipeline.Seq sweep_c sweep_keys ~seed:55 in
+    (* Warm run: fills the plaintext cache, the pool, and the keygen
+       memos, so the measured window is pure steady state. *)
+    let out = ref (Pipeline.run_encrypted_rt rt sweep_ct) in
+    Telemetry.reset_metrics ();
+    Ace_rns.Limb_pool.reset_stats ();
+    let g0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to gc_reps do
+      out := Pipeline.run_encrypted_rt rt sweep_ct
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int gc_reps in
+    let g1 = Gc.quick_stat () in
+    let per d = d /. float_of_int gc_reps in
+    let add_tail =
+      match Telemetry.find_stats (Telemetry.snapshot ()) "fhe.add" with
+      | Some s when s.Telemetry.st_p50 > 0.0 -> s.Telemetry.st_p999 /. s.Telemetry.st_p50
+      | _ -> 0.0
+    in
+    ( !out,
+      per (g1.Gc.major_words -. g0.Gc.major_words),
+      per (g1.Gc.minor_words -. g0.Gc.minor_words),
+      per (float_of_int (g1.Gc.major_collections - g0.Gc.major_collections)),
+      dt,
+      add_tail )
+  in
+  let pool_was = Ace_rns.Limb_pool.enabled () in
+  let out_on, major_on, minor_on, majcol_on, t_on, tail_on = gc_measure ~pooled:true in
+  let pool_stats = Ace_rns.Limb_pool.stats () in
+  let out_off, major_off, minor_off, majcol_off, t_off, tail_off =
+    gc_measure ~pooled:false
+  in
+  Ace_rns.Limb_pool.set_enabled pool_was;
+  Domain_pool.set_num_domains default_domains;
+  let gc_identical =
+    Array.for_all2 Ace_rns.Rns_poly.equal out_on.Ace_fhe.Ciphertext.polys
+      out_off.Ace_fhe.Ciphertext.polys
+  in
+  let gc_ratio = if major_on > 0.0 then major_off /. major_on else infinity in
+  Printf.printf
+    "gc A/B resnet20 (seq x%d): major w/infer on=%.3e off=%.3e (%.1fx, bound %.0fx), \
+     minor on=%.3e off=%.3e, major GCs/infer on=%.2f off=%.2f, %.2fs vs %.2fs, \
+     fhe.add p999/p50 on=%.2f off=%.2f, identical=%b\n%!"
+    gc_reps major_on major_off gc_ratio gc_ratio_bound minor_on minor_off majcol_on
+    majcol_off t_on t_off tail_on tail_off gc_identical;
+  Printf.printf
+    "pool steady state: slab hits=%d misses=%d releases=%d dropped=%d row hits=%d misses=%d\n%!"
+    pool_stats.Ace_rns.Limb_pool.slab_hits pool_stats.Ace_rns.Limb_pool.slab_misses
+    pool_stats.Ace_rns.Limb_pool.slab_releases pool_stats.Ace_rns.Limb_pool.slab_dropped
+    pool_stats.Ace_rns.Limb_pool.row_hits pool_stats.Ace_rns.Limb_pool.row_misses;
   let buf = Buffer.create 2048 in
   let obj rows = String.concat ", " rows in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr8-serving-telemetry\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr9-zero-alloc-steady-state\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"schema_version\": %d,\n" json_schema_version);
   Buffer.add_string buf (Printf.sprintf "  \"domains_default\": %d,\n" default_domains);
   Buffer.add_string buf (Printf.sprintf "  \"domains_parallel\": %d,\n" par_domains);
@@ -1123,6 +1186,24 @@ let json_bench ?(path = "BENCH_pr8.json") () =
              overhead_rows)));
   Buffer.add_string buf
     (Printf.sprintf "  \"dropped_events\": %d,\n" (Telemetry.dropped_events ()));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"gc_steady_state\": {\"model\": \"resnet20\", \"scheduler\": \"seq\", \
+        \"reps\": %d, \"pooled\": {\"major_words_per_infer\": %.1f, \
+        \"minor_words_per_infer\": %.1f, \"major_collections_per_infer\": %.3f, \
+        \"seconds_per_infer\": %.4f, \"fhe_add_p999_over_p50\": %.3f}, \
+        \"unpooled\": {\"major_words_per_infer\": %.1f, \"minor_words_per_infer\": %.1f, \
+        \"major_collections_per_infer\": %.3f, \"seconds_per_infer\": %.4f, \
+        \"fhe_add_p999_over_p50\": %.3f}, \"major_words_ratio\": %.2f, \
+        \"ratio_bound\": %.1f, \"bit_identical\": %b, \"pool\": {\"slab_hits\": %d, \
+        \"slab_misses\": %d, \"slab_releases\": %d, \"slab_dropped\": %d, \
+        \"row_hits\": %d, \"row_misses\": %d}},\n"
+       gc_reps major_on minor_on majcol_on t_on tail_on major_off minor_off majcol_off
+       t_off tail_off gc_ratio gc_ratio_bound gc_identical
+       pool_stats.Ace_rns.Limb_pool.slab_hits pool_stats.Ace_rns.Limb_pool.slab_misses
+       pool_stats.Ace_rns.Limb_pool.slab_releases
+       pool_stats.Ace_rns.Limb_pool.slab_dropped pool_stats.Ace_rns.Limb_pool.row_hits
+       pool_stats.Ace_rns.Limb_pool.row_misses);
   Buffer.add_string buf
     (Printf.sprintf "  \"scheduler_sweep\": [%s],\n"
        (String.concat ", "
@@ -1191,6 +1272,29 @@ let json_bench ?(path = "BENCH_pr8.json") () =
       "bench: instrumentation overhead gate failed: rotate/relin p50 drifted beyond %.1f%% \
        of BENCH_pr7 (see overhead rows above)\n%!"
       (100.0 *. overhead_bound);
+    exit 1
+  end;
+  (* Zero-allocation steady-state gates: recycling must actually bite
+     (major-heap words per inference down by the bound), must not change a
+     single bit of the output, and must not buy memory with latency tail
+     (pooled fhe.add p999/p50 no worse than unpooled, plus sketch
+     quantization slack). *)
+  if not gc_identical then begin
+    prerr_endline "bench: pooled and unpooled outputs are not bit-identical";
+    exit 1
+  end;
+  if gc_ratio < gc_ratio_bound then begin
+    Printf.eprintf
+      "bench: GC gate failed: pooled major words only %.2fx lower than unpooled \
+       (bound %.1fx)\n%!"
+      gc_ratio gc_ratio_bound;
+    exit 1
+  end;
+  let tail_slack = 1.0 +. (2.0 *. Ace_telemetry.Qsketch.relative_error) in
+  if tail_on > 0.0 && tail_off > 0.0 && tail_on > tail_off *. tail_slack then begin
+    Printf.eprintf
+      "bench: pooled fhe.add tail regressed: p999/p50 %.2f vs unpooled %.2f\n%!" tail_on
+      tail_off;
     exit 1
   end
 

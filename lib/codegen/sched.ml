@@ -51,12 +51,18 @@ let node_cost (n : Irfunc.node) =
   | Op.C_rescale -> 4.0 *. limbs (* coeff flip, exact division, NTT flip *)
   | Op.C_encode | Op.C_encode_pair -> 3.0 *. limbs (* embed + round + forward NTT *)
   | Op.C_upscale _ -> 4.0 *. limbs (* encode ones + mul_plain *)
-  | Op.C_add | Op.C_sub | Op.C_neg -> 0.5 *. limbs
+  | Op.C_add | Op.C_sub | Op.C_neg ->
+    (* BENCH_pr8 calibration: calib.add error_ratio_p50 1.578 against the
+       key_switch anchor — adds cost more than half a unit once loop
+       overhead is charged. *)
+    0.8 *. limbs
   | Op.C_mod_switch | Op.C_downscale _ | Op.C_batch_get _ -> 0.05
   | Op.C_bootstrap _ ->
     (* decrypt + decode + encode + encrypt through the oracle; barrier
-       anyway, the weight only shows up in occupancy reports *)
-    40.0 *. limbs
+       anyway, the weight only shows up in occupancy reports. BENCH_pr8
+       measured calib.bootstrap error_ratio_p50 0.3945: the oracle costs
+       ~0.4x the old 40-unit guess. *)
+    16.0 *. limbs
   | Op.Param _ | Op.Weight _ | Op.Const_scalar _ -> 0.0
   | _ -> 0.05 (* surviving cleartext vector ops: host float loops *)
 
@@ -139,7 +145,21 @@ let analyze f =
       Array.iter
         (fun a -> last_wave.(a) <- max last_wave.(a) depth.(n.Irfunc.id))
         n.Irfunc.args);
-  List.iter (fun r -> last_wave.(r) <- -1) (Irfunc.returns f);
+  (* max_int = immortal while lifetimes are still being merged; it absorbs
+     the batch-alias extension below and maps back to the free-set
+     builder's -1 afterwards. *)
+  List.iter (fun r -> last_wave.(r) <- max_int) (Irfunc.returns f);
+  (* A C_batch_get is a non-owning view: releasing the batch frees the
+     record the view aliases, so the batch must outlive every view's
+     deepest consumer. A returned view pins the batch (max_int); an
+     unused, non-returned view (-1) extends nothing. *)
+  Irfunc.iter f (fun n ->
+      match n.Irfunc.op with
+      | Op.C_batch_get _ ->
+        let b = n.Irfunc.args.(0) in
+        last_wave.(b) <- max last_wave.(b) last_wave.(n.Irfunc.id)
+      | _ -> ());
+  Array.iteri (fun i w -> if w = max_int then last_wave.(i) <- -1) last_wave;
   let free_sizes = Array.make (max num_waves 1) 0 in
   Array.iter (fun w -> if w >= 0 then free_sizes.(w) <- free_sizes.(w) + 1) last_wave;
   let free = Array.init (max num_waves 1) (fun w -> Array.make free_sizes.(w) 0) in
@@ -183,7 +203,16 @@ let sequential f =
   let last_use = Array.make (max num 1) (-1) in
   Irfunc.iter f (fun n ->
       Array.iter (fun a -> last_use.(a) <- max last_use.(a) n.Irfunc.id) n.Irfunc.args);
-  List.iter (fun r -> last_use.(r) <- -1) (Irfunc.returns f);
+  List.iter (fun r -> last_use.(r) <- max_int) (Irfunc.returns f);
+  (* Batch-alias extension, mirroring [analyze]: a batch outlives every
+     consumer of every view extracted from it. *)
+  Irfunc.iter f (fun n ->
+      match n.Irfunc.op with
+      | Op.C_batch_get _ ->
+        let b = n.Irfunc.args.(0) in
+        last_use.(b) <- max last_use.(b) last_use.(n.Irfunc.id)
+      | _ -> ());
+  Array.iteri (fun i w -> if w = max_int then last_use.(i) <- -1) last_use;
   let free_sizes = Array.make (max num 1) 0 in
   Array.iter (fun w -> if w >= 0 then free_sizes.(w) <- free_sizes.(w) + 1) last_use;
   let free = Array.init (max num 1) (fun w -> Array.make free_sizes.(w) 0) in
@@ -275,4 +304,31 @@ let check f t =
               (Printf.sprintf
                  "sched: use-after-free: node %d (wave %d) reads %d released after wave %d"
                  n.Irfunc.id wave_of.(n.Irfunc.id) a release_wave.(a)))
-        n.Irfunc.args)
+        n.Irfunc.args);
+  (* A node reading a C_batch_get view transitively reads the batch the
+     view indexes into: the batch must survive that reader's wavefront,
+     and a returned view pins the batch forever. *)
+  Irfunc.iter f (fun n ->
+      Array.iter
+        (fun a ->
+          match (Irfunc.node f a).Irfunc.op with
+          | Op.C_batch_get _ ->
+            let b = (Irfunc.node f a).Irfunc.args.(0) in
+            if release_wave.(b) < wave_of.(n.Irfunc.id) then
+              failwith
+                (Printf.sprintf
+                   "sched: use-after-free through view: node %d (wave %d) reads view %d \
+                    of batch %d released after wave %d"
+                   n.Irfunc.id wave_of.(n.Irfunc.id) a b release_wave.(b))
+          | _ -> ())
+        n.Irfunc.args);
+  List.iter
+    (fun r ->
+      match (Irfunc.node f r).Irfunc.op with
+      | Op.C_batch_get _ ->
+        let b = (Irfunc.node f r).Irfunc.args.(0) in
+        if release_wave.(b) <> max_int then
+          failwith
+            (Printf.sprintf "sched: batch %d released while its view %d is returned" b r)
+      | _ -> ())
+    returns

@@ -78,9 +78,34 @@ let schedule t =
 type value =
   | V_ct of Ciphertext.ct
   | V_pt of Ciphertext.pt
-  | V_ct_batch of Ciphertext.ct array (* hoisted rotation bundle *)
+  | V_ct_batch of Ciphertext.ct array
+      (* hoisted rotation bundle; elements are handed out through
+         C_batch_get as non-owning views *)
   | V_clear of float array
   | V_none
+
+(* Return a dead value's ciphertext buffers to the limb pool. Called at
+   exactly the points [Sched]'s liveness marks a value dead (per-node
+   release lists sequentially, per-wavefront release sets in parallel),
+   which is what makes recycling safe: no later node can name the value.
+
+   A C_batch_get value is a VIEW — the same ciphertext record the batch
+   still holds, and the same index may be extracted again much later (a
+   gemm reads its rotation bundle once per diagonal block). Views
+   therefore own nothing; the batch keeps ownership of every element and
+   the liveness analyses extend the batch's lifetime over all of its
+   views' consumers (see [alias_extend] / [Sched]). Plaintexts are
+   recycled only when the encode cache is off — cached encodings are
+   shared across runs and immortal. *)
+let release_value t id v =
+  match (Irfunc.node t.func id).Irfunc.op with
+  | Op.C_batch_get _ -> ()
+  | _ -> (
+    match v with
+    | V_ct c -> Ciphertext.release c
+    | V_ct_batch cts -> Array.iter Ciphertext.release cts
+    | V_pt p -> if t.pt_cache = None then Ciphertext.release_pt p
+    | V_clear _ | V_none -> ())
 
 (* Execute one node against [values] and return its result. Pure in the
    dataflow sense: reads only argument slots (written by strictly earlier
@@ -110,6 +135,8 @@ let exec_node t values inputs (n : Irfunc.node) =
   match n.Irfunc.op with
   | Op.Param i ->
     if i >= Array.length inputs then invalid_arg "Vm.run: missing encrypted input";
+    (* The caller still holds this ciphertext; it must survive the run. *)
+    Ciphertext.mark_shared inputs.(i);
     V_ct inputs.(i)
   | Op.Weight name -> V_clear (Irfunc.const f name)
   | Op.Const_scalar v -> V_clear [| v |]
@@ -177,7 +204,11 @@ let exec_node t values inputs (n : Irfunc.node) =
   | Op.C_rotate_batch steps -> V_ct_batch (Eval.rotate_batch t.keys (ct 0) steps)
   | Op.C_batch_get i -> (
     match values.(n.Irfunc.args.(0)) with
-    | V_ct_batch cts -> V_ct cts.(i)
+    | V_ct_batch cts ->
+      (* A view into the batch: the batch keeps ownership (the same index
+         may be extracted again by a later consumer), and the liveness
+         analyses keep the batch alive past every view's last use. *)
+      V_ct cts.(i)
     | _ ->
       invalid_arg
         (Printf.sprintf "Vm.run: node %%%d batch_get argument is not a batch" n.Irfunc.id))
@@ -187,9 +218,15 @@ let exec_node t values inputs (n : Irfunc.node) =
     let c = ct 0 in
     V_ct (Eval.upscale ctx c ~target_scale:(Ciphertext.scale_of c *. r))
   | Op.C_downscale r ->
-    (* Scale re-interpretation: free, bounded error (DESIGN.md). *)
+    (* Scale re-interpretation: bounded error (DESIGN.md). The polynomial
+       copies keep result and operand independently recyclable — one slab
+       memcpy instead of aliasing both out of the pool. *)
     let c = ct 0 in
-    V_ct { c with Ciphertext.ct_scale = c.Ciphertext.ct_scale /. r }
+    V_ct
+      {
+        Ciphertext.polys = Array.map Ace_rns.Rns_poly.clone c.Ciphertext.polys;
+        ct_scale = c.Ciphertext.ct_scale /. r;
+      }
   | Op.C_bootstrap target ->
     Cost.count Cost.Bootstrap;
     V_ct (t.bootstrap ~node:n.Irfunc.id ~target_level:target (ct 0))
@@ -249,11 +286,29 @@ let run_observed ?(tag = []) ~observe t inputs =
   let values = Array.make (Irfunc.num_nodes f) V_none in
   (* Release each value after its last use: compiled functions hold tens of
      thousands of ciphertexts and plaintexts, far more than ever live at
-     once (the generated C frees them the same way). *)
+     once (the generated C frees them the same way). A rotation batch is
+     kept alive past the last use of every view extracted from it —
+     releasing the batch frees the records the views alias, so its
+     lifetime is the union of its own and its views'. [max_int] marks
+     never-released (returns, unused values); it absorbs the extension. *)
   let last_use = Array.make (Irfunc.num_nodes f) max_int in
   Irfunc.iter f (fun n ->
       Array.iter (fun a -> last_use.(a) <- n.Irfunc.id) n.Irfunc.args);
   List.iter (fun r -> last_use.(r) <- max_int) (Irfunc.returns f);
+  Irfunc.iter f (fun n ->
+      match n.Irfunc.op with
+      | Op.C_batch_get _ ->
+        let b = n.Irfunc.args.(0) in
+        if last_use.(n.Irfunc.id) > last_use.(b) then
+          last_use.(b) <- last_use.(n.Irfunc.id)
+      | _ -> ());
+  (* The extended last use of a batch is a node that does not name it as
+     an argument, so releases key off a per-node list rather than the
+     releasing node's args. *)
+  let to_free = Array.make (Irfunc.num_nodes f) [] in
+  Array.iteri
+    (fun v u -> if u <> max_int then to_free.(u) <- v :: to_free.(u))
+    last_use;
   (* Per-NN-operator trace grouping: consecutive nodes sharing an origin
      (one conv, one relu block...) become a single enclosing span, so the
      Chrome view nests per-FHE-op spans (from [Cost.timed]) under the NN
@@ -276,9 +331,11 @@ let run_observed ?(tag = []) ~observe t inputs =
       let result = exec_timed ~tag t values inputs n in
       values.(n.Irfunc.id) <- result;
       (match result with V_ct c -> observe n c | _ -> ());
-      Array.iter
-        (fun a -> if last_use.(a) = n.Irfunc.id then values.(a) <- V_none)
-        n.Irfunc.args);
+      List.iter
+        (fun a ->
+          release_value t a values.(a);
+          values.(a) <- V_none)
+        to_free.(n.Irfunc.id));
   flush_origin (Unix.gettimeofday ());
   collect_returns f values
 
@@ -335,6 +392,10 @@ let run_parallel ?(tag = []) t inputs =
       (if predicted > 0.0 then
          let dt = Unix.gettimeofday () -. t0 in
          Telemetry.observe (Lazy.force calib_wavefront) (dt *. 1e6 /. predicted));
-      Array.iter (fun id -> values.(id) <- V_none) free.(w))
+      Array.iter
+        (fun id ->
+          release_value t id values.(id);
+          values.(id) <- V_none)
+        free.(w))
     waves;
   collect_returns f values

@@ -401,6 +401,17 @@ let request_latency = lazy (Ace_telemetry.Telemetry.metric "request.latency")
 let request_count = lazy (Ace_telemetry.Telemetry.metric "request.count")
 let request_per_ct = lazy (Ace_telemetry.Telemetry.metric "request.per_ct")
 
+(* GC pressure per execution, as quick_stat deltas around the VM run. In a
+   pooled steady state gc.major_words sits near zero; a regression that
+   reintroduces per-inference slab churn shows up here long before it
+   shows up in latency tails. quick_stat reads domain-local counters and
+   never forces a collection, so the probe itself is free. *)
+let gc_minor_words = lazy (Ace_telemetry.Telemetry.metric "gc.minor_words")
+let gc_major_words = lazy (Ace_telemetry.Telemetry.metric "gc.major_words")
+let gc_minor_collections = lazy (Ace_telemetry.Telemetry.metric "gc.minor_collections")
+let gc_major_collections = lazy (Ace_telemetry.Telemetry.metric "gc.major_collections")
+let gc_compactions = lazy (Ace_telemetry.Telemetry.metric "gc.compactions")
+
 let default_request_ids k = Array.init k (fun i -> "r" ^ string_of_int i)
 
 (* A missing Galois key at execution time means the compile-time key plan
@@ -427,9 +438,19 @@ let run_vm ?request_ids ~scheduler c vm ct =
     | Wavefront -> Ace_codegen.Vm.run_parallel ~tag vm cts
   in
   let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
   match exec vm [ ct ] with
   | [ out ] ->
     let dur = Unix.gettimeofday () -. t0 in
+    let g1 = Gc.quick_stat () in
+    let obs m v = Ace_telemetry.Telemetry.observe (Lazy.force m) v in
+    obs gc_minor_words (g1.Gc.minor_words -. g0.Gc.minor_words);
+    obs gc_major_words (g1.Gc.major_words -. g0.Gc.major_words);
+    obs gc_minor_collections
+      (float_of_int (g1.Gc.minor_collections - g0.Gc.minor_collections));
+    obs gc_major_collections
+      (float_of_int (g1.Gc.major_collections - g0.Gc.major_collections));
+    obs gc_compactions (float_of_int (g1.Gc.compactions - g0.Gc.compactions));
     let amortized = dur /. float_of_int k in
     for _ = 1 to k do
       Ace_telemetry.Telemetry.incr (Lazy.force request_count);

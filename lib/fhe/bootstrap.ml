@@ -4,9 +4,13 @@ let refresh keys ~rng ~target_level ct =
   let ctx = keys.Keys.context in
   if target_level < 0 || target_level > Context.max_level ctx then
     invalid_arg "Bootstrap.refresh: bad target level";
-  let values = Encoder.decode_complex ctx (Eval.decrypt keys ct) in
+  let dec = Eval.decrypt keys ct in
+  let values = Encoder.decode_complex ctx dec in
+  Ciphertext.release_pt dec;
   let pt = Encoder.encode_complex ctx ~level:target_level ~scale:(Context.scale ctx) values in
-  Eval.encrypt keys ~rng pt
+  let out = Eval.encrypt keys ~rng pt in
+  Ciphertext.release_pt pt;
+  out
 
 (* Randomness is derived from the caller-supplied ordinal (the VM passes
    the bootstrap's IR node id), not from an invocation counter: the same

@@ -13,6 +13,16 @@ let size ct = Array.length ct.polys
 let degree ct = size ct - 1
 let scale_of ct = ct.ct_scale
 
+(* Liveness hand-off points for the buffer pool: the VM calls [release]
+   when Sched's release sets say a ciphertext is dead; anything that makes
+   a ciphertext's polynomials visible through a second value calls
+   [mark_shared] instead. Both delegate per-polynomial, so mixed states
+   (some polys shared, some owned) do the right thing. *)
+let release ct = Array.iter Rns_poly.release ct.polys
+let mark_shared ct = Array.iter Rns_poly.mark_shared ct.polys
+
+let release_pt pt = Rns_poly.release pt.poly
+
 let bytes ct =
   let p = ct.polys.(0) in
   Array.length ct.polys

@@ -26,4 +26,17 @@ val degree : ct -> int
 val scale_of : ct -> float
 val bytes : ct -> int
 
+val release : ct -> unit
+(** Return every polynomial's rows to the limb pool. Only the last owner
+    of a dead ciphertext may call this (the VM does, at the node computed
+    by [Sched]'s release sets); no-op on shared/unpooled polynomials. *)
+
+val mark_shared : ct -> unit
+(** The ciphertext's polynomials are now visible through another value
+    (caller-held input, downscaled view, extracted batch element):
+    exclude them from recycling. *)
+
+val release_pt : pt -> unit
+(** As {!release}, for a plaintext the caller owns (uncached encodings). *)
+
 val pp : Format.formatter -> ct -> unit

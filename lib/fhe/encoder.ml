@@ -16,8 +16,11 @@ let encode_complex ctx ~level ~scale (v : Cplx.t array) =
     coeffs.(i + slots) <- vals.(i).Cplx.im *. scale
   done;
   let idx = Context.ciphertext_idx ctx ~level in
+  (* The freshly-reduced polynomial is owned outright, so the domain flip
+     runs in place; the plaintext keeps pool ownership and the caller may
+     release it once it is done (uncached encodings). *)
   let poly = Rns_poly.of_rounded_floats (Context.crt ctx) ~chain_idx:idx coeffs in
-  { Ciphertext.poly = Rns_poly.to_ntt poly; pt_scale = scale }
+  { Ciphertext.poly = Rns_poly.ntt_inplace poly; pt_scale = scale }
 
 let encode ctx ~level ~scale v =
   encode_complex ctx ~level ~scale (Array.map (fun x -> Cplx.make x 0.0) v)
@@ -47,6 +50,7 @@ let decode_complex ctx (pt : Ciphertext.pt) =
     Ace_util.Domain_pool.init ~min_chunk:32 slots (fun i ->
         Cplx.make (coeff i /. pt.pt_scale) (coeff (i + slots) /. pt.pt_scale))
   in
+  if poly != pt.poly then Rns_poly.release poly;
   Cplx.embed (Context.embed_plan ctx) vals;
   vals
 

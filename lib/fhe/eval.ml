@@ -57,6 +57,23 @@ let record_flight ?(relin_of_deg2 = false) op (ct : ct) =
   end;
   ct
 
+(* Pool discipline for this module: an operation may release only
+   polynomials it allocated itself (domain-conversion copies, automorphism
+   images, key-switch corrections) — never its arguments, which the VM
+   owns and releases at their Sched-computed last use. The helpers below
+   handle the conversion-identity case: [to_ntt]/[to_coeff] return the
+   argument unchanged when it is already in the right domain, so "release
+   the converted copy" must compare physically first. *)
+
+let release_conv ~src p = if p != src then Rns_poly.release p
+
+(* A pad-path component that would otherwise be returned as-is (aliasing
+   the operand) is cloned instead: the clone costs one slab memcpy but
+   keeps both the operand and the result recyclable. *)
+let pass_through p =
+  let e = Rns_poly.to_ntt p in
+  if e == p then Rns_poly.clone p else e
+
 let scale_tolerance = 1e-6
 
 let check_scales what a b =
@@ -75,16 +92,20 @@ let encrypt_at_level keys ~rng ~level (pt : pt) =
   let sigma = (Context.params ctx).Context.error_sigma in
   let pb, pa = keys.Keys.public in
   let pb = Rns_poly.restrict pb ~chain_idx:idx and pa = Rns_poly.restrict pa ~chain_idx:idx in
-  let u = Rns_poly.to_ntt (Rns_poly.sample_ternary crt ~chain_idx:idx rng) in
-  let e0 = Rns_poly.to_ntt (Rns_poly.sample_gaussian crt ~chain_idx:idx ~sigma rng) in
-  let e1 = Rns_poly.to_ntt (Rns_poly.sample_gaussian crt ~chain_idx:idx ~sigma rng) in
-  let m = Rns_poly.to_ntt (Rns_poly.restrict (Rns_poly.to_coeff pt.poly) ~chain_idx:idx) in
+  (* Samples are freshly owned, so the domain flips run in place. *)
+  let u = Rns_poly.ntt_inplace (Rns_poly.sample_ternary crt ~chain_idx:idx rng) in
+  let e0 = Rns_poly.ntt_inplace (Rns_poly.sample_gaussian crt ~chain_idx:idx ~sigma rng) in
+  let e1 = Rns_poly.ntt_inplace (Rns_poly.sample_gaussian crt ~chain_idx:idx ~sigma rng) in
+  let ptc = Rns_poly.to_coeff pt.poly in
+  let m = Rns_poly.ntt_inplace (Rns_poly.restrict ptc ~chain_idx:idx) in
+  release_conv ~src:pt.poly ptc;
   (* [mul] returns fresh rows, so the additions can accumulate in place. *)
   let c0 = Rns_poly.mul pb u in
   let c0 = Rns_poly.add_into ~dst:c0 c0 e0 in
   let c0 = Rns_poly.add_into ~dst:c0 c0 m in
   let c1 = Rns_poly.mul pa u in
   let c1 = Rns_poly.add_into ~dst:c1 c1 e1 in
+  List.iter Rns_poly.release [ pb; pa; u; e0; e1; m ];
   record_flight "encrypt" { polys = [| c0; c1 |]; ct_scale = pt.pt_scale }
 
 let encrypt keys ~rng pt = encrypt_at_level keys ~rng ~level:(Ciphertext.pt_level pt) pt
@@ -97,6 +118,9 @@ let decrypt keys (ct : ct) =
   let c0 = Rns_poly.to_ntt ct.polys.(0) and c1 = Rns_poly.to_ntt ct.polys.(1) in
   let m = Rns_poly.mul c1 s in
   let m = Rns_poly.add_into ~dst:m c0 m in
+  Rns_poly.release s;
+  release_conv ~src:ct.polys.(0) c0;
+  release_conv ~src:ct.polys.(1) c1;
   { poly = m; pt_scale = ct.ct_scale }
 
 (* Addition is size-polymorphic: a degree-2 (3-component) ciphertext plus
@@ -111,9 +135,15 @@ let add (a : ct) (b : ct) =
   let sa = size a and sb = size b in
   let polys =
     Array.init (max sa sb) (fun i ->
-        if i >= sa then Rns_poly.to_ntt b.polys.(i)
-        else if i >= sb then Rns_poly.to_ntt a.polys.(i)
-        else Rns_poly.add (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
+        if i >= sa then pass_through b.polys.(i)
+        else if i >= sb then pass_through a.polys.(i)
+        else begin
+          let xa = Rns_poly.to_ntt a.polys.(i) and xb = Rns_poly.to_ntt b.polys.(i) in
+          let r = Rns_poly.add xa xb in
+          release_conv ~src:a.polys.(i) xa;
+          release_conv ~src:b.polys.(i) xb;
+          r
+        end)
   in
   record_flight "add" { polys; ct_scale = a.ct_scale }
 
@@ -124,9 +154,20 @@ let sub (a : ct) (b : ct) =
   let sa = size a and sb = size b in
   let polys =
     Array.init (max sa sb) (fun i ->
-        if i >= sa then Rns_poly.neg (Rns_poly.to_ntt b.polys.(i))
-        else if i >= sb then Rns_poly.to_ntt a.polys.(i)
-        else Rns_poly.sub (Rns_poly.to_ntt a.polys.(i)) (Rns_poly.to_ntt b.polys.(i)))
+        if i >= sa then begin
+          let xb = Rns_poly.to_ntt b.polys.(i) in
+          let r = Rns_poly.neg xb in
+          release_conv ~src:b.polys.(i) xb;
+          r
+        end
+        else if i >= sb then pass_through a.polys.(i)
+        else begin
+          let xa = Rns_poly.to_ntt a.polys.(i) and xb = Rns_poly.to_ntt b.polys.(i) in
+          let r = Rns_poly.sub xa xb in
+          release_conv ~src:a.polys.(i) xa;
+          release_conv ~src:b.polys.(i) xb;
+          r
+        end)
   in
   record_flight "sub" { polys; ct_scale = a.ct_scale }
 
@@ -136,16 +177,37 @@ let add_plain (a : ct) (p : pt) =
   Cost.timed Cost.Add @@ fun () ->
   check_levels "add_plain" (level a) (Ciphertext.pt_level p);
   check_scales "add_plain" a.ct_scale p.pt_scale;
-  let polys = Array.copy a.polys in
-  polys.(0) <- Rns_poly.add (Rns_poly.to_ntt polys.(0)) (Rns_poly.to_ntt p.poly);
+  (* Components 1.. are untouched by a plaintext add; clone them rather
+     than share, so the result and the operand stay independently
+     recyclable. *)
+  let polys =
+    Array.init (size a) (fun i ->
+        if i = 0 then begin
+          let x0 = Rns_poly.to_ntt a.polys.(0) and pe = Rns_poly.to_ntt p.poly in
+          let r = Rns_poly.add x0 pe in
+          release_conv ~src:a.polys.(0) x0;
+          release_conv ~src:p.poly pe;
+          r
+        end
+        else Rns_poly.clone a.polys.(i))
+  in
   record_flight "add_plain" { a with polys }
 
 let sub_plain (a : ct) (p : pt) =
   Cost.timed Cost.Add @@ fun () ->
   check_levels "sub_plain" (level a) (Ciphertext.pt_level p);
   check_scales "sub_plain" a.ct_scale p.pt_scale;
-  let polys = Array.copy a.polys in
-  polys.(0) <- Rns_poly.sub (Rns_poly.to_ntt polys.(0)) (Rns_poly.to_ntt p.poly);
+  let polys =
+    Array.init (size a) (fun i ->
+        if i = 0 then begin
+          let x0 = Rns_poly.to_ntt a.polys.(0) and pe = Rns_poly.to_ntt p.poly in
+          let r = Rns_poly.sub x0 pe in
+          release_conv ~src:a.polys.(0) x0;
+          release_conv ~src:p.poly pe;
+          r
+        end
+        else Rns_poly.clone a.polys.(i))
+  in
   record_flight "sub_plain" { a with polys }
 
 let mul_raw (a : ct) (b : ct) =
@@ -156,8 +218,14 @@ let mul_raw (a : ct) (b : ct) =
   let b0 = Rns_poly.to_ntt b.polys.(0) and b1 = Rns_poly.to_ntt b.polys.(1) in
   let d0 = Rns_poly.mul a0 b0 in
   let d1 = Rns_poly.mul a0 b1 in
-  let d1 = Rns_poly.add_into ~dst:d1 d1 (Rns_poly.mul a1 b0) in
+  let cross = Rns_poly.mul a1 b0 in
+  let d1 = Rns_poly.add_into ~dst:d1 d1 cross in
+  Rns_poly.release cross;
   let d2 = Rns_poly.mul a1 b1 in
+  release_conv ~src:a.polys.(0) a0;
+  release_conv ~src:a.polys.(1) a1;
+  release_conv ~src:b.polys.(0) b0;
+  release_conv ~src:b.polys.(1) b1;
   record_flight "mul" { polys = [| d0; d1; d2 |]; ct_scale = a.ct_scale *. b.ct_scale }
 
 (* The extended key-switching basis for a [limbs]-limb ciphertext: the
@@ -191,7 +259,9 @@ let mod_down ctx ~limbs acc =
   let n = Context.ring_degree ctx in
   let special_ci = Context.special_chain_idx ctx in
   let rows = acc.Rns_poly.data in
-  let out = Rns_poly.create crt ~chain_idx:(Array.init limbs (fun i -> i)) Rns_poly.Eval in
+  (* Every residue of [out] is written below (reduce loop + forward
+     transform + subtract loop), so the slab can start uninitialised. *)
+  let out = Rns_poly.alloc_uninit crt ~chain_idx:(Array.init limbs (fun i -> i)) Rns_poly.Eval in
   let sp_q = Crt.modulus crt special_ci in
   let sp_half = sp_q / 2 in
   let sp_row = rows.(limbs) in
@@ -230,6 +300,7 @@ let key_switch ctx (key : Keys.switching_key) d =
   Cost.timed Cost.Key_switch @@ fun () ->
   let crt = Context.crt ctx in
   let n = Context.ring_degree ctx in
+  let d_src = d in
   let d = Rns_poly.to_coeff d in
   let limbs = Rns_poly.num_limbs d in
   let special_ci = Context.special_chain_idx ctx in
@@ -263,6 +334,7 @@ let key_switch ctx (key : Keys.switching_key) d =
         Ntt.pointwise_mul_acc_shoup plan acc1.(k) digit_row (key_row ~special_ci ka t_ci)
           (key_row_shoup ~special_ci ka' t_ci)
       done);
+  release_conv ~src:d_src d;
   let acc0 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc0 in
   let acc1 = Rns_poly.of_data crt ~chain_idx:basis Rns_poly.Eval acc1 in
   (mod_down ctx ~limbs acc0, mod_down ctx ~limbs acc1)
@@ -288,10 +360,14 @@ let hoist ctx d =
   Cost.timed Cost.Key_switch @@ fun () ->
   let crt = Context.crt ctx in
   let n = Context.ring_degree ctx in
+  let d_src = d in
   let d = Rns_poly.to_coeff d in
   let limbs = Rns_poly.num_limbs d in
   let basis = key_basis ctx ~limbs in
-  let ext = Array.init (limbs + 1) (fun _ -> Array.init limbs (fun _ -> Array.make n 0)) in
+  (* (limbs+1) x limbs pool rows; every row is fully overwritten (blit or
+     lift loop, then the in-place forward transform). Freed by
+     [release_hoisted] once the rotation batch is done with them. *)
+  let ext = Array.init (limbs + 1) (fun _ -> Array.init limbs (fun _ -> Limb_pool.acquire n)) in
   Domain_pool.parallel_for (limbs + 1) (fun k ->
       Telemetry.span ~cat:"fhe.worker" "hoist.basis" @@ fun () ->
       let t_ci = basis.(k) in
@@ -310,7 +386,10 @@ let hoist ctx d =
           done;
         Ntt.forward plan dst
       done);
+  release_conv ~src:d_src d;
   { h_limbs = limbs; h_ext = ext }
+
+let release_hoisted h = Array.iter (Array.iter Limb_pool.release) h.h_ext
 
 (* Apply one switching key to hoisted digits under the eval-domain
    automorphism permutation [perm]. Per basis position the digit walk, the
@@ -351,18 +430,36 @@ let relinearize keys (ct : ct) =
   (* The key-switch corrections are freshly allocated, so flip and add in
      place instead of copying. *)
   let e0 = Rns_poly.ntt_inplace e0 and e1 = Rns_poly.ntt_inplace e1 in
-  let c0 = Rns_poly.add_into ~dst:e0 (Rns_poly.to_ntt ct.polys.(0)) e0 in
-  let c1 = Rns_poly.add_into ~dst:e1 (Rns_poly.to_ntt ct.polys.(1)) e1 in
+  let x0 = Rns_poly.to_ntt ct.polys.(0) and x1 = Rns_poly.to_ntt ct.polys.(1) in
+  let c0 = Rns_poly.add_into ~dst:e0 x0 e0 in
+  let c1 = Rns_poly.add_into ~dst:e1 x1 e1 in
+  release_conv ~src:ct.polys.(0) x0;
+  release_conv ~src:ct.polys.(1) x1;
   record_flight ~relin_of_deg2:true "relinearize" { polys = [| c0; c1 |]; ct_scale = ct.ct_scale }
 
-let mul keys a b = relinearize keys (mul_raw a b)
+let mul keys a b =
+  (* The unrelinearised product is a temporary this op owns outright;
+     relinearize reads it without retaining any of its rows. *)
+  let t = mul_raw a b in
+  let r = relinearize keys t in
+  Ciphertext.release t;
+  r
 let square keys a = mul keys a a
 
 let mul_plain (a : ct) (p : pt) =
   Cost.timed Cost.Mult_plain @@ fun () ->
   check_levels "mul_plain" (level a) (Ciphertext.pt_level p);
   let pe = Rns_poly.to_ntt p.poly in
-  let polys = Array.map (fun c -> Rns_poly.mul (Rns_poly.to_ntt c) pe) a.polys in
+  let polys =
+    Array.map
+      (fun c ->
+        let ce = Rns_poly.to_ntt c in
+        let r = Rns_poly.mul ce pe in
+        release_conv ~src:c ce;
+        r)
+      a.polys
+  in
+  release_conv ~src:p.poly pe;
   record_flight "mul_plain" { polys; ct_scale = a.ct_scale *. p.pt_scale }
 
 let rotation_key_exn keys ~step g =
@@ -381,15 +478,24 @@ let rotate keys (ct : ct) k =
   if size ct <> 2 then invalid_arg "Eval.rotate: relinearize first";
   let ctx = keys.Keys.context in
   let slots = Context.slots ctx in
-  if ((k mod slots) + slots) mod slots = 0 then ct
+  if ((k mod slots) + slots) mod slots = 0 then begin
+    (* Identity rotation returns the operand itself: the result and the
+       argument are one value, so neither may be recycled. *)
+    Ciphertext.mark_shared ct;
+    ct
+  end
   else begin
     let g = Keys.galois_of_rotation ctx k in
     let key = rotation_key_exn keys ~step:k g in
-    let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_ntt ct.polys.(0)) in
+    let c0e = Rns_poly.to_ntt ct.polys.(0) in
+    let r0 = Rns_poly.automorphism ~galois:g c0e in
+    release_conv ~src:ct.polys.(0) c0e;
     let r1 = Rns_poly.automorphism ~galois:g ct.polys.(1) in
     let e0, e1 = key_switch ctx key r1 in
+    Rns_poly.release r1;
     let e0 = Rns_poly.ntt_inplace e0 in
     let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
+    Rns_poly.release r0;
     record_flight "rotate" { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
   end
 
@@ -409,25 +515,37 @@ let rotate_batch keys (ct : ct) steps =
   let crt = Context.crt ctx in
   let slots = Context.slots ctx in
   let trivial k = ((k mod slots) + slots) mod slots = 0 in
-  if Array.for_all trivial steps then Array.map (fun _ -> ct) steps
+  if Array.for_all trivial steps then begin
+    Ciphertext.mark_shared ct;
+    Array.map (fun _ -> ct) steps
+  end
   else begin
     let h = hoist ctx ct.polys.(1) in
     let c0e = Rns_poly.to_ntt ct.polys.(0) in
-    Array.map
-      (fun k ->
-        if trivial k then ct
-        else
-          Cost.timed Cost.Rotate @@ fun () ->
-          let g = Keys.galois_of_rotation ctx k in
-          let key = rotation_key_exn keys ~step:k g in
-          let perm = Rns_poly.automorphism_perm crt ~galois:g in
-          let e0, e1 = key_switch_hoisted ctx key h ~perm in
-          let e0 = Rns_poly.ntt_inplace e0 in
-          let r0 = Rns_poly.automorphism ~galois:g c0e in
-          let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
-          record_flight "rotate"
-            { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale })
-      steps
+    let out =
+      Array.map
+        (fun k ->
+          if trivial k then begin
+            Ciphertext.mark_shared ct;
+            ct
+          end
+          else
+            Cost.timed Cost.Rotate @@ fun () ->
+            let g = Keys.galois_of_rotation ctx k in
+            let key = rotation_key_exn keys ~step:k g in
+            let perm = Rns_poly.automorphism_perm crt ~galois:g in
+            let e0, e1 = key_switch_hoisted ctx key h ~perm in
+            let e0 = Rns_poly.ntt_inplace e0 in
+            let r0 = Rns_poly.automorphism ~galois:g c0e in
+            let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
+            Rns_poly.release r0;
+            record_flight "rotate"
+              { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale })
+        steps
+    in
+    release_conv ~src:ct.polys.(0) c0e;
+    release_hoisted h;
+    out
   end
 
 let conjugate keys (ct : ct) =
@@ -436,11 +554,15 @@ let conjugate keys (ct : ct) =
   let ctx = keys.Keys.context in
   let g = Keys.galois_conjugate ctx in
   let key = Hashtbl.find keys.Keys.galois g in
-  let r0 = Rns_poly.automorphism ~galois:g (Rns_poly.to_ntt ct.polys.(0)) in
+  let c0e = Rns_poly.to_ntt ct.polys.(0) in
+  let r0 = Rns_poly.automorphism ~galois:g c0e in
+  release_conv ~src:ct.polys.(0) c0e;
   let r1 = Rns_poly.automorphism ~galois:g ct.polys.(1) in
   let e0, e1 = key_switch ctx key r1 in
+  Rns_poly.release r1;
   let e0 = Rns_poly.ntt_inplace e0 in
   let c0 = Rns_poly.add_into ~dst:e0 r0 e0 in
+  Rns_poly.release r0;
   record_flight "conjugate" { polys = [| c0; Rns_poly.ntt_inplace e1 |]; ct_scale = ct.ct_scale }
 
 (* NTT image of the monomial X^(N/2) over the full modulus chain, cached
@@ -467,11 +589,13 @@ let ntt_monomial_i crt =
         let coeffs = Array.make n 0 in
         coeffs.(n / 2) <- 1;
         let m =
-          Rns_poly.to_ntt
+          Rns_poly.ntt_inplace
             (Rns_poly.of_centered_coeffs crt
                ~chain_idx:(Rns_poly.prefix_idx ~limbs:(Ace_rns.Crt.num_moduli crt))
                coeffs)
         in
+        (* The cached monomial is immortal; keep it out of the pool. *)
+        Rns_poly.mark_shared m;
         monomial_i_cache := (crt, m) :: !monomial_i_cache;
         m
     in
@@ -484,7 +608,16 @@ let mul_i (ct : ct) =
   let m =
     Rns_poly.restrict (ntt_monomial_i crt) ~chain_idx:ct.polys.(0).Rns_poly.chain_idx
   in
-  let polys = Array.map (fun p -> Rns_poly.mul (Rns_poly.to_ntt p) m) ct.polys in
+  let polys =
+    Array.map
+      (fun p ->
+        let pe = Rns_poly.to_ntt p in
+        let r = Rns_poly.mul pe m in
+        release_conv ~src:p pe;
+        r)
+      ct.polys
+  in
+  Rns_poly.release m;
   record_flight "mul_i" { ct with polys }
 
 let rescale (ct : ct) =
@@ -524,7 +657,9 @@ let upscale ctx (ct : ct) ~target_scale =
   if factor < 1.0 -. 1e-9 then invalid_arg "Eval.upscale: would lower scale";
   let ones = Array.make (Context.slots ctx) 1.0 in
   let pt = Encoder.encode ctx ~level:(level ct) ~scale:factor ones in
-  mul_plain ct pt
+  let r = mul_plain ct pt in
+  Ciphertext.release_pt pt;
+  r
 
 (* One throwaway full-width key switch plus a rescale right after keygen.
    The first real key_switch otherwise pays every lazy one-off at once —

@@ -4,22 +4,45 @@ module Domain_pool = Ace_util.Domain_pool
 
 type domain = Coeff | Eval
 
+(* [pooled] tracks whether [data] is a recyclable slab from [Limb_pool]:
+   set on every freshly-built result, cleared the moment rows become
+   visible through a second value ([mark_shared]) or are handed back
+   ([release]).  The field is mutable but the type is private, so only
+   this module flips it — callers go through release/mark_shared. *)
 type t = {
   ctx : Crt.t;
   chain_idx : int array;
   data : int array array;
   domain : domain;
+  mutable pooled : bool;
 }
+
+let release t =
+  if t.pooled then begin
+    t.pooled <- false;
+    Limb_pool.release_slab t.data
+  end
+
+let mark_shared t = t.pooled <- false
+let is_pooled t = t.pooled
 
 let create ctx ~chain_idx domain =
   let n = Crt.ring_degree ctx in
-  { ctx; chain_idx = Array.copy chain_idx; data = Array.init (Array.length chain_idx) (fun _ -> Array.make n 0); domain }
+  { ctx; chain_idx = Array.copy chain_idx;
+    data = Array.init (Array.length chain_idx) (fun _ -> Array.make n 0);
+    domain; pooled = false }
+
+let alloc_uninit ctx ~chain_idx domain =
+  let n = Crt.ring_degree ctx in
+  { ctx; chain_idx = Array.copy chain_idx;
+    data = Limb_pool.acquire_slab ~n ~limbs:(Array.length chain_idx);
+    domain; pooled = true }
 
 let of_data ctx ~chain_idx domain data =
   if Array.length data <> Array.length chain_idx then invalid_arg "Rns_poly.of_data: arity";
   let n = Crt.ring_degree ctx in
   Array.iter (fun row -> if Array.length row <> n then invalid_arg "Rns_poly.of_data: row length") data;
-  { ctx; chain_idx = Array.copy chain_idx; data; domain }
+  { ctx; chain_idx = Array.copy chain_idx; data; domain; pooled = false }
 
 let prefix_idx ~limbs = Array.init limbs (fun i -> i)
 
@@ -27,7 +50,11 @@ let num_limbs t = Array.length t.chain_idx
 let ring_degree t = Crt.ring_degree t.ctx
 let domain t = t.domain
 
-let clone t = { t with data = Array.map Array.copy t.data }
+let clone t =
+  let n = ring_degree t in
+  let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs t) in
+  Array.iteri (fun k row -> Array.blit t.data.(k) 0 row 0 n) data;
+  { t with data; pooled = true }
 
 let equal a b =
   a.domain = b.domain && a.chain_idx = b.chain_idx
@@ -45,17 +72,22 @@ let check_compatible a b =
    grain. *)
 let light_limb_grain = 4
 
+(* Every constructor below draws its rows from [Limb_pool] and overwrites
+   each residue, so recycled slabs (stale contents) can never leak into a
+   result — pooling on/off is bit-invisible. *)
+
 let of_centered_coeffs ctx ~chain_idx coeffs =
   let n = Crt.ring_degree ctx in
   if Array.length coeffs <> n then invalid_arg "Rns_poly.of_centered_coeffs: length";
-  let data =
-    Domain_pool.map ~min_chunk:light_limb_grain
-      (fun ci ->
-        let q = Crt.modulus ctx ci in
-        Array.map (fun c -> Modarith.reduce c ~modulus:q) coeffs)
-      chain_idx
-  in
-  { ctx; chain_idx = Array.copy chain_idx; data; domain = Coeff }
+  let limbs = Array.length chain_idx in
+  let data = Limb_pool.acquire_slab ~n ~limbs in
+  Domain_pool.parallel_for ~min_chunk:light_limb_grain limbs (fun k ->
+      let q = Crt.modulus ctx chain_idx.(k) in
+      let row = data.(k) in
+      for i = 0 to n - 1 do
+        Array.unsafe_set row i (Modarith.reduce (Array.unsafe_get coeffs i) ~modulus:q)
+      done);
+  { ctx; chain_idx = Array.copy chain_idx; data; domain = Coeff; pooled = true }
 
 let of_rounded_floats ctx ~chain_idx floats =
   let coeffs = Array.map (fun f -> int_of_float (Float.round f)) floats in
@@ -69,29 +101,30 @@ let to_ntt t =
   match t.domain with
   | Eval -> t
   | Coeff ->
-    let data =
-      Domain_pool.init (num_limbs t) (fun k ->
-          let a = Array.copy t.data.(k) in
-          Ntt.forward (Crt.plan t.ctx t.chain_idx.(k)) a;
-          a)
-    in
-    { t with data; domain = Eval }
+    let n = ring_degree t in
+    let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs t) in
+    Domain_pool.parallel_for (num_limbs t) (fun k ->
+        let row = data.(k) in
+        Array.blit t.data.(k) 0 row 0 n;
+        Ntt.forward (Crt.plan t.ctx t.chain_idx.(k)) row);
+    { t with data; domain = Eval; pooled = true }
 
 let to_coeff t =
   match t.domain with
   | Coeff -> t
   | Eval ->
-    let data =
-      Domain_pool.init (num_limbs t) (fun k ->
-          let a = Array.copy t.data.(k) in
-          Ntt.inverse (Crt.plan t.ctx t.chain_idx.(k)) a;
-          a)
-    in
-    { t with data; domain = Coeff }
+    let n = ring_degree t in
+    let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs t) in
+    Domain_pool.parallel_for (num_limbs t) (fun k ->
+        let row = data.(k) in
+        Array.blit t.data.(k) 0 row 0 n;
+        Ntt.inverse (Crt.plan t.ctx t.chain_idx.(k)) row);
+    { t with data; domain = Coeff; pooled = true }
 
 (* In-place domain flips for polynomials the caller owns outright (freshly
    allocated, rows shared with nothing). They avoid the per-limb row copy
-   of [to_ntt]/[to_coeff]. *)
+   of [to_ntt]/[to_coeff]. The result inherits the argument's pool
+   ownership; the argument (which must not be used again) loses it. *)
 
 let ntt_inplace t =
   match t.domain with
@@ -99,7 +132,9 @@ let ntt_inplace t =
   | Coeff ->
     Domain_pool.parallel_for (num_limbs t) (fun k ->
         Ntt.forward (Crt.plan t.ctx t.chain_idx.(k)) t.data.(k));
-    { t with domain = Eval }
+    let r = { t with domain = Eval } in
+    t.pooled <- false;
+    r
 
 let coeff_inplace t =
   match t.domain with
@@ -107,19 +142,23 @@ let coeff_inplace t =
   | Eval ->
     Domain_pool.parallel_for (num_limbs t) (fun k ->
         Ntt.inverse (Crt.plan t.ctx t.chain_idx.(k)) t.data.(k));
-    { t with domain = Coeff }
+    let r = { t with domain = Coeff } in
+    t.pooled <- false;
+    r
 
 let in_domain d t = match d with Coeff -> to_coeff t | Eval -> to_ntt t
 
 let map2 f a b =
   check_compatible a b;
-  let data =
-    Domain_pool.init ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
-        let q = Crt.modulus a.ctx a.chain_idx.(k) in
-        let xa = a.data.(k) and xb = b.data.(k) in
-        Array.init (Array.length xa) (fun i -> f xa.(i) xb.(i) q))
-  in
-  { a with data }
+  let n = ring_degree a in
+  let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs a) in
+  Domain_pool.parallel_for ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
+      let q = Crt.modulus a.ctx a.chain_idx.(k) in
+      let xa = a.data.(k) and xb = b.data.(k) and d = data.(k) in
+      for i = 0 to n - 1 do
+        Array.unsafe_set d i (f (Array.unsafe_get xa i) (Array.unsafe_get xb i) q)
+      done);
+  { a with data; pooled = true }
 
 let add a b = map2 (fun x y q -> Modarith.add x y ~modulus:q) a b
 let sub a b = map2 (fun x y q -> Modarith.sub x y ~modulus:q) a b
@@ -153,12 +192,15 @@ let sub_into ~dst a b =
   dst
 
 let neg a =
-  let data =
-    Domain_pool.init ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
-        let q = Crt.modulus a.ctx a.chain_idx.(k) in
-        Array.map (fun v -> Modarith.neg v ~modulus:q) a.data.(k))
-  in
-  { a with data }
+  let n = ring_degree a in
+  let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs a) in
+  Domain_pool.parallel_for ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
+      let q = Crt.modulus a.ctx a.chain_idx.(k) in
+      let x = a.data.(k) and d = data.(k) in
+      for i = 0 to n - 1 do
+        Array.unsafe_set d i (Modarith.neg (Array.unsafe_get x i) ~modulus:q)
+      done);
+  { a with data; pooled = true }
 
 let mul_into ~dst a b =
   if a.domain <> Eval || b.domain <> Eval then
@@ -174,34 +216,38 @@ let mul a b =
   if a.domain <> Eval || b.domain <> Eval then
     invalid_arg "Rns_poly.mul: operands must be in the evaluation domain";
   check_compatible a b;
-  let data =
-    Domain_pool.init (num_limbs a) (fun k ->
-        let plan = Crt.plan a.ctx a.chain_idx.(k) in
-        let dst = Array.make (Crt.ring_degree a.ctx) 0 in
-        Ntt.pointwise_mul plan dst a.data.(k) b.data.(k);
-        dst)
-  in
-  { a with data }
+  let n = ring_degree a in
+  let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs a) in
+  Domain_pool.parallel_for (num_limbs a) (fun k ->
+      let plan = Crt.plan a.ctx a.chain_idx.(k) in
+      Ntt.pointwise_mul plan data.(k) a.data.(k) b.data.(k));
+  { a with data; pooled = true }
 
 let scalar_mul s a =
-  let data =
-    Domain_pool.init ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
-        let q = Crt.modulus a.ctx a.chain_idx.(k) in
-        let s = Modarith.reduce s ~modulus:q in
-        Array.map (fun v -> Modarith.mul v s ~modulus:q) a.data.(k))
-  in
-  { a with data }
+  let n = ring_degree a in
+  let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs a) in
+  Domain_pool.parallel_for ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
+      let q = Crt.modulus a.ctx a.chain_idx.(k) in
+      let s = Modarith.reduce s ~modulus:q in
+      let x = a.data.(k) and d = data.(k) in
+      for i = 0 to n - 1 do
+        Array.unsafe_set d i (Modarith.mul (Array.unsafe_get x i) s ~modulus:q)
+      done);
+  { a with data; pooled = true }
 
 let scalar_mul_per_limb scalars a =
   if Array.length scalars <> num_limbs a then
     invalid_arg "Rns_poly.scalar_mul_per_limb: arity";
-  let data =
-    Domain_pool.init ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
-        let q = Crt.modulus a.ctx a.chain_idx.(k) in
-        let s = Modarith.reduce scalars.(k) ~modulus:q in
-        Array.map (fun v -> Modarith.mul v s ~modulus:q) a.data.(k))
-  in
-  { a with data }
+  let n = ring_degree a in
+  let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs a) in
+  Domain_pool.parallel_for ~min_chunk:light_limb_grain (num_limbs a) (fun k ->
+      let q = Crt.modulus a.ctx a.chain_idx.(k) in
+      let s = Modarith.reduce scalars.(k) ~modulus:q in
+      let x = a.data.(k) and d = data.(k) in
+      for i = 0 to n - 1 do
+        Array.unsafe_set d i (Modarith.mul (Array.unsafe_get x i) s ~modulus:q)
+      done);
+  { a with data; pooled = true }
 
 (* X^i -> X^(i*g mod 2N); exponents >= N wrap with a sign flip because
    X^N = -1. The (destination, sign) table is cached per (N, g); the table
@@ -292,29 +338,31 @@ let automorphism ~galois t =
   match t.domain with
   | Coeff ->
     let dest, flip = automorphism_table ~n ~galois in
-    let data =
-      Domain_pool.init ~min_chunk:light_limb_grain (num_limbs t) (fun k ->
-          let x = t.data.(k) in
-          let q = Crt.modulus t.ctx t.chain_idx.(k) in
-          let out = Array.make n 0 in
-          for i = 0 to n - 1 do
-            let v = Array.unsafe_get x i in
-            let e = Array.unsafe_get dest i in
-            Array.unsafe_set out e (if Array.unsafe_get flip i then (if v = 0 then 0 else q - v) else v)
-          done;
-          out)
-    in
-    { t with data }
+    (* The scatter is a bijection on indices, so stale slab contents are
+       fully overwritten. *)
+    let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs t) in
+    Domain_pool.parallel_for ~min_chunk:light_limb_grain (num_limbs t) (fun k ->
+        let x = t.data.(k) in
+        let q = Crt.modulus t.ctx t.chain_idx.(k) in
+        let out = data.(k) in
+        for i = 0 to n - 1 do
+          let v = Array.unsafe_get x i in
+          let e = Array.unsafe_get dest i in
+          Array.unsafe_set out e (if Array.unsafe_get flip i then (if v = 0 then 0 else q - v) else v)
+        done);
+    { t with data; pooled = true }
   | Eval ->
     (* Resolve the table before the parallel region: it takes the same lock
        the Coeff path uses, and pool bodies must never block on it. *)
     let perm = automorphism_perm t.ctx ~galois in
-    let data =
-      Domain_pool.init ~min_chunk:light_limb_grain (num_limbs t) (fun k ->
-          let x = t.data.(k) in
-          Array.init n (fun j -> Array.unsafe_get x (Array.unsafe_get perm j)))
-    in
-    { t with data }
+    let data = Limb_pool.acquire_slab ~n ~limbs:(num_limbs t) in
+    Domain_pool.parallel_for ~min_chunk:light_limb_grain (num_limbs t) (fun k ->
+        let x = t.data.(k) in
+        let out = data.(k) in
+        for j = 0 to n - 1 do
+          Array.unsafe_set out j (Array.unsafe_get x (Array.unsafe_get perm j))
+        done);
+    { t with data; pooled = true }
 
 let sample_uniform ctx ~chain_idx rng =
   let n = Crt.ring_degree ctx in
@@ -325,7 +373,7 @@ let sample_uniform ctx ~chain_idx rng =
         Array.init n (fun _ -> Rng.int rng q))
       chain_idx
   in
-  { ctx; chain_idx = Array.copy chain_idx; data; domain = Eval }
+  { ctx; chain_idx = Array.copy chain_idx; data; domain = Eval; pooled = false }
 
 let of_small_sampler ctx ~chain_idx rng sample =
   let n = Crt.ring_degree ctx in
@@ -360,12 +408,22 @@ let restrict t ~chain_idx =
     in
     find 0
   in
-  let data = Array.map (fun ci -> Array.copy t.data.(pos ci)) chain_idx in
-  { t with chain_idx = Array.copy chain_idx; data }
+  let n = ring_degree t in
+  let data = Limb_pool.acquire_slab ~n ~limbs:(Array.length chain_idx) in
+  Array.iteri (fun k ci -> Array.blit t.data.(pos ci) 0 data.(k) 0 n) chain_idx;
+  { t with chain_idx = Array.copy chain_idx; data; pooled = true }
 
+(* Copies the kept rows rather than [Array.sub]-sharing them: sharing
+   would force both this value and its source out of the pool, and
+   modulus switching sits on the steady-state inference path. *)
 let drop_limbs t ~keep =
   if keep <= 0 || keep > num_limbs t then invalid_arg "Rns_poly.drop_limbs";
-  { t with chain_idx = Array.sub t.chain_idx 0 keep; data = Array.sub t.data 0 keep }
+  let n = ring_degree t in
+  let data = Limb_pool.acquire_slab ~n ~limbs:keep in
+  for k = 0 to keep - 1 do
+    Array.blit t.data.(k) 0 data.(k) 0 n
+  done;
+  { t with chain_idx = Array.sub t.chain_idx 0 keep; data; pooled = true }
 
 let rescale t =
   if t.domain <> Coeff then invalid_arg "Rns_poly.rescale: need Coeff domain";
@@ -380,20 +438,21 @@ let rescale t =
   let invs =
     Array.init (l - 1) (fun k -> Crt.inv_mod t.ctx ~num:top_ci ~target:t.chain_idx.(k))
   in
-  let data =
-    Domain_pool.init (l - 1) (fun k ->
-        let ci = t.chain_idx.(k) in
-        let q = Crt.modulus t.ctx ci in
-        let inv = invs.(k) in
-        let x = t.data.(k) in
-        Array.init n (fun i ->
-            (* Centered lift of the top residue gives round-to-nearest
-               rather than floor division. *)
-            let c = Modarith.centered top.(i) ~modulus:q_top in
-            let d = Modarith.sub x.(i) (Modarith.reduce c ~modulus:q) ~modulus:q in
-            Modarith.mul d inv ~modulus:q))
-  in
-  { t with chain_idx = Array.sub t.chain_idx 0 (l - 1); data }
+  let data = Limb_pool.acquire_slab ~n ~limbs:(l - 1) in
+  Domain_pool.parallel_for (l - 1) (fun k ->
+      let ci = t.chain_idx.(k) in
+      let q = Crt.modulus t.ctx ci in
+      let inv = invs.(k) in
+      let x = t.data.(k) in
+      let out = data.(k) in
+      for i = 0 to n - 1 do
+        (* Centered lift of the top residue gives round-to-nearest
+           rather than floor division. *)
+        let c = Modarith.centered top.(i) ~modulus:q_top in
+        let d = Modarith.sub x.(i) (Modarith.reduce c ~modulus:q) ~modulus:q in
+        Array.unsafe_set out i (Modarith.mul d inv ~modulus:q)
+      done);
+  { t with chain_idx = Array.sub t.chain_idx 0 (l - 1); data; pooled = true }
 
 (* Eval-domain rescale: only the dropped top limb needs coefficient form
    (its centered lift is what every other limb subtracts), so transform
@@ -411,32 +470,31 @@ let rescale_in_eval t =
   let q_top = Crt.modulus t.ctx top_ci in
   let half = q_top / 2 in
   let n = ring_degree t in
-  let top = Array.copy t.data.(l - 1) in
-  Ntt.inverse (Crt.plan t.ctx top_ci) top;
-  let invs =
-    Array.init (l - 1) (fun k -> Crt.inv_mod t.ctx ~num:top_ci ~target:t.chain_idx.(k))
-  in
-  let data =
-    Domain_pool.init (l - 1) (fun k ->
-        let ci = t.chain_idx.(k) in
-        let plan = Crt.plan t.ctx ci in
-        let q = Crt.modulus t.ctx ci in
-        let inv = invs.(k) in
-        let x = t.data.(k) in
-        let row =
-          Array.init n (fun i ->
-              let v = Array.unsafe_get top i in
-              let c = if v > half then v - q_top else v in
-              Ntt.reduce_scalar plan c)
-        in
-        Ntt.forward plan row;
-        for i = 0 to n - 1 do
-          let d = Modarith.sub (Array.unsafe_get x i) (Array.unsafe_get row i) ~modulus:q in
-          Array.unsafe_set row i (Modarith.mul d inv ~modulus:q)
-        done;
-        row)
-  in
-  { t with chain_idx = Array.sub t.chain_idx 0 (l - 1); data }
+  Limb_pool.with_row n (fun top ->
+      Array.blit t.data.(l - 1) 0 top 0 n;
+      Ntt.inverse (Crt.plan t.ctx top_ci) top;
+      let invs =
+        Array.init (l - 1) (fun k -> Crt.inv_mod t.ctx ~num:top_ci ~target:t.chain_idx.(k))
+      in
+      let data = Limb_pool.acquire_slab ~n ~limbs:(l - 1) in
+      Domain_pool.parallel_for (l - 1) (fun k ->
+          let ci = t.chain_idx.(k) in
+          let plan = Crt.plan t.ctx ci in
+          let q = Crt.modulus t.ctx ci in
+          let inv = invs.(k) in
+          let x = t.data.(k) in
+          let row = data.(k) in
+          for i = 0 to n - 1 do
+            let v = Array.unsafe_get top i in
+            let c = if v > half then v - q_top else v in
+            Array.unsafe_set row i (Ntt.reduce_scalar plan c)
+          done;
+          Ntt.forward plan row;
+          for i = 0 to n - 1 do
+            let d = Modarith.sub (Array.unsafe_get x i) (Array.unsafe_get row i) ~modulus:q in
+            Array.unsafe_set row i (Modarith.mul d inv ~modulus:q)
+          done);
+      { t with chain_idx = Array.sub t.chain_idx 0 (l - 1); data; pooled = true })
 
 let extend_limb t ~target_chain_idx =
   if t.domain <> Coeff then invalid_arg "Rns_poly.extend_limb: need Coeff domain";

@@ -19,10 +19,36 @@ type t = private {
   chain_idx : int array;
   data : int array array;
   domain : domain;
+  mutable pooled : bool;
+      (** Rows are a recyclable {!Limb_pool} slab still owned by exactly
+          this value. Private, so only this module's [release] /
+          [mark_shared] can flip it. *)
 }
 
 val create : Crt.t -> chain_idx:int array -> domain -> t
-(** Zero polynomial over the given limb set. *)
+(** Zero polynomial over the given limb set (fresh rows, never pooled). *)
+
+val alloc_uninit : Crt.t -> chain_idx:int array -> domain -> t
+(** Pool-backed polynomial with UNSPECIFIED residues — the caller must
+    overwrite every row in full before the value escapes. The evaluator
+    uses this for results it assembles row by row (mod-down outputs). *)
+
+val release : t -> unit
+(** Hand the rows back to {!Limb_pool} for reuse. Only sound for a dead
+    value: the caller must be the last owner and must not touch the
+    polynomial again (debug mode enforces this with poisoning). Safe to
+    call on shared or unpooled values — it does nothing then. Ciphertext
+    recycling is driven from exactly two places: evaluator ops releasing
+    temporaries they themselves allocated, and the VM releasing operands
+    at their last use as computed by [Sched]'s release sets. *)
+
+val mark_shared : t -> unit
+(** Declare that the rows are visible through more than one value (the
+    result of an identity conversion, a batch element handed out, ...):
+    the polynomial leaves the pool's ownership and [release] becomes a
+    no-op. *)
+
+val is_pooled : t -> bool
 
 val of_data : Crt.t -> chain_idx:int array -> domain -> int array array -> t
 (** Wrap residue rows directly (takes ownership; rows must be reduced).
@@ -54,7 +80,8 @@ val coeff_inplace : t -> t
 (** Domain flips that transform the existing residue rows instead of
     copying them. Only sound when the caller owns the polynomial outright
     (freshly allocated, rows shared with no other value); the returned
-    value shares rows with the argument, which must not be used again. *)
+    value shares rows with the argument, which must not be used again.
+    Pool ownership transfers to the returned value. *)
 
 val add : t -> t -> t
 val sub : t -> t -> t
@@ -117,7 +144,8 @@ val restrict : t -> chain_idx:int array -> t
 
 val drop_limbs : t -> keep:int -> t
 (** Forget the top limbs without rescaling (modulus switching, value is
-    unchanged mod the smaller product). *)
+    unchanged mod the smaller product). The kept rows are copied, not
+    shared, so the result and its source both stay recyclable. *)
 
 val rescale : t -> t
 (** Divide by the top limb's modulus with rounding and drop that limb;

@@ -20,11 +20,32 @@ type pool = {
   mutable workers : unit Domain.t array;
 }
 
+(* Oversubscription is honoured but flagged: more domains than cores just
+   time-slices the same silicon, and every wavefront barrier then waits on
+   a descheduled worker. Warned once — the knob is read once per process —
+   and counted so a fleet's telemetry can find misconfigured hosts. *)
+let warned_oversubscribed = ref false
+
+let warn_oversubscribed n =
+  if not !warned_oversubscribed then begin
+    warned_oversubscribed := true;
+    let cores = Domain.recommended_domain_count () in
+    Ace_telemetry.Telemetry.incr
+      (Ace_telemetry.Telemetry.metric "domains.oversubscribed");
+    Printf.eprintf
+      "[ace] warning: ACE_DOMAINS=%d exceeds the %d core%s this host \
+       recommends; workers will time-slice and barrier latency will suffer\n\
+       %!"
+      n cores (if cores = 1 then "" else "s")
+  end
+
 let default_size () =
   match Sys.getenv_opt "ACE_DOMAINS" with
   | Some s ->
     (match int_of_string_opt (String.trim s) with
-     | Some n when n >= 1 -> n
+     | Some n when n >= 1 ->
+       if n > Domain.recommended_domain_count () then warn_oversubscribed n;
+       n
      | _ -> invalid_arg "ACE_DOMAINS must be a positive integer")
   | None -> Domain.recommended_domain_count ()
 

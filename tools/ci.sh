@@ -124,6 +124,33 @@ ACE_BATCH=4 ACE_METRICS_INTERVAL=0.2 ACE_METRICS_PATH="$mfile" \
   dune exec examples/batch_infer.exe >/dev/null
 dune exec tools/ace_report.exe -- "$mfile" --min-count request.latency 8 >/dev/null
 
+# Pooled smoke matrix: slab recycling (ACE_POOL) across pool widths, plus
+# one ACE_POOL_DEBUG run — released-buffer poisoning and double-release
+# checks live — so an aliasing bug in the recycler fails CI loudly rather
+# than corrupting a later inference.
+for p in 0 1; do
+  for d in 1 4; do
+    echo "== pooled smoke, ACE_POOL=$p ACE_DOMAINS=$d =="
+    ACE_VERIFY=1 ACE_POOL=$p ACE_DOMAINS=$d dune exec examples/accum_infer.exe >/dev/null
+  done
+done
+echo "== pool debug smoke, ACE_POOL_DEBUG=1 =="
+ACE_VERIFY=1 ACE_POOL=1 ACE_POOL_DEBUG=1 dune exec examples/accum_infer.exe >/dev/null
+ACE_VERIFY=1 ACE_POOL=1 ACE_POOL_DEBUG=1 dune exec examples/quickstart.exe >/dev/null
+
+# Steady-state GC accountability: a pooled run with the metrics flusher on
+# must report the per-execution gc.* deltas (the zero-allocation serving
+# gate reads gc.major_words) and must not drop trace events while doing so.
+echo "== pooled metrics smoke, ACE_POOL=1 ACE_METRICS_INTERVAL=0.2 =="
+gfile="/tmp/ace_metrics_gc.jsonl"
+gtrace="/tmp/ace_trace_gc.json"
+rm -f "$gfile" "$gtrace"
+ACE_POOL=1 ACE_METRICS_INTERVAL=0.2 ACE_METRICS_PATH="$gfile" ACE_TRACE="$gtrace" \
+  dune exec examples/batch_infer.exe >/dev/null
+dune exec tools/ace_report.exe -- "$gfile" \
+  --require gc.major_words --require gc.minor_words --require gc.major_collections
+dune exec tools/check_trace.exe -- "$gtrace" --no-drops >/dev/null
+
 # Complex packing smoke: the opt-in CKKS region pass (ACE_CPLX) packs two
 # request streams per slot — composed with the batch axis here (2x2 = 4
 # requests per ciphertext), verifier on.
