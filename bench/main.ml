@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- table11 -n K -- accuracy under encryption
      dune exec bench/main.exe -- micro        -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- batch        -- slot-batching k-sweep + complex packing
+     dune exec bench/main.exe -- serve        -- serving throughput vs concurrent clients
 
    Expected shapes (EXPERIMENTS.md records measured numbers):
      fig5  : seconds per model; VECTOR dominates the breakdown
@@ -1298,6 +1299,115 @@ let json_bench ?(path = "BENCH_pr9.json") () =
     exit 1
   end
 
+(* ---------- serving throughput (PR10) ---------- *)
+
+(* requests/s against a live ace-serve daemon at k concurrent client
+   connections, k in {1, 4, 8}.  The daemon runs in a second domain of
+   this process; each connection pipelines coalescible requests pinned
+   to its own batch region, so higher k also exercises the batch-axis
+   merge (one homomorphic execution serving several clients).  Every
+   point is sanity-checked against cleartext inference before it is
+   recorded.  Artifact: BENCH_pr10.json. *)
+let serve_bench ?(path = "BENCH_pr10.json") () =
+  let module Server = Ace_serve.Server in
+  let module Client = Ace_serve.Client in
+  let module Model_spec = Ace_serve.Model_spec in
+  let spec_str = "gemv:16:4" in
+  let spec =
+    match Model_spec.parse spec_str with Ok s -> s | Error m -> failwith m
+  in
+  let socket = Printf.sprintf "/tmp/ace-bench-serve-%d.sock" (Unix.getpid ()) in
+  let batch = 8 in
+  let cfg =
+    {
+      Server.default_config with
+      socket_path = socket;
+      models = [ ("bench", spec) ];
+      batch;
+      max_queue = 256;
+    }
+  in
+  let server = Server.create cfg in
+  let dom = Domain.spawn (fun () -> Server.run server) in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  let ok = function Ok v -> v | Error m -> failwith ("serve bench: " ^ m) in
+  let c0 = Client.connect socket in
+  let sess =
+    ok (Client.prepare c0 ~tenant:"bench" ~model:"bench" ~key_seed:11 ~oracle_seed:12)
+  in
+  let input = Array.init 16 (fun i -> float_of_int (i + 1) /. 17.0) in
+  let expect = Model_spec.reference spec input in
+  let check out tag =
+    Array.iteri
+      (fun i v ->
+        if abs_float (v -. expect.(i)) > 1e-2 then
+          failwith (Printf.sprintf "serve bench: %s mismatch at %d" tag i))
+      out
+  in
+  check (ok (Client.infer c0 sess ~seed:3 input)) "warmup";
+  let total = 24 in
+  Printf.printf
+    "serve: requests/s vs concurrent clients (model %s, batch %d, %d requests per point)\n"
+    spec_str batch total;
+  let rows =
+    List.map
+      (fun k ->
+        let per = total / k in
+        let conns = Array.init k (fun _ -> Client.connect socket) in
+        let payloads =
+          Array.init k (fun c ->
+              Array.init per (fun r ->
+                  Client.encrypt_region sess ~seed:(100 + (c * per) + r) ~region:c input))
+        in
+        let t0 = Unix.gettimeofday () in
+        Array.iteri
+          (fun c conn ->
+            Array.iteri
+              (fun r ct ->
+                Client.submit conn sess
+                  ~request_id:(Printf.sprintf "bench-%d-%d" c r)
+                  ~region:c ~coalesce:true ct)
+              payloads.(c))
+          conns;
+        let replies =
+          Array.map (fun conn -> Array.init per (fun _ -> ok (Client.await_result conn))) conns
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        Array.iteri
+          (fun c per_conn ->
+            let _, ct = per_conn.(0) in
+            check (ok (Client.decrypt sess ~region:c ct)) "served result")
+          replies;
+        Array.iter Client.close conns;
+        let rps = float_of_int total /. dt in
+        Printf.printf "  clients=%d  %8.1f req/s  (%.3f s)\n%!" k rps dt;
+        (k, total, dt, rps))
+      [ 1; 4; 8 ]
+  in
+  ok (Client.drain c0);
+  Client.close c0;
+  Domain.join dom;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema_version\":1,\"bench\":\"serve\",\"model\":\"%s\",\"batch\":%d,\"rows\":["
+       spec_str batch);
+  List.iteri
+    (fun i (k, n, dt, rps) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"clients\":%d,\"requests\":%d,\"seconds\":%.6f,\"rps\":%.3f}" k
+           n dt rps))
+    rows;
+  Buffer.add_string buf "]}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "serve: wrote %s\n%!" path
+
 (* ---------- driver ---------- *)
 
 let () =
@@ -1325,6 +1435,7 @@ let () =
       let _, _, _ = batch_bench () in
       ()
     | "ablation" -> ablation ()
+    | "serve" -> serve_bench ()
     | other -> Printf.eprintf "unknown benchmark %s\n" other
   in
   match cmds with

@@ -1,0 +1,26 @@
+(** Stable wire/disk codec for IR functions — the compiled-schedule half
+    of the serving formats ({!Ace_fhe.Fhe_wire} covers the crypto values).
+
+    A serialized function carries its name, level, parameters, every node
+    (opcode, arguments, type, and the mutable CKKS annotations: scale,
+    level, origin), the return list and the constant pool. Every opcode
+    of the four DAG levels has a fixed tag, so the format is complete for
+    any {!Ace_ir.Irfunc.t}; the serving daemon uses it for CKKS-level
+    functions inside compiled artifacts.
+
+    Decoding rebuilds the function through the ordinary {!Ace_ir.Irfunc}
+    builder API, so every structural invariant (dense ids, args before
+    use, arity per opcode) is re-validated on the way in — a corrupted
+    artifact yields a typed [Error], never an out-of-invariant graph. *)
+
+val write_func : Ace_util.Bytesio.writer -> Ace_ir.Irfunc.t -> unit
+val read_func : Ace_util.Bytesio.reader -> Ace_ir.Irfunc.t
+(** @raise Ace_util.Bytesio.Error on any malformed input (including
+    structural violations surfaced by the builder). *)
+
+val encode_func : Ace_ir.Irfunc.t -> string
+val decode_func : string -> (Ace_ir.Irfunc.t, string) result
+
+val equal_func : Ace_ir.Irfunc.t -> Ace_ir.Irfunc.t -> bool
+(** Structural equality over everything the codec carries (nodes, types,
+    annotations, returns, constants); the round-trip test oracle. *)

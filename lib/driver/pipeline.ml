@@ -312,6 +312,43 @@ let compile ?context ?batch ?complex strategy nn_input =
     other_seconds = t_other;
   }
 
+(* Reassembling a [compiled] from a persisted artifact: the serving
+   daemon's warm-restart path. Only the execution-side fields are real;
+   the upper IR levels and the C artifact get placeholders (serving
+   never reads them), and the keygen plan is re-derived from the CKKS
+   function exactly as [compile] derives it — [Keygen_plan.pruned] is a
+   linear walk, so restoring costs microseconds where [compile] costs
+   seconds. *)
+let restore ~strategy ~batch ~cplx ~context ~ckks ~input_layout ~output_layouts ~lazy_stats ()
+    =
+  let placeholder level =
+    let f = Irfunc.create ~name:"restored-artifact" ~level ~params:[] in
+    Irfunc.set_returns f [];
+    f
+  in
+  let key_plan =
+    if strategy.pruned_keys then Keygen_plan.pruned ckks
+    else Keygen_plan.power_of_two ~slots:(Fhe.Context.slots context)
+  in
+  {
+    strategy;
+    batch;
+    cplx;
+    context;
+    nn = placeholder Level.Nn;
+    vec = placeholder Level.Vector;
+    sihe = placeholder Level.Sihe;
+    ckks;
+    poly = { Poly_ir.poly_name = "restored-artifact"; poly_params = []; body = []; returns = [] };
+    c_source = "";
+    input_layout;
+    output_layouts;
+    key_plan;
+    lazy_stats;
+    level_seconds = [];
+    other_seconds = 0.0;
+  }
+
 let runtime_domains () = Ace_util.Domain_pool.size ()
 
 type scheduler = Seq | Wavefront

@@ -101,6 +101,26 @@ val requests_per_ct : compiled -> int
     complex packing. The batch helpers below expect exactly this many
     images. *)
 
+val restore :
+  strategy:strategy ->
+  batch:int ->
+  cplx:Ace_ckks_ir.Ckks_cplx.info option ->
+  context:Ace_fhe.Context.t ->
+  ckks:Ace_ir.Irfunc.t ->
+  input_layout:Ace_vector.Layout.t ->
+  output_layouts:Ace_vector.Layout.t list ->
+  lazy_stats:Ace_ckks_ir.Ckks_lazy.stats ->
+  unit ->
+  compiled
+(** Reassemble a [compiled] from a persisted serving artifact
+    ({!Ace_serve.Wire}) without re-running any lowering: the keygen plan
+    is re-derived from the CKKS function (a cheap walk), and the fields
+    serving never touches — the upper IR levels, the POLY function, the
+    generated C — hold explicit placeholders. Every serving entry point
+    ([make_keys], [encrypt_*], [run_encrypted*], [decrypt_*],
+    [make_runtime]) works on a restored value; [Stats.of_compiled] and
+    the C artifact accessors do not. *)
+
 val slots_needed : Ace_ir.Irfunc.t -> int
 (** Smallest power-of-two slot vector the NN function's layouts fit in. *)
 

@@ -1,0 +1,68 @@
+(** Stable wire/disk codecs for the FHE value types: context parameters,
+    RNS polynomials, ciphertexts and key sets.
+
+    Layout discipline (see {!Ace_util.Bytesio}): explicit little-endian
+    fields, length-prefixed arrays, a 4-byte magic plus a u16 format
+    version on every top-level blob, and no [Marshal]. Decoders validate
+    everything — magic, version, limb indices against the context's
+    chain, residues against their prime moduli, polynomial counts — and
+    return typed [Error] results on any mismatch; garbage bytes can
+    never crash the process or produce an out-of-invariant value.
+
+    Ciphertexts and keys do not embed their context (a context is
+    megabytes of NTT plans); instead every blob carries the 16-byte
+    fingerprint of the {!Ace_fhe.Context.params} that produced it, and
+    decoding takes the receiver's context and rejects a fingerprint
+    mismatch. Derived key material (eval-domain Shoup companions) is
+    recomputed on decode rather than shipped, keeping the format minimal
+    and canonical.
+
+    Security note: {!write_keys} serializes the FULL key set including
+    the secret key — this repository's bootstrap is a simulated
+    recryption oracle that needs it server-side (see DESIGN.md). A
+    deployment-grade daemon would ship evaluation keys only. *)
+
+val format_version : int
+(** Bumped on any layout change; decoders reject other versions with a
+    typed error rather than misparsing. *)
+
+(** {1 Context parameters} *)
+
+val write_params : Ace_util.Bytesio.writer -> Context.params -> unit
+val read_params : Ace_util.Bytesio.reader -> Context.params
+
+val params_fingerprint : Context.params -> string
+(** 16-byte digest of the serialized parameters; equal iff the parameter
+    records are equal. Embedded in ciphertext/key blobs to pin them to
+    their context. *)
+
+val context_fingerprint : Context.t -> string
+
+(** {1 RNS polynomials} *)
+
+val write_poly : Ace_util.Bytesio.writer -> Ace_rns.Rns_poly.t -> unit
+
+val read_poly : Context.t -> Ace_util.Bytesio.reader -> Ace_rns.Rns_poly.t
+(** Validates the domain tag, every chain index against the context's
+    modulus chain, the row length against the ring degree and every
+    residue against its prime; @raise Ace_util.Bytesio.Error otherwise. *)
+
+(** {1 Ciphertexts} *)
+
+val write_ct : Context.t -> Ace_util.Bytesio.writer -> Ciphertext.ct -> unit
+val read_ct : Context.t -> Ace_util.Bytesio.reader -> Ciphertext.ct
+
+val encode_ct : Context.t -> Ciphertext.ct -> string
+val decode_ct : Context.t -> string -> (Ciphertext.ct, string) result
+
+(** {1 Key sets} *)
+
+val write_keys : Ace_util.Bytesio.writer -> Keys.t -> unit
+val read_keys : Context.t -> Ace_util.Bytesio.reader -> Keys.t
+(** Rebuilds the eval-domain Shoup companions of every switching key
+    (they are derived data, not wire data). The result is ready for
+    {!Eval}; callers serving many inferences should still {!Eval.warm}
+    it once. *)
+
+val encode_keys : Keys.t -> string
+val decode_keys : Context.t -> string -> (Keys.t, string) result

@@ -1,0 +1,153 @@
+module Fhe = Ace_fhe
+module Fhe_wire = Ace_fhe.Fhe_wire
+module Layout = Ace_vector.Layout
+module Rng = Ace_util.Rng
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t req = Wire.write_all t.fd (Wire.encode_request req)
+
+let await t =
+  match Wire.read_response t.fd with
+  | Ok resp -> Ok resp
+  | Error (code, msg) -> Error (Wire.error_code_name code ^ ": " ^ msg)
+
+let err_of = function
+  | Wire.Err { code; message } -> Error (Wire.error_code_name code ^ ": " ^ message)
+  | Wire.Overloaded { queue_depth; queued_units } ->
+    Error
+      (Printf.sprintf "overloaded: queue depth %d, %.0f units queued" queue_depth queued_units)
+  | _ -> Error "unexpected reply type"
+
+let hello ?(client = "ace-client") t =
+  send t (Wire.Hello { client });
+  match await t with
+  | Ok (Wire.Hello_ok { models; _ }) -> Ok models
+  | Ok other -> err_of other
+  | Error _ as e -> e
+
+let describe t model =
+  send t (Wire.Describe { model });
+  match await t with
+  | Ok (Wire.Model_info mi) -> Ok mi
+  | Ok other -> err_of other
+  | Error _ as e -> e
+
+let get_stats t =
+  send t Wire.Get_stats;
+  match await t with
+  | Ok (Wire.Stats_ok s) -> Ok s
+  | Ok other -> err_of other
+  | Error _ as e -> e
+
+let reload t model =
+  send t (Wire.Reload { model });
+  match await t with
+  | Ok (Wire.Reloaded { from_cache; _ }) -> Ok from_cache
+  | Ok other -> err_of other
+  | Error _ as e -> e
+
+let drain t =
+  send t Wire.Drain;
+  match await t with
+  | Ok Wire.Drain_ok -> Ok ()
+  | Ok other -> err_of other
+  | Error _ as e -> e
+
+type session = {
+  tenant : string;
+  model : string;
+  info : Wire.model_info;
+  context : Fhe.Context.t;
+  keys : Fhe.Keys.t;
+}
+
+let prepare t ~tenant ~model ~key_seed ~oracle_seed =
+  match describe t model with
+  | Error _ as e -> e
+  | Ok info -> (
+    match Fhe.Context.make info.Wire.mi_params with
+    | exception Fhe.Context.Insecure msg -> Error ("insecure parameters from server: " ^ msg)
+    | context -> (
+      let rng = Rng.create key_seed in
+      let keys = Fhe.Keys.generate context ~rng ~rotations:info.mi_rotation_steps in
+      send t (Wire.Put_keys { tenant; model; oracle_seed; keys = Fhe_wire.encode_keys keys });
+      match await t with
+      | Ok Wire.Keys_ok -> Ok { tenant; model; info; context; keys }
+      | Ok other -> err_of other
+      | Error _ as e -> e))
+
+(* The encrypt paths below mirror Pipeline.encrypt_input/encrypt_packed
+   line for line — same encode level, scale and rng discipline — which is
+   what makes served outputs bit-identical to local inference. *)
+
+let encrypt_vector s ~seed v =
+  let ctx = s.context in
+  let pt =
+    if s.info.Wire.mi_cplx then
+      Fhe.Encoder.encode_complex ctx ~level:(Fhe.Context.max_level ctx)
+        ~scale:(Fhe.Context.scale ctx)
+        (Array.map (fun x -> { Fhe.Cplx.re = 0.5 *. x; im = 0.0 }) v)
+    else
+      Fhe.Encoder.encode ctx ~level:(Fhe.Context.max_level ctx)
+        ~scale:(Fhe.Context.scale ctx) v
+  in
+  let ct = Fhe.Eval.encrypt s.keys ~rng:(Rng.create seed) pt in
+  Fhe_wire.encode_ct ctx ct
+
+let encrypt s ~seed image =
+  encrypt_vector s ~seed (Layout.vector_of_tensor s.info.Wire.mi_input_layout image)
+
+let encrypt_region s ~seed ~region image =
+  let layout = s.info.Wire.mi_input_layout in
+  if s.info.mi_cplx then invalid_arg "Client.encrypt_region: complex-packed model";
+  if region < 0 || region >= layout.Layout.batch then
+    invalid_arg (Printf.sprintf "Client.encrypt_region: region %d" region);
+  let zeros = Array.make (Array.length image) 0.0 in
+  let images =
+    Array.init layout.Layout.batch (fun r -> if r = region then image else zeros)
+  in
+  encrypt_vector s ~seed (Layout.vector_of_batch layout images)
+
+let decrypt s ~region blob =
+  match Fhe_wire.decode_ct s.context blob with
+  | Error _ as e -> e
+  | Ok ct ->
+    let layout = List.hd s.info.Wire.mi_output_layouts in
+    let decoded = Fhe.Eval.decrypt s.keys ct in
+    if s.info.mi_cplx then begin
+      let m = match s.info.mi_output_mults with m :: _ -> m | [] -> 1.0 in
+      let z = Fhe.Encoder.decode_complex s.context decoded in
+      let re = Array.map (fun v -> v.Fhe.Cplx.re /. m) z in
+      Ok (Layout.batch_of_vector layout re).(region)
+    end
+    else
+      let v = Fhe.Encoder.decode s.context decoded in
+      Ok (Layout.batch_of_vector layout v).(region)
+
+let submit t s ~request_id ?(region = 0) ?(coalesce = false) ct =
+  send t
+    (Wire.Infer { tenant = s.tenant; model = s.model; request_id; region; coalesce; ct })
+
+let await_result t =
+  match await t with
+  | Ok (Wire.Result { request_id; ct }) -> Ok (request_id, ct)
+  | Ok other -> err_of other
+  | Error _ as e -> e
+
+let infer t s ~seed image =
+  submit t s ~request_id:"infer" (encrypt s ~seed image);
+  match await_result t with
+  | Error _ as e -> e
+  | Ok (_, blob) -> decrypt s ~region:0 blob

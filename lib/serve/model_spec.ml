@@ -1,0 +1,117 @@
+module Builder = Ace_onnx.Builder
+module Import = Ace_nn.Import
+module Nn_interp = Ace_nn.Nn_interp
+module Resnet = Ace_models.Resnet
+
+type t =
+  | Linear
+  | Gemv of { g_in : int; g_out : int; g_seed : int }
+  | Mlp of { m_in : int; m_hidden : int; m_out : int; m_seed : int }
+  | Resnet of Resnet.spec
+
+let to_string = function
+  | Linear -> "linear"
+  | Gemv { g_in; g_out; g_seed } -> Printf.sprintf "gemv:%d:%d:%d" g_in g_out g_seed
+  | Mlp { m_in; m_hidden; m_out; m_seed } ->
+    Printf.sprintf "mlp:%d:%d:%d:%d" m_in m_hidden m_out m_seed
+  | Resnet s ->
+    Printf.sprintf "resnet:%d:%d:%d:%d:%d" s.Resnet.depth s.Resnet.classes s.Resnet.image_size
+      s.Resnet.base_channels s.Resnet.seed
+
+let parse s =
+  let s = String.trim s in
+  let parts = String.split_on_char ':' s in
+  let ints l = try Some (List.map int_of_string l) with Failure _ -> None in
+  match parts with
+  | [ "linear" ] -> Ok Linear
+  | [ "resnet20" ] -> Ok (Resnet Resnet.resnet20)
+  | "gemv" :: rest -> (
+    match ints rest with
+    | Some [ g_in; g_out ] -> Ok (Gemv { g_in; g_out; g_seed = 7 })
+    | Some [ g_in; g_out; g_seed ] -> Ok (Gemv { g_in; g_out; g_seed })
+    | _ -> Error (Printf.sprintf "bad gemv spec %S (want gemv:IN:OUT[:SEED])" s))
+  | "mlp" :: rest -> (
+    match ints rest with
+    | Some [ m_in; m_hidden; m_out ] -> Ok (Mlp { m_in; m_hidden; m_out; m_seed = 11 })
+    | Some [ m_in; m_hidden; m_out; m_seed ] -> Ok (Mlp { m_in; m_hidden; m_out; m_seed })
+    | _ -> Error (Printf.sprintf "bad mlp spec %S (want mlp:IN:HIDDEN:OUT[:SEED])" s))
+  | "resnet" :: rest -> (
+    match ints rest with
+    | Some ([ depth; classes; image_size; base_channels ] as l)
+    | Some ([ depth; classes; image_size; base_channels; _ ] as l) ->
+      let seed = match l with [ _; _; _; _; sd ] -> sd | _ -> 17 in
+      if (depth - 2) mod 6 <> 0 || depth < 8 then
+        Error (Printf.sprintf "bad resnet depth %d (want 6n+2, n >= 1)" depth)
+      else
+        Ok
+          (Resnet
+             {
+               Resnet.model_name = Printf.sprintf "resnet%d_s%d" depth image_size;
+               depth;
+               classes;
+               image_size;
+               base_channels;
+               seed;
+             })
+    | _ -> Error (Printf.sprintf "bad resnet spec %S (want resnet:DEPTH:CLASSES:SIZE:BASE[:SEED])" s)
+    )
+  | _ -> Error (Printf.sprintf "unknown model spec %S" s)
+
+(* The quickstart model (paper Figure 4), byte-identical weights. *)
+let linear_nn () =
+  let b = Builder.create "linear_infer" in
+  Builder.input b "image" [| 84; 1 |];
+  Builder.init_normal b "fc.weight" [| 10; 84 |] ~seed:7 ~std:0.1;
+  Builder.init_normal b "fc.bias" [| 10; 1 |] ~seed:8 ~std:0.05;
+  Builder.node b ~op:"Gemm" ~inputs:[ "image"; "fc.weight"; "fc.bias" ] "output";
+  Builder.output b "output" [| 10; 1 |];
+  Builder.finish b
+
+let gemv_nn g_in g_out seed =
+  let b = Builder.create (Printf.sprintf "gemv_%dx%d" g_out g_in) in
+  Builder.input b "x" [| g_in |];
+  Builder.init_normal b "w" [| g_out; g_in |] ~seed ~std:(0.8 /. sqrt (float_of_int g_in));
+  Builder.init_normal b "bias" [| g_out |] ~seed:(seed + 1) ~std:0.05;
+  Builder.node b ~op:"Gemm" ~inputs:[ "x"; "w"; "bias" ] "y";
+  Builder.output b "y" [| g_out |];
+  Builder.finish b
+
+let mlp_nn m_in m_hidden m_out seed =
+  let b = Builder.create (Printf.sprintf "mlp_%d_%d_%d" m_in m_hidden m_out) in
+  Builder.input b "x" [| m_in |];
+  Builder.init_normal b "w1" [| m_hidden; m_in |] ~seed ~std:(0.8 /. sqrt (float_of_int m_in));
+  Builder.init_normal b "b1" [| m_hidden |] ~seed:(seed + 1) ~std:0.05;
+  Builder.node b ~op:"Gemm" ~inputs:[ "x"; "w1"; "b1" ] "h";
+  Builder.node b ~op:"Sigmoid" ~inputs:[ "h" ] "a";
+  Builder.init_normal b "w2" [| m_out; m_hidden |] ~seed:(seed + 2)
+    ~std:(0.8 /. sqrt (float_of_int m_hidden));
+  Builder.init_zeros b "b2" [| m_out |];
+  Builder.node b ~op:"Gemm" ~inputs:[ "a"; "w2"; "b2" ] "y";
+  Builder.output b "y" [| m_out |];
+  Builder.finish b
+
+(* Graphs are deterministic per spec, so memoizing by canonical string is
+   sound — and keeps repeated Describe/Reload handling cheap. *)
+let nn_cache : (string, Ace_ir.Irfunc.t) Hashtbl.t = Hashtbl.create 8
+
+let nn spec =
+  let key = to_string spec in
+  match Hashtbl.find_opt nn_cache key with
+  | Some f -> f
+  | None ->
+    let f =
+      match spec with
+      | Linear -> Import.import (linear_nn ())
+      | Gemv { g_in; g_out; g_seed } -> Import.import (gemv_nn g_in g_out g_seed)
+      | Mlp { m_in; m_hidden; m_out; m_seed } -> Import.import (mlp_nn m_in m_hidden m_out m_seed)
+      | Resnet s -> Resnet.build_calibrated s
+    in
+    Hashtbl.replace nn_cache key f;
+    f
+
+let input_elems spec =
+  match (Ace_ir.Irfunc.params (nn spec)).(0) with
+  | _, Ace_ir.Types.Tensor dims -> Array.fold_left ( * ) 1 dims
+  | _ -> invalid_arg "Model_spec.input_elems"
+
+let reference spec image = Nn_interp.run1 (nn spec) image

@@ -1,0 +1,32 @@
+(** Servable model specifications.
+
+    The daemon is configured with [name=SPEC] pairs; a spec is a short
+    deterministic description of a model the server can build and compile
+    by itself (weights are seeded pseudo-random, like every model in this
+    repository), so the client and server need never ship a graph over
+    the wire — the spec string is also the leading component of the
+    compiled-artifact cache key.
+
+    Grammar:
+    - ["linear"] — the quickstart 84 -> 10 Gemm (paper Figure 4);
+    - ["gemv:IN:OUT[:SEED]"] — one Gemm, arbitrary shape;
+    - ["mlp:IN:HIDDEN:OUT[:SEED]"] — Gemm / Sigmoid / Gemm;
+    - ["resnet:DEPTH:CLASSES:SIZE:BASE[:SEED]"] — the ResNet generator at
+      an arbitrary simulation scale (depth must be 6n+2);
+    - ["resnet20"] — the paper's ResNet-20 evaluation scale. *)
+
+type t
+
+val parse : string -> (t, string) result
+val to_string : t -> string
+(** Canonical spelling (defaulted seeds made explicit); equal canonical
+    strings mean equal models, so this is what the artifact cache hashes. *)
+
+val nn : t -> Ace_ir.Irfunc.t
+(** Build and import the NN-level function (deterministic per spec). *)
+
+val input_elems : t -> int
+
+val reference : t -> float array -> float array
+(** Cleartext inference ({!Ace_nn.Nn_interp}) — what encrypted serving
+    results are checked against. *)

@@ -1,0 +1,71 @@
+(** The ace-serve daemon: a persistent encrypted-inference server over a
+    Unix domain socket.
+
+    One single-threaded [select] loop owns everything: it accepts
+    connections, parses {!Wire} frames from per-connection input buffers,
+    answers control messages inline, and pushes inference work through a
+    bounded admission queue. Homomorphic executions run synchronously
+    between loop iterations — all pending input is drained into the queue
+    first, so a burst of pipelined requests hits admission control at
+    once and the overflow gets typed [Overloaded] replies instead of
+    waiting on a busy evaluator.
+
+    {b Models} are compiled once at startup (or fetched from the on-disk
+    artifact cache, skipping the compiler entirely — see
+    {!Wire.artifact}) and shared by every tenant.
+
+    {b Sessions}: a tenant uploads its key set once per model
+    ([Put_keys]); the server keeps the keys and a resident
+    {!Ace_driver.Pipeline.runtime} (weight plaintexts encoded once) for
+    the life of the daemon. Inference requests reference the session —
+    no key material travels with a request.
+
+    {b Admission} bounds both the request count and the predicted work
+    (sum of {!Ace_codegen.Sched.node_cost} over the schedule, amortized
+    per request) sitting in the queue. Compatible requests — same
+    (tenant, model), [coalesce] set, distinct batch regions, real packing
+    — are merged onto one ciphertext's batch axis with a single
+    homomorphic execution serving all of them.
+
+    {b Lifecycle}: [Reload] recompiles a model and rebuilds the affected
+    session runtimes without dropping uploaded keys; [Drain] (or
+    {!request_drain}, e.g. from a SIGTERM handler) stops admission,
+    finishes the queue, flushes replies and exits the loop. A client
+    vanishing mid-request only drops that connection — the daemon and
+    every session survive. *)
+
+type config = {
+  socket_path : string;
+  models : (string * Model_spec.t) list;  (** served name -> spec *)
+  cache_dir : string option;  (** artifact cache; [None] disables *)
+  strategy : Ace_driver.Pipeline.strategy;
+  batch : int;
+  complex : bool;
+  max_queue : int;  (** admission cap: queued requests *)
+  max_units : float;  (** admission cap: queued predicted work units *)
+  server_name : string;
+}
+
+val default_config : config
+(** [ace] strategy, batch 1, real packing, queue cap 64, unit cap [1e12],
+    no cache dir, socket ["/tmp/ace-serve.sock"], no models. *)
+
+type t
+
+val create : config -> t
+(** Bind the socket (replacing a stale socket file), compile or
+    cache-load every configured model, ignore SIGPIPE. Emits
+    [serve.cache_hit]/[serve.cache_miss] per model and logs one line per
+    model to stderr. *)
+
+val run : t -> unit
+(** The serve loop; returns after a drain completes. The socket file is
+    unlinked on the way out. *)
+
+val request_drain : t -> unit
+(** Signal-safe: flag the loop to stop admitting and exit once the queue
+    and reply buffers are empty. Callable from any thread/domain or a
+    signal handler. *)
+
+val stats : t -> Wire.stats
+(** Current counters (what [Get_stats] reports). *)

@@ -1,0 +1,121 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents = Buffer.contents
+let length = Buffer.length
+
+let w_u8 b v =
+  if v < 0 || v > 0xff then invalid_arg (Printf.sprintf "Bytesio.w_u8: %d" v);
+  Buffer.add_char b (Char.chr v)
+
+let w_u16 b v =
+  if v < 0 || v > 0xffff then invalid_arg (Printf.sprintf "Bytesio.w_u16: %d" v);
+  Buffer.add_uint16_le b v
+
+let w_u32 b v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg (Printf.sprintf "Bytesio.w_u32: %d" v);
+  Buffer.add_int32_le b (Int32.of_int v)
+
+let w_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let w_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_string b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_bytes b s = Buffer.add_string b s
+
+let w_int_array b a =
+  w_u32 b (Array.length a);
+  Array.iter (fun v -> w_i64 b v) a
+
+let w_float_array b a =
+  w_u32 b (Array.length a);
+  Array.iter (fun v -> w_f64 b v) a
+
+type reader = { data : string; mutable rpos : int }
+
+let reader data = { data; rpos = 0 }
+let pos r = r.rpos
+let remaining r = String.length r.data - r.rpos
+
+let need r n =
+  if n < 0 then fail "negative length";
+  if remaining r < n then
+    fail "truncated buffer: need %d bytes at offset %d, have %d" n r.rpos (remaining r)
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code (String.unsafe_get r.data r.rpos) in
+  r.rpos <- r.rpos + 1;
+  v
+
+let r_u16 r =
+  need r 2;
+  let v = String.get_uint16_le r.data r.rpos in
+  r.rpos <- r.rpos + 2;
+  v
+
+let r_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.data r.rpos) land 0xffff_ffff in
+  r.rpos <- r.rpos + 4;
+  v
+
+let r_i64 r =
+  need r 8;
+  let v = String.get_int64_le r.data r.rpos in
+  r.rpos <- r.rpos + 8;
+  Int64.to_int v
+
+let r_f64 r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.data r.rpos) in
+  r.rpos <- r.rpos + 8;
+  v
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail "bad boolean byte %d" v
+
+let r_bytes r n =
+  need r n;
+  let s = String.sub r.data r.rpos n in
+  r.rpos <- r.rpos + n;
+  s
+
+let r_string r =
+  let n = r_u32 r in
+  r_bytes r n
+
+(* Length prefixes are validated against the remaining bytes BEFORE
+   allocating, so a corrupted count can neither over-allocate nor escape
+   as a partially-filled array. *)
+let r_int_array r =
+  let n = r_u32 r in
+  need r (8 * n);
+  Array.init n (fun _ -> r_i64 r)
+
+let r_float_array r =
+  let n = r_u32 r in
+  need r (8 * n);
+  Array.init n (fun _ -> r_f64 r)
+
+let r_end r = if remaining r <> 0 then fail "%d trailing bytes at offset %d" (remaining r) r.rpos
+
+let decode f s =
+  match
+    let r = reader s in
+    let v = f r in
+    r_end r;
+    v
+  with
+  | v -> Ok v
+  | exception Error m -> Result.Error m

@@ -8,6 +8,9 @@
 
      ace_report FILE.jsonl [FILE.jsonl ...]
                 [--require NAME]        fail unless metric NAME was seen
+                                        (NAME may be a family wildcard
+                                        like serve.*: any metric under
+                                        the prefix satisfies it)
                 [--require-prefix P]    fail unless some metric starts with P
                 [--min-count NAME N]    fail unless NAME's count >= N
                 [--json]                machine-readable merged output
@@ -121,7 +124,21 @@ let () =
   (* gates before output, so a failing CI step says why *)
   List.iter
     (fun name ->
-      if not (Hashtbl.mem metrics name) then die "required metric %s never flushed" name)
+      (* NAME ending in ".*" is a family wildcard: serve.* passes when
+         any metric under that prefix flushed. *)
+      let n = String.length name in
+      if n >= 2 && String.sub name (n - 2) 2 = ".*" then begin
+        let p = String.sub name 0 (n - 1) in
+        let pl = String.length p in
+        let hit =
+          Hashtbl.fold
+            (fun m _ acc ->
+              acc || (String.length m >= pl && String.sub m 0 pl = p))
+            metrics false
+        in
+        if not hit then die "no flushed metric matches %s" name
+      end
+      else if not (Hashtbl.mem metrics name) then die "required metric %s never flushed" name)
     !required;
   List.iter
     (fun p ->

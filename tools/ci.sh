@@ -166,6 +166,43 @@ ACE_VERIFY=1 dune exec examples/quickstart.exe >/dev/null
 ACE_VERIFY=1 dune exec examples/resnet_infer.exe >/dev/null
 ACE_VERIFY=0 dune exec examples/quickstart.exe >/dev/null
 
+# Serving smoke: the ace-serve daemon end to end over a Unix domain
+# socket, across a batch x domains matrix.  Each cell starts a daemon
+# (metrics flusher + trace on), runs a verifying client (key upload,
+# pipelined encrypted requests, decrypted outputs checked against the
+# cleartext reference), then SIGTERM-drains it.  The artifact cache is
+# shared across cells, so every second same-batch cell is a warm start
+# exercising the compile-skip path.  Gates: the merged JSONL must carry
+# the per-request serving metrics AND the serve.* family (queue depth,
+# admission counters), and every daemon trace must be drop-free.
+echo "== serving smoke =="
+ssock="/tmp/ace_ci_serve.sock"
+scache="/tmp/ace_ci_serve_cache"
+smetrics="/tmp/ace_metrics_serve.jsonl"
+rm -rf "$ssock" "$scache" "$smetrics" /tmp/ace_trace_serve_*.json
+mkdir -p "$scache"
+for b in 1 2; do
+  for d in 1 2; do
+    echo "== serving smoke, batch=$b ACE_DOMAINS=$d =="
+    strace="/tmp/ace_trace_serve_b${b}_d${d}.json"
+    ACE_DOMAINS=$d ACE_METRICS_INTERVAL=0.2 ACE_METRICS_PATH="$smetrics" \
+      ACE_TRACE="$strace" \
+      ./_build/default/bin/ace_serve.exe --socket "$ssock" \
+        --model demo=gemv:16:4 --cache-dir "$scache" --batch "$b" \
+        2>/dev/null &
+    spid=$!
+    for _ in $(seq 1 100); do [ -S "$ssock" ] && break; sleep 0.2; done
+    ./_build/default/bin/ace_client.exe --socket "$ssock" --model demo \
+      --requests 3 --verify --spec gemv:16:4 >/dev/null
+    kill -TERM "$spid"
+    wait "$spid"
+    dune exec tools/check_trace.exe -- "$strace" --no-drops >/dev/null
+  done
+done
+dune exec tools/ace_report.exe -- "$smetrics" \
+  --require request.latency --require serve.queue_depth --require "serve.*" \
+  --min-count serve.admitted 12 --min-count request.latency 12
+
 # Differential quick tier: 5 seeded random graphs, encrypted vs cleartext
 # under {seq, wavefront} x {1, 4 domains} with bit-identity across all
 # four.  (The full 25-graph suite runs with ACE_DIFF_FULL=1; CI keeps the
